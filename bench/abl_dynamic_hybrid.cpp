@@ -1,0 +1,72 @@
+// Ablation (paper §IV-C + future work): static vs dynamic hybrid
+// replication+recomputation.
+//
+// Static hybrid replicates every k-th job's output; the dynamic policy
+// spaces replication points by the optimal checkpoint interval
+// (Young's formula) from the measured job time and the cluster's
+// failure rate. We compare failure-free overhead, recovery time for a
+// late failure, and peak storage (with reclamation below points).
+#include "bench_util.hpp"
+
+namespace {
+
+rcmp::core::StrategyConfig make(std::uint32_t hybrid_every,
+                                bool dynamic, double rate) {
+  rcmp::core::StrategyConfig cfg;
+  cfg.strategy = rcmp::core::Strategy::kRcmpSplit;
+  cfg.hybrid_every = hybrid_every;
+  cfg.hybrid_dynamic = dynamic;
+  cfg.node_failure_rate_per_day = rate;
+  cfg.reclaim_after_replication = hybrid_every > 0 || dynamic;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rcmp;
+  using namespace rcmp::bench;
+  print_figure_header(
+      "Ablation: static vs dynamic hybrid",
+      "STIC SLOTS 1-1, 14-job chain. Clean time, recovery from a "
+      "failure at the last job, replication points chosen, peak "
+      "storage.");
+
+  auto scenario = workloads::stic_config(1, 1);
+  scenario.chain_length = 14;
+
+  Table t({"policy", "clean (s)", "fail @ last job (s)", "repl points",
+           "peak storage (GB)"});
+  struct Row {
+    const char* name;
+    core::StrategyConfig cfg;
+  };
+  const Row rows[] = {
+      {"no hybrid (pure RCMP)", make(0, false, 0)},
+      {"static every 3", make(3, false, 0)},
+      {"static every 5", make(5, false, 0)},
+      {"dynamic, failure-prone (1%/node/day)", make(0, true, 0.01)},
+      {"dynamic, Fig.2 rate (0.15%/node/day)", make(0, true, 0.0015)},
+      {"dynamic, fragile testbed (3/node/day)", make(0, true, 3.0)},
+  };
+  for (const Row& row : rows) {
+    const auto clean = one_run(scenario, row.cfg, {});
+    const auto failed = one_run(scenario, row.cfg, fail_at({14}));
+    std::uint32_t points = clean.replication_points;
+    if (row.cfg.hybrid_every > 0) {
+      points = 14 / row.cfg.hybrid_every;  // static points
+    }
+    t.add_row({row.name, Table::num(clean.total_time, 0),
+               Table::num(failed.total_time, 0), std::to_string(points),
+               Table::num(static_cast<double>(failed.peak_storage) / 1e9,
+                          1)});
+    std::fprintf(stderr, "  %s done\n", row.name);
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf(
+      "\nexpected: at realistic failure rates the dynamic policy\n"
+      "replicates rarely or never (failure-free cost ~= pure RCMP);\n"
+      "on fragile clusters it inserts points and bounds cascades,\n"
+      "approaching the best static choice without hand-tuning k.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Each bench binary regenerates one figure of the paper's evaluation as
+// a table with the same rows/series the figure plots. Absolute times are
+// simulated seconds; the claims under reproduction are the *ratios*
+// (slowdown factors, speed-ups) — see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/extrapolation.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "workloads/scenario.hpp"
+
+namespace rcmp::bench {
+
+/// Run a scenario `repeats` times with distinct seeds; returns the mean
+/// total chain time. (The paper averages 5 runs on STIC, 3 on DCO.)
+inline double mean_total_time(const workloads::ScenarioConfig& base,
+                              const core::StrategyConfig& strategy,
+                              const cluster::FailurePlan& failures,
+                              int repeats, std::uint64_t seed0 = 1000) {
+  Samples t;
+  for (int i = 0; i < repeats; ++i) {
+    workloads::ScenarioConfig cfg = base;
+    cfg.seed = seed0 + static_cast<std::uint64_t>(i) * 7919;
+    t.add(workloads::run_scenario(cfg, strategy, failures).total_time);
+  }
+  return t.mean();
+}
+
+/// Collect all runs of one scenario execution (for profiles/speed-ups).
+inline core::ChainResult one_run(const workloads::ScenarioConfig& base,
+                                 const core::StrategyConfig& strategy,
+                                 const cluster::FailurePlan& failures,
+                                 std::uint64_t seed = 1000) {
+  workloads::ScenarioConfig cfg = base;
+  cfg.seed = seed;
+  return workloads::run_scenario(cfg, strategy, failures);
+}
+
+inline core::StrategyConfig make_strategy(core::Strategy s,
+                                          std::uint32_t replication = 1) {
+  core::StrategyConfig cfg;
+  cfg.strategy = s;
+  cfg.replication = replication;
+  return cfg;
+}
+
+inline cluster::FailurePlan fail_at(std::vector<std::uint32_t> ordinals) {
+  cluster::FailurePlan plan;
+  plan.at_job_ordinals = std::move(ordinals);
+  return plan;
+}
+
+inline void print_figure_header(const std::string& figure,
+                                const std::string& caption) {
+  std::printf("\n=== %s ===\n%s\n\n", figure.c_str(), caption.c_str());
+}
+
+}  // namespace rcmp::bench

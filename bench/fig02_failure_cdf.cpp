@@ -1,0 +1,48 @@
+// Figure 2: CDF of new failures per day for the STIC and SUG@R clusters.
+//
+// The original Rice traces are no longer hosted; we regenerate
+// statistically equivalent traces from the paper's published summary
+// (17% / 12% of days with new failures, 1-2 failures on ordinary
+// failure days, rare outage days reaching tens of nodes) and print the
+// CDF exactly as the figure plots it (y-axis from 80%).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cluster/failure_trace.hpp"
+
+int main() {
+  using namespace rcmp;
+  bench::print_figure_header(
+      "Figure 2", "CDF of new failures per day, two clusters (synthetic "
+                  "traces calibrated to the paper's statistics)");
+
+  const auto stic = cluster::generate_trace(cluster::stic_trace_model(), 7);
+  const auto sugar =
+      cluster::generate_trace(cluster::sugar_trace_model(), 11);
+
+  std::printf("trace %-6s: %4zu days, %5.1f%% failure days, "
+              "%u total failures, mean gap %.1f days\n",
+              stic.name.c_str(), stic.failures_per_day.size(),
+              stic.failure_day_fraction() * 100.0, stic.total_failures(),
+              stic.mean_days_between_failure_days());
+  std::printf("trace %-6s: %4zu days, %5.1f%% failure days, "
+              "%u total failures, mean gap %.1f days\n\n",
+              sugar.name.c_str(), sugar.failures_per_day.size(),
+              sugar.failure_day_fraction() * 100.0, sugar.total_failures(),
+              sugar.mean_days_between_failure_days());
+
+  const auto cdf_stic = stic.cdf_percent(40);
+  const auto cdf_sugar = sugar.cdf_percent(40);
+
+  Table t({"new failures/day", "CDF STIC (%)", "CDF SUG@R (%)"});
+  for (std::uint32_t k : {0u, 1u, 2u, 3u, 5u, 10u, 15u, 20u, 25u, 30u,
+                          35u, 40u}) {
+    t.add_row({std::to_string(k), Table::num(cdf_stic[k], 1),
+               Table::num(cdf_sugar[k], 1)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf("\npaper: only 17%% (STIC) / 12%% (SUG@R) of days show new "
+              "failures;\nfailures are occasional, not ubiquitous -> "
+              "continuous replication is unwarranted (paper III-A).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Shared machinery for the three panels of Figure 8 (overall system
+// comparison): RCMP vs Hadoop REPL-2/REPL-3 vs OPTIMISTIC on the 7-job
+// chain, on three configurations:
+//   SLOTS 1-1, STIC, 40GB     (10 nodes, 4GB/node)
+//   SLOTS 2-2, STIC, 40GB
+//   SLOTS 1-1, DCO, 1.2TB     (60 nodes, 20GB/node)
+// "Results are normalized to the fastest run in each experiment"
+// (per-configuration column normalization, as in the paper).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace rcmp::bench {
+
+struct Fig8Config {
+  std::string label;
+  workloads::ScenarioConfig scenario;
+  int repeats;
+};
+
+inline std::vector<Fig8Config> fig8_configs(bool include_dco) {
+  std::vector<Fig8Config> cfgs;
+  cfgs.push_back({"SLOTS 1-1, STIC, 40GB", workloads::stic_config(1, 1), 3});
+  cfgs.push_back({"SLOTS 2-2, STIC, 40GB", workloads::stic_config(2, 2), 3});
+  if (include_dco) {
+    cfgs.push_back({"SLOTS 1-1, DCO, 1.2TB", workloads::dco_config(), 1});
+  }
+  return cfgs;
+}
+
+struct Fig8Row {
+  std::string label;
+  core::StrategyConfig strategy;
+  /// Excluded from the per-column "fastest run" baseline (the paper
+  /// normalizes Fig. 8c without the hybrid strategy and quotes hybrid
+  /// as 0.93 relative to that baseline).
+  bool exclude_from_baseline = false;
+};
+
+/// Run every (row, config) cell, normalize columns to the fastest row,
+/// print the table.
+inline void run_fig8_panel(const std::vector<Fig8Row>& rows,
+                           const cluster::FailurePlan& failures,
+                           bool include_dco) {
+  const auto cfgs = fig8_configs(include_dco);
+
+  std::vector<std::vector<double>> total(
+      rows.size(), std::vector<double>(cfgs.size(), 0.0));
+  for (std::size_t c = 0; c < cfgs.size(); ++c) {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      total[r][c] = mean_total_time(cfgs[c].scenario, rows[r].strategy,
+                                    failures, cfgs[c].repeats);
+      std::fprintf(stderr, "  [%s | %s] %.1f s\n",
+                   rows[r].label.c_str(), cfgs[c].label.c_str(),
+                   total[r][c]);
+    }
+  }
+
+  std::vector<std::string> header{"strategy"};
+  for (const auto& c : cfgs) header.push_back(c.label + " slowdown");
+  Table t(header);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::vector<std::string> cells{rows[r].label};
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
+      double best = std::numeric_limits<double>::max();
+      for (std::size_t rr = 0; rr < rows.size(); ++rr) {
+        if (rows[rr].exclude_from_baseline) continue;
+        best = std::min(best, total[rr][c]);
+      }
+      cells.push_back(Table::num(total[r][c] / best) + "  (" +
+                      Table::num(total[r][c], 0) + "s)");
+    }
+    t.add_row(std::move(cells));
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+}
+
+}  // namespace rcmp::bench

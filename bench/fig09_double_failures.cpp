@@ -1,0 +1,58 @@
+// Figure 9: Hadoop REPL-3 vs RCMP under double failures on STIC
+// (10 nodes, SLOTS 1-1, 40GB). FAIL X,Y injects one failure at global
+// job ordinal X and one at ordinal Y; FAIL 7,14 only exists for RCMP
+// because recomputation inflates the job count; FAIL 4,7 is the nested
+// case (the second failure hits while recovery from the first is still
+// running). REPL-2 is omitted, as in the paper: it cannot survive all
+// double failures.
+//
+// Slowdowns are normalized to the failure-free RCMP run on the same
+// configuration (the figure's y-axis starts at 1.0 and no plotted
+// strategy is failure-free).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace rcmp;
+  using namespace rcmp::bench;
+  print_figure_header(
+      "Figure 9",
+      "Double failures, STIC SLOTS 1-1, 40GB. S8 = RCMP split in 8; "
+      "NO = RCMP without splitting; REPL-3 = Hadoop.");
+
+  const auto scenario = workloads::stic_config(1, 1);
+  const int repeats = 3;
+
+  const double base = mean_total_time(
+      scenario, make_strategy(core::Strategy::kRcmpSplit), {}, repeats);
+  std::fprintf(stderr, "failure-free RCMP baseline: %.1f s\n", base);
+
+  struct Case {
+    std::uint32_t a, b;
+  };
+  const std::vector<Case> cases{{2, 2}, {7, 7}, {7, 14}, {2, 4}, {4, 7}};
+
+  Table t({"failures", "RCMP S8", "RCMP NO", "HADOOP REPL-3"});
+  for (const Case& c : cases) {
+    const auto plan = fail_at({c.a, c.b});
+    const double s8 = mean_total_time(
+        scenario, make_strategy(core::Strategy::kRcmpSplit), plan,
+        repeats);
+    const double no = mean_total_time(
+        scenario, make_strategy(core::Strategy::kRcmpNoSplit), plan,
+        repeats);
+    const double r3 = mean_total_time(
+        scenario, make_strategy(core::Strategy::kReplication, 3), plan,
+        repeats);
+    t.add_row({"FAIL " + std::to_string(c.a) + "," + std::to_string(c.b),
+               Table::num(s8 / base), Table::num(no / base),
+               Table::num(r3 / base)});
+    std::fprintf(stderr, "  FAIL %u,%u done\n", c.a, c.b);
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf(
+      "\nnote: Hadoop runs only 7 jobs, so for FAIL 7,14 only the first\n"
+      "failure applies to REPL-3 (the 14th job never starts).\n"
+      "paper: RCMP with splitting consistently beats REPL-3; splitting\n"
+      "helps FAIL 7,14 most; the nested FAIL 4,7 is handled correctly.\n");
+  return 0;
+}

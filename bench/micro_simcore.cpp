@@ -1,0 +1,75 @@
+// Micro-benchmarks (google-benchmark) for the simulator substrate:
+// event-queue throughput, flow reallocation cost, and an end-to-end
+// chain simulation — the knobs that bound how large a cluster the
+// reproduction can sweep.
+#include <benchmark/benchmark.h>
+
+#include "resources/flow_network.hpp"
+#include "sim/simulation.hpp"
+#include "workloads/scenario.hpp"
+
+namespace {
+
+using namespace rcmp;
+
+void BM_EventQueue(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < batch; ++i) {
+      sim.schedule_after(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(100000);
+
+// N flows sharing a star topology: every flow start/finish triggers a
+// max-min reallocation across all links.
+void BM_FlowReallocation(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    res::FlowNetwork net(sim);
+    std::vector<res::LinkId> up, down;
+    for (int n = 0; n < nodes; ++n) {
+      up.push_back(net.add_link({"u", 1e9, 0.0}));
+      down.push_back(net.add_link({"d", 1e9, 0.0}));
+    }
+    const auto fabric = net.add_link({"f", 1e9 * nodes / 2.0, 0.0});
+    int done = 0;
+    for (int s = 0; s < nodes; ++s) {
+      for (int d = 0; d < nodes; ++d) {
+        if (s == d) continue;
+        res::FlowSpec fs;
+        fs.path = {up[s], fabric, down[d]};
+        fs.bytes = 10'000'000;
+        fs.on_complete = [&done] { ++done; };
+        net.start_flow(std::move(fs));
+      }
+    }
+    sim.run();
+    benchmark::DoNotOptimize(done);
+    state.counters["reallocs"] =
+        static_cast<double>(net.reallocations());
+  }
+}
+BENCHMARK(BM_FlowReallocation)->Arg(10)->Arg(30);
+
+void BM_SticChain(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cfg = workloads::stic_config(1, 1);
+    core::StrategyConfig s;
+    s.strategy = core::Strategy::kRcmpSplit;
+    auto r = workloads::run_scenario(cfg, s, {});
+    benchmark::DoNotOptimize(r.total_time);
+  }
+}
+BENCHMARK(BM_SticChain)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

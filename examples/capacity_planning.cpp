@@ -1,0 +1,103 @@
+// Capacity planning: how much cluster time does each failure-resilience
+// strategy really cost, once you account for how rare failures are?
+//
+// The paper's §III argues replication is overrated because (a) its cost
+// is paid on EVERY run and (b) at moderate cluster sizes failures
+// arrive only every few days. This example combines:
+//   - measured chain times per strategy (failure-free and with a
+//     failure), from the simulator, and
+//   - a failure-trace model calibrated to the paper's Fig. 2 clusters,
+// to estimate the EXPECTED completion time per strategy as a function
+// of how often a failure actually hits a run.
+//
+//   $ ./capacity_planning
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "cluster/failure_trace.hpp"
+#include "common/table.hpp"
+#include "workloads/scenario.hpp"
+
+namespace {
+
+struct Measured {
+  double clean;
+  double with_failure;  // failure in the middle of the chain
+};
+
+Measured measure(rcmp::core::Strategy strategy,
+                 std::uint32_t replication) {
+  using namespace rcmp;
+  Measured m{};
+  {
+    workloads::Scenario s(workloads::stic_config(1, 1));
+    core::StrategyConfig cfg;
+    cfg.strategy = strategy;
+    cfg.replication = replication;
+    m.clean = s.run(cfg).total_time;
+  }
+  {
+    workloads::Scenario s(workloads::stic_config(1, 1));
+    core::StrategyConfig cfg;
+    cfg.strategy = strategy;
+    cfg.replication = replication;
+    cluster::FailurePlan plan;
+    plan.at_job_ordinals = {4};
+    m.with_failure = s.run(cfg, plan).total_time;
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rcmp;
+
+  // Per-node daily failure rate from the STIC-like trace model.
+  const auto model = cluster::stic_trace_model();
+  const auto trace = cluster::generate_trace(model, 2026);
+  const double node_daily =
+      cluster::implied_per_node_daily_failure_rate(model, trace);
+  std::printf("trace-calibrated per-node failure rate: %.4f /day\n",
+              node_daily);
+
+  const Measured rcmp = measure(core::Strategy::kRcmpSplit, 1);
+  const Measured repl2 = measure(core::Strategy::kReplication, 2);
+  const Measured repl3 = measure(core::Strategy::kReplication, 3);
+  const Measured opt = measure(core::Strategy::kOptimistic, 1);
+
+  // Probability that a 10-node run of duration T sees >= 1 failure:
+  // 1 - (1-p)^(10 * T_days).
+  auto p_failure = [&](double seconds) {
+    const double node_days = 10.0 * seconds / 86400.0;
+    return 1.0 - std::pow(1.0 - node_daily, node_days);
+  };
+  auto expected = [&](const Measured& m) {
+    const double p = p_failure(m.clean);
+    return (1.0 - p) * m.clean + p * m.with_failure;
+  };
+
+  Table t({"strategy", "clean (s)", "w/ failure (s)", "P(failure)",
+           "expected (s)", "vs RCMP"});
+  const double base = expected(rcmp);
+  auto row = [&](const char* name, const Measured& m) {
+    t.add_row({std::string(name), Table::num(m.clean, 0),
+               Table::num(m.with_failure, 0),
+               Table::num(p_failure(m.clean) * 100.0, 2) + "%",
+               Table::num(expected(m), 0),
+               Table::num(expected(m) / base) + "x"});
+  };
+  row("RCMP (split)", rcmp);
+  row("Hadoop REPL-2", repl2);
+  row("Hadoop REPL-3", repl3);
+  row("OPTIMISTIC", opt);
+  std::printf("\n");
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf(
+      "\nWith failures this rare, replication's every-run overhead\n"
+      "dominates its occasional payoff — the paper's §III argument.\n"
+      "OPTIMISTIC is close to RCMP in expectation but has a much worse\n"
+      "tail; RCMP gets the best of both.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// The paper's headline experiment as a runnable program: the 7-job
+// I/O-intensive chain (input/shuffle/output = 1/1/1) on a STIC-like
+// 10-node cluster, compared across failure-resilience strategies, with
+// and without a late failure.
+//
+//   $ ./chain_analytics
+//
+// This is the example to start from when evaluating RCMP for your own
+// workload shape: adjust the ScenarioConfig (nodes, per-node input,
+// slots, disk/NIC rates) and the chain length, then compare strategies.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "workloads/scenario.hpp"
+
+namespace {
+
+double run_once(rcmp::core::Strategy strategy, std::uint32_t replication,
+                std::vector<std::uint32_t> failures) {
+  using namespace rcmp;
+  workloads::Scenario scenario(workloads::stic_config(1, 1));
+  core::StrategyConfig cfg;
+  cfg.strategy = strategy;
+  cfg.replication = replication;
+  cluster::FailurePlan plan;
+  plan.at_job_ordinals = std::move(failures);
+  return scenario.run(cfg, plan).total_time;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rcmp;
+  std::printf("7-job chain, 10 nodes, 40GB per job (STIC-like), "
+              "SLOTS 1-1\n\n");
+
+  struct Row {
+    const char* name;
+    core::Strategy strategy;
+    std::uint32_t replication;
+  };
+  const Row rows[] = {
+      {"RCMP (split)", core::Strategy::kRcmpSplit, 1},
+      {"RCMP (no split)", core::Strategy::kRcmpNoSplit, 1},
+      {"Hadoop REPL-2", core::Strategy::kReplication, 2},
+      {"Hadoop REPL-3", core::Strategy::kReplication, 3},
+      {"OPTIMISTIC", core::Strategy::kOptimistic, 1},
+  };
+
+  Table t({"strategy", "no failure (s)", "fail @ job 2 (s)",
+           "fail @ job 7 (s)"});
+  double base = 0.0;
+  for (const Row& row : rows) {
+    const double clean = run_once(row.strategy, row.replication, {});
+    const double early = run_once(row.strategy, row.replication, {2});
+    const double late = run_once(row.strategy, row.replication, {7});
+    if (base == 0.0) base = clean;
+    t.add_row({row.name,
+               Table::num(clean, 0) + "  (" + Table::num(clean / base) +
+                   "x)",
+               Table::num(early, 0), Table::num(late, 0)});
+    std::printf("  %-16s done\n", row.name);
+  }
+  std::printf("\n");
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf(
+      "\nTakeaways (the paper's §V-B): replication pays its cost on\n"
+      "every run, failure or not; RCMP pays nothing when nothing fails\n"
+      "and recomputes only the lost partitions when something does.\n");
+  return 0;
+}

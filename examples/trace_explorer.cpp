@@ -1,0 +1,72 @@
+// Failure-trace explorer: generate availability traces from the Fig. 2
+// models (or your own parameters) and print their statistics and CDFs.
+// Useful for calibrating the failure model to your own cluster's
+// history before trusting the capacity-planning numbers.
+//
+//   $ ./trace_explorer [p_failure_day] [days] [nodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/failure_trace.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcmp;
+  using namespace rcmp::cluster;
+
+  std::vector<TraceModel> models{stic_trace_model(), sugar_trace_model()};
+  if (argc > 1) {
+    TraceModel custom = stic_trace_model();
+    custom.name = "CUSTOM";
+    custom.p_failure_day = std::atof(argv[1]);
+    if (custom.p_failure_day < 0.0 || custom.p_failure_day > 1.0) {
+      std::fprintf(stderr,
+                   "trace_explorer: p_failure_day must be in [0, 1], "
+                   "got %s\n",
+                   argv[1]);
+      return 2;
+    }
+    if (argc > 2) custom.days = static_cast<std::uint32_t>(std::atoi(argv[2]));
+    if (argc > 3)
+      custom.cluster_nodes = static_cast<std::uint32_t>(std::atoi(argv[3]));
+    if (custom.days == 0 || custom.cluster_nodes == 0) {
+      std::fprintf(stderr,
+                   "trace_explorer: days and nodes must be positive\n");
+      return 2;
+    }
+    models.push_back(custom);
+  }
+
+  for (const TraceModel& model : models) {
+    std::printf("=== %s: %u nodes, %u days of daily checks ===\n",
+                model.name.c_str(), model.cluster_nodes, model.days);
+    Samples fractions;
+    // Show seed sensitivity: 5 independent trace realizations.
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const FailureTrace t = generate_trace(model, seed);
+      fractions.add(t.failure_day_fraction());
+      if (seed == 1) {
+        std::printf(
+            "  seed 1: %u failures total, %.1f%% failure days, mean gap "
+            "%.1f days, per-node rate %.5f/day\n",
+            t.total_failures(), t.failure_day_fraction() * 100.0,
+            t.mean_days_between_failure_days(),
+            implied_per_node_daily_failure_rate(model, t));
+        Table tab({"new failures/day <=", "CDF (%)"});
+        const auto cdf = t.cdf_percent(model.burst_max);
+        for (std::uint32_t k :
+             {0u, 1u, 2u, 3u, 5u, 10u, 20u, model.burst_max}) {
+          tab.add_row({std::to_string(k), Table::num(cdf[k], 1)});
+        }
+        std::fputs(tab.to_string().c_str(), stdout);
+      }
+    }
+    std::printf("  failure-day fraction across 5 seeds: %.3f +- %.3f\n\n",
+                fractions.mean(), fractions.stddev());
+  }
+  std::printf(
+      "paper's point (Fig. 2): at moderate cluster sizes, most days see\n"
+      "no failures at all — resilience should be cheap when nothing\n"
+      "fails, which is exactly what recomputation offers.\n");
+  return 0;
+}

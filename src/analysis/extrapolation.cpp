@@ -1,0 +1,88 @@
+#include "analysis/extrapolation.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace rcmp::analysis {
+
+ChainProfile profile_from_runs(const std::vector<mapred::JobResult>& runs) {
+  ChainProfile p;
+  Samples before, recompute, after;
+  bool failure_seen = false;
+  for (const auto& r : runs) {
+    if (r.status == mapred::JobResult::Status::kCancelled) {
+      failure_seen = true;
+      p.failure_overhead += r.duration();
+      continue;
+    }
+    if (r.status != mapred::JobResult::Status::kCompleted) continue;
+    if (r.was_recompute) {
+      recompute.add(r.duration());
+    } else if (!failure_seen) {
+      before.add(r.duration());
+    } else {
+      after.add(r.duration());
+    }
+  }
+  if (!before.empty()) p.job_before_failure = before.mean();
+  if (!recompute.empty()) p.recompute_job = recompute.mean();
+  p.recompute_count = static_cast<std::uint32_t>(recompute.count());
+  // Full post-failure jobs; if the failure hit the last job there are
+  // none except its rerun — fall back to the rerun cost, then to the
+  // pre-failure cost.
+  if (!after.empty()) {
+    p.job_after_failure = after.mean();
+  } else {
+    p.job_after_failure = p.job_before_failure;
+  }
+  return p;
+}
+
+double optimistic_total_time(const ChainProfile& p,
+                             std::uint32_t chain_length,
+                             std::uint32_t fail_at_job) {
+  RCMP_CHECK(fail_at_job >= 1 && fail_at_job <= chain_length);
+  // Work completed before the failure, all discarded:
+  const double wasted =
+      p.job_before_failure * (fail_at_job - 1) + p.failure_overhead;
+  // Full rerun on the surviving nodes:
+  const double rerun = p.job_after_failure * chain_length;
+  return wasted + rerun;
+}
+
+double rcmp_total_time(const ChainProfile& p, std::uint32_t chain_length,
+                       std::uint32_t fail_at_job) {
+  RCMP_CHECK(fail_at_job >= 1 && fail_at_job <= chain_length);
+  const double before = p.job_before_failure * (fail_at_job - 1);
+  const double cascade = p.recompute_job * (fail_at_job - 1);
+  const double rest =
+      p.job_after_failure * (chain_length - fail_at_job + 1);
+  return before + p.failure_overhead + cascade + rest;
+}
+
+double replication_total_time(double job_cost_full,
+                              double job_cost_reduced,
+                              double failure_overhead,
+                              std::uint32_t chain_length,
+                              std::uint32_t fail_at_job) {
+  RCMP_CHECK(fail_at_job >= 1 && fail_at_job <= chain_length);
+  return job_cost_full * (fail_at_job - 1) + failure_overhead +
+         job_cost_reduced * (chain_length - fail_at_job + 1);
+}
+
+double recompute_speedup(const std::vector<mapred::JobResult>& runs) {
+  Samples initial, recompute;
+  for (const auto& r : runs) {
+    if (r.status != mapred::JobResult::Status::kCompleted) continue;
+    if (r.was_recompute) {
+      recompute.add(r.duration());
+    } else {
+      initial.add(r.duration());
+    }
+  }
+  RCMP_CHECK_MSG(!initial.empty() && !recompute.empty(),
+                 "need both initial and recompute runs for a speed-up");
+  return initial.mean() / recompute.mean();
+}
+
+}  // namespace rcmp::analysis

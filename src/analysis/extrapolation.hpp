@@ -1,0 +1,78 @@
+// Numerical analysis used by the paper's evaluation:
+//
+//  - OPTIMISTIC's running time (§V-A): the paper does not execute
+//    OPTIMISTIC; it combines "the average job running time before and
+//    after the failures for RCMP without splitting". We implement the
+//    same model (and, unlike the paper, can cross-check it against a
+//    direct simulation of OPTIMISTIC).
+//
+//  - Longer chains (Fig. 10): extrapolate a strategy's slowdown for
+//    chains of 10..100 jobs from the measured averages of the 7-job
+//    experiments: jobs at full cluster size before the failure, the
+//    recomputation sequence, and jobs at reduced cluster size after.
+//
+//  - Per-job speed-up helpers for Figs. 11, 13, 14.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/middleware.hpp"
+
+namespace rcmp::analysis {
+
+/// Per-phase averages extracted from a measured chain run.
+struct ChainProfile {
+  /// Average duration of initial jobs run before any failure (full
+  /// cluster).
+  double job_before_failure = 0.0;
+  /// Average duration of recomputation runs (reduced cluster).
+  double recompute_job = 0.0;
+  /// Average duration of full jobs run after the failure (reduced
+  /// cluster).
+  double job_after_failure = 0.0;
+  /// Time lost in the interrupted job (progress discarded + detection).
+  double failure_overhead = 0.0;
+  std::uint32_t recompute_count = 0;
+};
+
+/// Extract a profile from a simulated run with exactly one failure.
+/// `failed_ordinal` is the global ordinal of the interrupted job.
+ChainProfile profile_from_runs(
+    const std::vector<mapred::JobResult>& runs);
+
+/// OPTIMISTIC model (paper §V-A): all work up to the failure is lost;
+/// the whole chain reruns on the surviving nodes.
+/// `fail_at_job`: 1-based logical index of the interrupted job.
+double optimistic_total_time(const ChainProfile& p,
+                             std::uint32_t chain_length,
+                             std::uint32_t fail_at_job);
+
+/// RCMP model for a chain of `chain_length` jobs with one failure at
+/// 1-based logical job `fail_at_job`: jobs before run at full size, the
+/// recomputation cascade regenerates `fail_at_job - 1` jobs, the
+/// interrupted job and its successors run at reduced size.
+double rcmp_total_time(const ChainProfile& p, std::uint32_t chain_length,
+                       std::uint32_t fail_at_job);
+
+/// Replication model: no recomputation; the interrupted job restarts its
+/// failed tasks, modeled as jobs before the failure at the replicated
+/// per-job cost and jobs after at the reduced-cluster cost.
+double replication_total_time(double job_cost_full,
+                              double job_cost_reduced,
+                              double failure_overhead,
+                              std::uint32_t chain_length,
+                              std::uint32_t fail_at_job);
+
+/// Failure-free chain time under a constant per-job cost.
+inline double chain_time(double job_cost, std::uint32_t chain_length) {
+  return job_cost * chain_length;
+}
+
+/// Average recomputation speed-up of a run versus the initial runs:
+/// mean(initial job duration) / mean(recompute job duration). Used by
+/// Figs. 11, 13, 14.
+double recompute_speedup(const std::vector<mapred::JobResult>& runs);
+
+}  // namespace rcmp::analysis

@@ -1,0 +1,132 @@
+#include "cluster/cluster.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace rcmp::cluster {
+
+Cluster::Cluster(sim::Simulation& sim, res::FlowNetwork& net,
+                 ClusterSpec spec)
+    : sim_(sim), net_(net), spec_(spec) {
+  RCMP_CHECK_MSG(spec_.nodes >= 1, "cluster needs at least one node");
+  RCMP_CHECK_MSG(spec_.racks >= 1, "cluster needs at least one rack");
+  RCMP_CHECK(spec_.map_slots >= 1 && spec_.reduce_slots >= 1);
+
+  disk_.reserve(spec_.nodes);
+  up_.reserve(spec_.nodes);
+  down_.reserve(spec_.nodes);
+  for (std::uint32_t n = 0; n < spec_.nodes; ++n) {
+    const std::string tag = "n" + std::to_string(n);
+    disk_.push_back(net_.add_link({"disk/" + tag, spec_.disk_bw,
+                                   spec_.disk_alpha,
+                                   spec_.disk_contention_threshold}));
+    up_.push_back(net_.add_link({"up/" + tag, spec_.nic_bw, 0.0}));
+    down_.push_back(net_.add_link({"down/" + tag, spec_.nic_bw, 0.0}));
+  }
+  fabric_ = net_.add_link(
+      {"fabric",
+       spec_.nic_bw * spec_.nodes / spec_.fabric_oversubscription, 0.0});
+  if (spec_.racks > 1) {
+    const double per_rack_nodes =
+        static_cast<double>(spec_.nodes) / spec_.racks;
+    const Rate rack_bw =
+        spec_.nic_bw * per_rack_nodes / spec_.rack_oversubscription;
+    for (std::uint32_t r = 0; r < spec_.racks; ++r) {
+      const std::string tag = "r" + std::to_string(r);
+      rack_up_.push_back(net_.add_link({"rack_up/" + tag, rack_bw, 0.0}));
+      rack_down_.push_back(
+          net_.add_link({"rack_down/" + tag, rack_bw, 0.0}));
+    }
+  }
+
+  RCMP_CHECK_MSG(spec_.storage_nodes < spec_.nodes,
+                 "need at least one compute node");
+
+  alive_.assign(spec_.nodes, true);
+  cpu_factor_.assign(spec_.nodes, 1.0);
+  alive_count_ = spec_.nodes;
+}
+
+std::vector<NodeId> Cluster::alive_storage_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < spec_.nodes; ++n) {
+    if (alive_[n] && is_storage_node(n)) out.push_back(n);
+  }
+  return out;
+}
+
+std::uint32_t Cluster::alive_compute_count() const {
+  std::uint32_t count = 0;
+  for (NodeId n = 0; n < spec_.nodes; ++n) {
+    count += alive_[n] && is_compute_node(n);
+  }
+  return count;
+}
+
+void Cluster::set_cpu_factor(NodeId n, double factor) {
+  RCMP_CHECK(n < spec_.nodes);
+  RCMP_CHECK(factor > 0.0);
+  cpu_factor_[n] = factor;
+}
+
+void Cluster::degrade_disk(NodeId n, double factor) {
+  RCMP_CHECK(n < spec_.nodes);
+  RCMP_CHECK(factor >= 1.0);
+  net_.set_link_capacity(disk_[n], spec_.disk_bw / factor);
+}
+
+std::vector<NodeId> Cluster::alive_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(alive_count_);
+  for (NodeId n = 0; n < spec_.nodes; ++n)
+    if (alive_[n]) out.push_back(n);
+  return out;
+}
+
+void Cluster::kill(NodeId n) {
+  RCMP_CHECK(n < spec_.nodes);
+  RCMP_CHECK_MSG(alive_[n], "node killed twice: " << n);
+  alive_[n] = false;
+  --alive_count_;
+  RCMP_INFO() << "t=" << sim_.now() << " cluster: node " << n
+              << " failed (" << alive_count_ << " alive)";
+  for (auto& h : kill_handlers_) h(n);
+}
+
+Cluster::Path Cluster::path_disk_read(NodeId n) const {
+  return Path{{disk_[n]}, {1.0}};
+}
+
+Cluster::Path Cluster::path_disk_write(NodeId n) const {
+  return Path{{disk_[n]}, {spec_.disk_write_penalty}};
+}
+
+Cluster::Path Cluster::path_transfer(NodeId src, NodeId dst,
+                                     bool read_src_disk,
+                                     bool write_dst_disk) const {
+  Path path;
+  auto add = [&path](res::LinkId l, double w) {
+    path.links.push_back(l);
+    path.weights.push_back(w);
+  };
+  if (read_src_disk) add(disk_[src], 1.0);
+  if (src != dst) {
+    add(up_[src], 1.0);
+    if (!rack_up_.empty() && rack_of(src) != rack_of(dst)) {
+      // Cross-rack: through the (possibly oversubscribed) rack uplinks
+      // and the fabric. Intra-rack traffic stays on the ToR switch.
+      add(rack_up_[rack_of(src)], 1.0);
+      add(fabric_, 1.0);
+      add(rack_down_[rack_of(dst)], 1.0);
+    } else if (rack_up_.empty()) {
+      add(fabric_, 1.0);
+    }
+    add(down_[dst], 1.0);
+  }
+  if (write_dst_disk) add(disk_[dst], spec_.disk_write_penalty);
+  return path;  // possibly empty: memory-to-memory on one node
+}
+
+}  // namespace rcmp::cluster

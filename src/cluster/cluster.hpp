@@ -1,0 +1,150 @@
+// Cluster topology: nodes with disks, NICs, slots; an oversubscribable
+// fabric; and node-kill semantics.
+//
+// The reproduction targets the paper's collocated setting: every node is
+// both a compute node (map/reduce slots) and a storage node (its disk
+// holds DFS blocks and persisted map outputs). Killing a node therefore
+// destroys computation and storage at once — the property that makes
+// recomputation cascades necessary (paper §II).
+//
+// Links are registered in a shared FlowNetwork; path_* helpers build the
+// link paths used by the engine for each kind of transfer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "resources/flow_network.hpp"
+#include "sim/simulation.hpp"
+
+namespace rcmp::cluster {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+struct ClusterSpec {
+  std::uint32_t nodes = 10;
+  std::uint32_t racks = 1;
+
+  Rate disk_bw = 100e6;  // bytes/s per node (one commodity HDD)
+  /// Seek-contention degradation coefficient for disks (see
+  /// FlowNetwork); calibrated in workloads/presets.
+  double disk_alpha = 0.55;
+  /// Concurrent streams a disk absorbs before seek degradation starts.
+  double disk_contention_threshold = 4.0;
+  /// Disk work per byte written relative to a byte read (HDFS writes
+  /// are costlier: journaling, filesystem overhead — paper ref [22]).
+  double disk_write_penalty = 1.4;
+  Rate nic_bw = 10e9 / 8.0;  // 10GbE full duplex
+  /// fabric capacity = nodes * nic_bw / oversubscription.
+  double fabric_oversubscription = 1.0;
+  /// With racks > 1, each rack gets an uplink/downlink to the fabric of
+  /// capacity (nodes/racks) * nic_bw / rack_oversubscription. Intra-rack
+  /// traffic stays on the (non-blocking) ToR switch. 1.0 = full
+  /// bisection; typical datacenters are 2-10x oversubscribed (paper
+  /// SIII cites Benson et al.).
+  double rack_oversubscription = 1.0;
+
+  std::uint32_t map_slots = 1;
+  std::uint32_t reduce_slots = 1;
+
+  /// Non-collocated deployments (paper SII: "Our contributions directly
+  /// apply also to the non-collocated case where storage and
+  /// computation are separated"): the first `storage_nodes` nodes hold
+  /// DFS data and run no tasks; the rest compute and keep only local
+  /// scratch (map outputs). 0 = collocated (every node does both).
+  std::uint32_t storage_nodes = 0;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulation& sim, res::FlowNetwork& net, ClusterSpec spec);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterSpec& spec() const { return spec_; }
+  std::uint32_t size() const { return spec_.nodes; }
+  std::uint32_t alive_count() const { return alive_count_; }
+  bool alive(NodeId n) const { return alive_[n]; }
+  std::uint32_t rack_of(NodeId n) const { return n % spec_.racks; }
+
+  /// All currently alive node ids, ascending.
+  std::vector<NodeId> alive_nodes() const;
+
+  bool collocated() const { return spec_.storage_nodes == 0; }
+  /// May this node hold DFS block replicas?
+  bool is_storage_node(NodeId n) const {
+    return collocated() || n < spec_.storage_nodes;
+  }
+  /// May this node run tasks?
+  bool is_compute_node(NodeId n) const {
+    return collocated() || n >= spec_.storage_nodes;
+  }
+  /// Alive nodes allowed to hold DFS data.
+  std::vector<NodeId> alive_storage_nodes() const;
+  std::uint32_t alive_compute_count() const;
+
+  /// Straggler injection: slow a node's computation by `factor` (its
+  /// tasks' CPU time is multiplied by it). 1.0 = healthy.
+  void set_cpu_factor(NodeId n, double factor);
+  double cpu_factor(NodeId n) const { return cpu_factor_[n]; }
+
+  /// Straggler injection: degrade a node's disk to 1/factor of its
+  /// nominal bandwidth (a failing drive).
+  void degrade_disk(NodeId n, double factor);
+
+  /// Kill a node: storage and compute are lost simultaneously (the paper
+  /// kills TaskTracker + DataNode together). Subscribers registered via
+  /// on_kill() are notified immediately, in registration order — storage
+  /// layers subscribe before the engine so loss reports are ready when
+  /// the engine reacts.
+  void kill(NodeId n);
+
+  using KillHandler = std::function<void(NodeId)>;
+  void on_kill(KillHandler h) { kill_handlers_.push_back(std::move(h)); }
+
+  res::LinkId disk(NodeId n) const { return disk_[n]; }
+  res::LinkId nic_up(NodeId n) const { return up_[n]; }
+  res::LinkId nic_down(NodeId n) const { return down_[n]; }
+  res::LinkId fabric() const { return fabric_; }
+  bool has_rack_links() const { return !rack_up_.empty(); }
+
+  /// A link path with aligned work weights (disk writes are penalized
+  /// by ClusterSpec::disk_write_penalty).
+  struct Path {
+    std::vector<res::LinkId> links;
+    std::vector<double> weights;
+  };
+
+  /// Path for a task on `n` reading from its local disk.
+  Path path_disk_read(NodeId n) const;
+  /// Path for a task on `n` writing to its local disk.
+  Path path_disk_write(NodeId n) const;
+
+  /// Path for moving bytes from src to dst. read_src_disk: bytes
+  /// originate on src's disk (vs. src memory); write_dst_disk: bytes are
+  /// persisted on dst's disk (vs. streamed into a task). A src==dst
+  /// transfer touching the disk on both ends crosses the disk link
+  /// twice, charging read + write against the same spindle.
+  Path path_transfer(NodeId src, NodeId dst, bool read_src_disk,
+                     bool write_dst_disk) const;
+
+  sim::Simulation& sim() { return sim_; }
+  res::FlowNetwork& net() { return net_; }
+
+ private:
+  sim::Simulation& sim_;
+  res::FlowNetwork& net_;
+  ClusterSpec spec_;
+  std::vector<res::LinkId> disk_, up_, down_;
+  std::vector<res::LinkId> rack_up_, rack_down_;  // per rack (if > 1)
+  res::LinkId fabric_ = 0;
+  std::vector<bool> alive_;
+  std::vector<double> cpu_factor_;
+  std::uint32_t alive_count_ = 0;
+  std::vector<KillHandler> kill_handlers_;
+};
+
+}  // namespace rcmp::cluster

@@ -1,0 +1,39 @@
+#include "cluster/failure_injector.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace rcmp::cluster {
+
+FailureInjector::FailureInjector(Cluster& cluster, FailurePlan plan,
+                                 std::uint64_t seed)
+    : cluster_(cluster), plan_(std::move(plan)), rng_(seed) {}
+
+void FailureInjector::notify_job_start(std::uint32_t ordinal) {
+  const auto hits = static_cast<std::uint32_t>(
+      std::count(plan_.at_job_ordinals.begin(), plan_.at_job_ordinals.end(),
+                 ordinal));
+  SimTime at = plan_.delay_after_job_start;
+  for (std::uint32_t i = 0; i < hits; ++i) {
+    schedule_kill(at);
+    at += plan_.delay_between_same_job;
+  }
+}
+
+void FailureInjector::schedule_kill(SimTime delay) {
+  cluster_.sim().schedule_after(delay, [this] {
+    auto victims = cluster_.alive_nodes();
+    RCMP_CHECK_MSG(!victims.empty(), "no node left to kill");
+    const NodeId victim =
+        victims[rng_.below(static_cast<std::uint64_t>(victims.size()))];
+    killed_.push_back(victim);
+    ++injected_;
+    RCMP_INFO() << "t=" << cluster_.sim().now()
+                << " injector: killing node " << victim;
+    cluster_.kill(victim);
+  });
+}
+
+}  // namespace rcmp::cluster

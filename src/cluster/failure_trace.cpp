@@ -1,0 +1,111 @@
+#include "cluster/failure_trace.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rcmp::cluster {
+
+TraceModel stic_trace_model() {
+  TraceModel m;
+  m.name = "STIC";
+  m.cluster_nodes = 218;
+  m.days = 1096;  // Sept 2009 - Sept 2012
+  m.p_failure_day = 0.17;
+  m.geo_p = 0.65;
+  m.p_burst = 0.04;
+  m.burst_max = 40;
+  return m;
+}
+
+TraceModel sugar_trace_model() {
+  TraceModel m;
+  m.name = "SUG@R";
+  m.cluster_nodes = 121;
+  m.days = 1339;  // Jan 2009 - Sept 2012
+  m.p_failure_day = 0.12;
+  m.geo_p = 0.70;
+  m.p_burst = 0.03;
+  m.burst_max = 30;
+  return m;
+}
+
+FailureTrace generate_trace(const TraceModel& model, std::uint64_t seed) {
+  RCMP_CHECK(model.days > 0);
+  RCMP_CHECK(model.p_failure_day >= 0.0 && model.p_failure_day <= 1.0);
+  RCMP_CHECK(model.geo_p > 0.0 && model.geo_p <= 1.0);
+
+  Rng rng(seed);
+  FailureTrace trace;
+  trace.name = model.name;
+  trace.failures_per_day.reserve(model.days);
+
+  for (std::uint32_t d = 0; d < model.days; ++d) {
+    std::uint32_t count = 0;
+    if (rng.chance(model.p_failure_day)) {
+      if (rng.chance(model.p_burst)) {
+        // Outage day (scheduler / filesystem incident): many nodes at
+        // once — the long tail of Fig. 2.
+        count = static_cast<std::uint32_t>(
+            rng.range(3, static_cast<std::int64_t>(model.burst_max)));
+      } else {
+        // Ordinary hardware-failure day: 1 + Geometric(geo_p).
+        count = 1;
+        while (!rng.chance(model.geo_p) && count < model.burst_max) ++count;
+      }
+    }
+    trace.failures_per_day.push_back(count);
+  }
+  return trace;
+}
+
+std::uint32_t FailureTrace::total_failures() const {
+  std::uint32_t total = 0;
+  for (auto c : failures_per_day) total += c;
+  return total;
+}
+
+double FailureTrace::failure_day_fraction() const {
+  if (failures_per_day.empty()) return 0.0;
+  const auto days_with = std::count_if(
+      failures_per_day.begin(), failures_per_day.end(),
+      [](std::uint32_t c) { return c > 0; });
+  return static_cast<double>(days_with) /
+         static_cast<double>(failures_per_day.size());
+}
+
+double FailureTrace::mean_days_between_failure_days() const {
+  std::vector<std::size_t> failure_days;
+  for (std::size_t d = 0; d < failures_per_day.size(); ++d)
+    if (failures_per_day[d] > 0) failure_days.push_back(d);
+  if (failure_days.size() < 2)
+    return static_cast<double>(failures_per_day.size());
+  double gaps = 0.0;
+  for (std::size_t i = 1; i < failure_days.size(); ++i)
+    gaps += static_cast<double>(failure_days[i] - failure_days[i - 1]);
+  return gaps / static_cast<double>(failure_days.size() - 1);
+}
+
+std::vector<double> FailureTrace::cdf_percent(std::uint32_t max_count) const {
+  Samples s;
+  for (auto c : failures_per_day) s.add(static_cast<double>(c));
+  std::vector<double> thresholds;
+  thresholds.reserve(max_count + 1);
+  for (std::uint32_t i = 0; i <= max_count; ++i)
+    thresholds.push_back(static_cast<double>(i));
+  std::vector<double> cdf = s.cdf_at(thresholds);
+  for (double& v : cdf) v *= 100.0;
+  return cdf;
+}
+
+double implied_per_node_daily_failure_rate(const TraceModel& model,
+                                           const FailureTrace& trace) {
+  RCMP_CHECK(model.cluster_nodes > 0);
+  RCMP_CHECK(!trace.failures_per_day.empty());
+  const double failures = static_cast<double>(trace.total_failures());
+  const double node_days = static_cast<double>(model.cluster_nodes) *
+                           static_cast<double>(trace.failures_per_day.size());
+  return failures / node_days;
+}
+
+}  // namespace rcmp::cluster

@@ -1,0 +1,68 @@
+// Error handling primitives.
+//
+// The simulator is deterministic and single-threaded per Simulation, so
+// invariant violations are programming errors: we fail fast with an
+// exception carrying file/line context. RCMP_CHECK is used liberally in
+// internal state machines; it is kept in release builds because the cost
+// is negligible next to the flow-allocation work.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rcmp {
+
+/// Base class for all errors thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violated internal invariant (a bug in the library or its caller).
+class InvariantError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Invalid user-supplied configuration.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised by the engine when a job cannot continue because all replicas
+/// of some required data were lost. Carries no payload: the loss report
+/// lives in the DFS / persist store and is consumed by the middleware.
+class DataLossError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "RCMP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace rcmp
+
+#define RCMP_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::rcmp::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define RCMP_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream os_;                                         \
+      os_ << msg;                                                     \
+      ::rcmp::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                   os_.str());                        \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,91 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rcmp {
+
+void Samples::add(double v) {
+  values_.push_back(v);
+  sum_ += v;
+  sorted_valid_ = false;
+}
+
+void Samples::add_all(const std::vector<double>& vs) {
+  for (double v : vs) add(v);
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Samples::mean() const {
+  RCMP_CHECK(!values_.empty());
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double Samples::min() const {
+  ensure_sorted();
+  RCMP_CHECK(!sorted_.empty());
+  return sorted_.front();
+}
+
+double Samples::max() const {
+  ensure_sorted();
+  RCMP_CHECK(!sorted_.empty());
+  return sorted_.back();
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::percentile(double p) const {
+  ensure_sorted();
+  RCMP_CHECK(!sorted_.empty());
+  RCMP_CHECK(p >= 0.0 && p <= 100.0);
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+std::vector<std::pair<double, double>> Samples::cdf() const {
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  out.reserve(sorted_.size());
+  const double n = static_cast<double>(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    out.emplace_back(sorted_[i], static_cast<double>(i + 1) / n);
+  }
+  return out;
+}
+
+std::vector<double> Samples::cdf_at(
+    const std::vector<double>& thresholds) const {
+  ensure_sorted();
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  const double n = static_cast<double>(sorted_.size());
+  for (double t : thresholds) {
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), t);
+    out.push_back(n == 0.0
+                      ? 0.0
+                      : static_cast<double>(it - sorted_.begin()) / n);
+  }
+  return out;
+}
+
+}  // namespace rcmp

@@ -1,0 +1,49 @@
+// Statistics helpers: summary stats, percentiles and CDFs.
+//
+// Used by the benches to report the paper's figures: Fig. 2 and Fig. 12
+// are CDFs; Figs. 8-14 report means/ratios over repeated runs.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rcmp {
+
+/// Accumulates samples; summary queries sort lazily.
+class Samples {
+ public:
+  void add(double v);
+  void add_all(const std::vector<double>& vs);
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& values() const { return values_; }
+
+  /// Empirical CDF as (value, cumulative fraction in [0,1]) steps,
+  /// one point per sample, sorted ascending.
+  std::vector<std::pair<double, double>> cdf() const;
+
+  /// CDF evaluated at caller-supplied thresholds: fraction of samples
+  /// <= t for each t. Handy for printing fixed-grid CDF tables.
+  std::vector<double> cdf_at(const std::vector<double>& thresholds) const;
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+};
+
+}  // namespace rcmp

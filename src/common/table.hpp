@@ -1,0 +1,32 @@
+// Plain-text table formatting for the bench harness.
+//
+// Each bench binary regenerates one of the paper's figures as a table of
+// the same rows/series the figure plots; Table keeps that output aligned
+// and diff-friendly so EXPERIMENTS.md can quote it directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rcmp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Add a row; it may have fewer cells than the header (padded empty).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rcmp

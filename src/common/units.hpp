@@ -1,0 +1,50 @@
+// Byte-size and time units used throughout the RCMP reproduction.
+//
+// Simulated time is a double in seconds. Data volumes are 64-bit byte
+// counts. Rates are bytes/second doubles. The literals below keep the
+// calibration code in workloads/presets readable.
+#pragma once
+
+#include <cstdint>
+
+namespace rcmp {
+
+using Bytes = std::uint64_t;
+using SimTime = double;  // seconds of simulated time
+using Rate = double;     // bytes per second
+
+inline constexpr Bytes kKiB = 1024ULL;
+inline constexpr Bytes kMiB = 1024ULL * kKiB;
+inline constexpr Bytes kGiB = 1024ULL * kMiB;
+inline constexpr Bytes kTiB = 1024ULL * kGiB;
+
+namespace literals {
+
+constexpr Bytes operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v * kGiB; }
+constexpr Bytes operator""_TiB(unsigned long long v) { return v * kTiB; }
+
+// Rates, e.g. 100_MBps for a commodity S-ATA HDD.
+constexpr Rate operator""_MBps(unsigned long long v) {
+  return static_cast<Rate>(v) * 1e6;
+}
+constexpr Rate operator""_GBps(unsigned long long v) {
+  return static_cast<Rate>(v) * 1e9;
+}
+// Network link speeds are quoted in bits/s (e.g. 10_Gbps for 10GbE).
+constexpr Rate operator""_Gbps(unsigned long long v) {
+  return static_cast<Rate>(v) * 1e9 / 8.0;
+}
+constexpr Rate operator""_Mbps(unsigned long long v) {
+  return static_cast<Rate>(v) * 1e6 / 8.0;
+}
+
+}  // namespace literals
+
+/// Ceiling division for wave computations: waves = ceil_div(tasks, slots).
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+}  // namespace rcmp

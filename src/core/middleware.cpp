@@ -1,0 +1,463 @@
+#include "core/middleware.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace rcmp::core {
+
+std::string strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kRcmpSplit:
+      return "RCMP-SPLIT";
+    case Strategy::kRcmpNoSplit:
+      return "RCMP-NO-SPLIT";
+    case Strategy::kRcmpScatter:
+      return "RCMP-SCATTER";
+    case Strategy::kReplication:
+      return "REPL";
+    case Strategy::kOptimistic:
+      return "OPTIMISTIC";
+  }
+  return "?";
+}
+
+Middleware::Middleware(mapred::Env env, ChainSpec chain,
+                       dfs::FileId source_input, StrategyConfig strategy,
+                       mapred::EngineConfig engine_cfg, std::uint64_t seed)
+    : env_(env),
+      chain_(std::move(chain)),
+      source_input_(source_input),
+      strategy_(strategy),
+      engine_cfg_(engine_cfg),
+      rng_(seed) {
+  RCMP_CHECK_MSG(!chain_.jobs.empty(), "empty chain");
+  if (strategy_.strategy == Strategy::kReplication) {
+    RCMP_CHECK_MSG(strategy_.replication >= 2,
+                   "kReplication needs replication >= 2 to survive "
+                   "anything; use kOptimistic for factor 1");
+  }
+
+  // Validate the DAG: dependencies must point at earlier jobs (the job
+  // list is required to be in topological order).
+  for (std::uint32_t l = 0; l < chain_.jobs.size(); ++l) {
+    for (std::uint32_t d : chain_.jobs[l].deps) {
+      if (d != kSourceInput && d >= l) {
+        throw ConfigError("job " + chain_.jobs[l].name +
+                          " depends on job " + std::to_string(d) +
+                          " which is not upstream of it");
+      }
+    }
+  }
+
+  const std::uint32_t default_reducers =
+      env_.cluster.alive_compute_count() *
+      env_.cluster.spec().reduce_slots;
+  files_.reserve(chain_.jobs.size());
+  for (std::uint32_t l = 0; l < chain_.jobs.size(); ++l) {
+    JobTemplate& t = chain_.jobs[l];
+    if (t.num_reducers == 0) t.num_reducers = default_reducers;
+    files_.push_back(env_.dfs.create_file(
+        "out/" + t.name, t.num_reducers, file_replication(l)));
+  }
+  completed_once_.assign(chain_.jobs.size(), false);
+  attempt_count_.assign(chain_.jobs.size(), 0);
+
+  env_.cluster.on_kill([this](cluster::NodeId n) { on_kill(n); });
+}
+
+std::uint32_t Middleware::file_replication(std::uint32_t logical) const {
+  if (strategy_.strategy == Strategy::kReplication)
+    return strategy_.replication;
+  // Hybrid (§IV-C): "replicating the output of a job if its ID modulo a
+  // statically chosen value equals 0" — job IDs are 1-based.
+  if (strategy_.is_rcmp() && strategy_.hybrid_every > 0 &&
+      (logical + 1) % strategy_.hybrid_every == 0) {
+    return strategy_.hybrid_replication;
+  }
+  return 1;
+}
+
+std::uint32_t Middleware::split_factor_now() const {
+  if (strategy_.strategy != Strategy::kRcmpSplit) return 1;
+  if (strategy_.split_factor > 0) return strategy_.split_factor;
+  // Surviving compute nodes - 1 (the paper's 8 on STIC, 59 on DCO).
+  return std::max(1u, env_.cluster.alive_compute_count() - 1);
+}
+
+void Middleware::run(std::function<void(const ChainResult&)> on_complete) {
+  on_complete_ = std::move(on_complete);
+  std::vector<PlannerJobState> states(chain_.jobs.size());
+  for (const PlannedSubmission& s : plan_chain(states)) queue_.push_back(s);
+  submit_next();
+}
+
+std::vector<std::uint32_t> Middleware::deps_of(std::uint32_t logical) const {
+  const auto& explicit_deps = chain_.jobs[logical].deps;
+  if (!explicit_deps.empty()) return explicit_deps;
+  if (logical == 0) return {kSourceInput};
+  return {logical - 1};
+}
+
+std::vector<dfs::FileId> Middleware::input_files(
+    std::uint32_t logical) const {
+  std::vector<dfs::FileId> inputs;
+  for (std::uint32_t d : deps_of(logical)) {
+    inputs.push_back(d == kSourceInput ? source_input_ : files_[d]);
+  }
+  return inputs;
+}
+
+bool Middleware::input_available(std::uint32_t logical) const {
+  for (dfs::FileId input : input_files(logical)) {
+    if (!env_.dfs.file_exists(input)) return false;
+    if (!env_.dfs.file_available(input)) return false;
+  }
+  return true;
+}
+
+void Middleware::submit_next() {
+  if (chain_done_) return;
+  if (queue_.empty()) {
+    finish_chain();
+    return;
+  }
+  const PlannedSubmission sub = queue_.front();
+
+  if (!input_available(sub.logical_id)) {
+    // A failure damaged this job's input after the plan was made (the
+    // window between a kill and its detection). Hold until the pending
+    // detection replans.
+    // A pending failure detection is guaranteed to exist (only a kill
+    // can make an input unavailable) and will replan and resubmit.
+    RCMP_INFO() << "t=" << env_.sim.now() << " middleware: holding job "
+                << sub.logical_id << " — input not available";
+    return;
+  }
+  queue_.pop_front();
+
+  const JobTemplate& tpl = chain_.jobs[sub.logical_id];
+  ++attempt_count_[sub.logical_id];
+
+  // Dynamic hybrid (§IV-C future work): decide, per job, whether its
+  // output becomes a replication point — checkpoint-interval spacing.
+  if (strategy_.is_rcmp() && strategy_.hybrid_dynamic && !sub.recompute &&
+      env_.dfs.replication(files_[sub.logical_id]) == 1 &&
+      should_replicate_now()) {
+    env_.dfs.set_replication(files_[sub.logical_id],
+                             strategy_.hybrid_replication);
+    ++result_.replication_points;
+    RCMP_INFO() << "t=" << env_.sim.now()
+                << " middleware: dynamic hybrid replicates output of job "
+                << sub.logical_id;
+  }
+
+  mapred::JobSpec spec;
+  spec.name = tpl.name;
+  spec.logical_id = sub.logical_id;
+  spec.inputs = input_files(sub.logical_id);
+  spec.output = files_[sub.logical_id];
+  spec.num_reducers = tpl.num_reducers;
+  spec.map_output_ratio = tpl.map_output_ratio;
+  spec.reduce_output_ratio = tpl.reduce_output_ratio;
+  spec.mapper = tpl.mapper;
+  spec.reducer = tpl.reducer;
+  spec.output_placement =
+      (strategy_.strategy == Strategy::kRcmpScatter && sub.recompute)
+          ? dfs::PlacementPolicy::kScatter
+          : dfs::PlacementPolicy::kLocalFirst;
+
+  mapred::RecomputeDirective dir;
+  if (sub.recompute) {
+    dir.active = true;
+    dir.damaged_partitions = sub.damaged_partitions;
+    dir.split_factor = split_factor_now();
+    dir.split_salt = hash_combine(mix64(sub.logical_id),
+                                  attempt_count_[sub.logical_id]);
+    dir.reuse_map_outputs = strategy_.reuse_map_outputs;
+    dir.enforce_fig5_rule = strategy_.enforce_fig5_rule;
+  }
+
+  const std::uint32_t ordinal = next_ordinal_++;
+  auto run = std::make_unique<mapred::JobRun>(
+      env_, std::move(spec), std::move(dir), engine_cfg_, ordinal,
+      rng_.fork_seed(),
+      [this](mapred::JobRun& r) { on_run_done(r); });
+  current_ = run.get();
+  runs_.push_back(std::move(run));
+
+  for (auto& cb : start_observers_) cb(ordinal);
+  current_->start();
+}
+
+void Middleware::on_run_done(mapred::JobRun& run) {
+  RCMP_CHECK(&run == current_);
+  current_ = nullptr;
+  const auto& res = run.result();
+
+  if (res.status == mapred::JobResult::Status::kCompleted) {
+    completed_once_[res.logical_id] = true;
+    if (!res.was_recompute) {
+      job_time_sum_ += res.duration();
+      ++job_time_count_;
+    }
+    const std::uint32_t repl =
+        env_.dfs.file_exists(files_[res.logical_id])
+            ? env_.dfs.replication(files_[res.logical_id])
+            : 1;
+    if (repl > 1) {
+      time_since_repl_point_ = 0.0;
+    } else {
+      time_since_repl_point_ += res.duration();
+    }
+    sample_storage();
+    enforce_storage_budget();
+    if (strategy_.is_rcmp() && strategy_.reclaim_after_replication &&
+        repl > 1) {
+      reclaim_storage(res.logical_id);
+    }
+    submit_next();
+    return;
+  }
+
+  RCMP_CHECK(res.status == mapred::JobResult::Status::kAbortedDataLoss);
+  replan();
+}
+
+void Middleware::on_kill(cluster::NodeId n) {
+  ++result_.failures_observed;
+  // Physical effects are immediate: metadata reflects the lost replicas
+  // and persisted outputs, and in-flight transfers touching the node
+  // stop. The Master only *acts* after the detection timeout.
+  const auto reports = env_.dfs.on_node_failure(n);
+  for (const auto& r : reports) {
+    RCMP_INFO() << "middleware: file " << r.file_name << " lost "
+                << r.lost_partitions.size() << " partition(s)";
+  }
+  env_.map_outputs.on_node_failure(n);
+  if (current_ != nullptr && current_->running()) {
+    current_->on_node_killed(n);
+  }
+  env_.sim.schedule_after(engine_cfg_.detect_timeout,
+                          [this, n] { handle_detection(n); });
+}
+
+bool Middleware::has_unresolved_damage() const {
+  for (std::uint32_t l = 0; l < chain_.jobs.size(); ++l) {
+    if (!completed_once_[l]) continue;
+    if (!env_.dfs.file_exists(files_[l])) continue;  // reclaimed
+    for (std::uint32_t p = 0; p < env_.dfs.num_partitions(files_[l]);
+         ++p) {
+      if (!env_.dfs.partition_available(files_[l], p)) return true;
+    }
+  }
+  return false;
+}
+
+void Middleware::handle_detection(cluster::NodeId n) {
+  if (chain_done_) return;
+  RCMP_INFO() << "t=" << env_.sim.now()
+              << " middleware: failure of node " << n << " detected";
+  if (current_ != nullptr && current_->running()) {
+    const auto outcome = current_->on_detected_failure(n);
+    if (outcome == mapred::JobRun::FailureOutcome::kRecovered &&
+        !has_unresolved_damage()) {
+      // Task-level recovery sufficed and no completed job's output was
+      // irreversibly lost: keep going.
+      return;
+    }
+    // Even if the running job could limp along, data of completed jobs
+    // was lost: the paper's middleware "interrupts the currently
+    // running job and starts recomputation", tagging it with the
+    // reducer outputs damaged by ALL failures so far.
+  } else if (!has_unresolved_damage()) {
+    return;  // nothing running and nothing lost (e.g. replicated data)
+  }
+  replan();
+}
+
+void Middleware::replan() {
+  if (current_ != nullptr && current_->running()) {
+    current_->cancel();  // its result stays in the graveyard for stats
+    current_ = nullptr;
+  }
+
+  if (!strategy_.is_rcmp()) {
+    // OPTIMISTIC discards everything and restarts from the beginning;
+    // replication does the same when the loss exceeded the replication
+    // factor (paper §V-B "More failures").
+    wipe_and_restart();
+    return;
+  }
+
+  std::vector<PlannerJobState> states(chain_.jobs.size());
+  for (std::uint32_t l = 0; l < chain_.jobs.size(); ++l) {
+    states[l].completed_once = completed_once_[l];
+    if (!completed_once_[l]) continue;
+    if (!env_.dfs.file_exists(files_[l])) continue;  // reclaimed
+    for (std::uint32_t p = 0; p < env_.dfs.num_partitions(files_[l]); ++p) {
+      if (!env_.dfs.partition_available(files_[l], p)) {
+        states[l].damaged_partitions.push_back(p);
+      }
+    }
+  }
+  auto plan = plan_chain(states);
+
+  // Feasibility: every submission's inputs must exist (they may be
+  // damaged only if an earlier submission regenerates them). Reclaimed
+  // inputs are unrecoverable by recomputation — fall back to a full
+  // restart.
+  for (const auto& s : plan) {
+    for (std::uint32_t d : deps_of(s.logical_id)) {
+      if (d == kSourceInput) {
+        if (!env_.dfs.file_available(source_input_)) {
+          RCMP_WARN() << "middleware: source input lost — cannot recover";
+          wipe_and_restart();
+          return;
+        }
+        continue;
+      }
+      if (!env_.dfs.file_exists(files_[d]) || d < reclaimed_below_) {
+        RCMP_WARN() << "middleware: input of job " << s.logical_id
+                    << " was reclaimed — full restart";
+        wipe_and_restart();
+        return;
+      }
+    }
+  }
+
+  queue_.clear();
+  for (const auto& s : plan) queue_.push_back(s);
+  RCMP_INFO() << "t=" << env_.sim.now() << " middleware: replanned, "
+              << queue_.size() << " submission(s) queued";
+  submit_next();
+}
+
+void Middleware::wipe_and_restart() {
+  ++result_.restarts;
+  for (std::uint32_t l = 0; l < chain_.jobs.size(); ++l) {
+    if (env_.dfs.file_exists(files_[l])) {
+      for (std::uint32_t p = 0; p < env_.dfs.num_partitions(files_[l]);
+           ++p) {
+        env_.dfs.clear_partition(files_[l], p);
+        env_.payloads.clear(files_[l], p);
+      }
+    } else {
+      // Recreate a reclaimed file so the restart can write it again.
+      files_[l] = env_.dfs.create_file("out/" + chain_.jobs[l].name,
+                                       chain_.jobs[l].num_reducers,
+                                       file_replication(l));
+    }
+    env_.map_outputs.drop_job(l);
+    completed_once_[l] = false;
+  }
+  reclaimed_below_ = 0;
+  time_since_repl_point_ = 0.0;
+  if (!env_.dfs.file_available(source_input_)) {
+    // Every replica of some source-input block is gone: nothing —
+    // recomputation or replication — can recover this computation.
+    RCMP_ERROR() << "middleware: source input lost — computation "
+                    "cannot be recovered";
+    fail_chain();
+    return;
+  }
+  queue_.clear();
+  std::vector<PlannerJobState> states(chain_.jobs.size());
+  for (const PlannedSubmission& s : plan_chain(states))
+    queue_.push_back(s);
+  RCMP_INFO() << "t=" << env_.sim.now()
+              << " middleware: full computation restart #"
+              << result_.restarts;
+  submit_next();
+}
+
+void Middleware::reclaim_storage(std::uint32_t replication_point) {
+  // Everything strictly before the replication point can go: cascades
+  // will never revert past a surviving replicated output (§IV-C).
+  for (std::uint32_t l = 0; l < replication_point; ++l) {
+    if (env_.dfs.file_exists(files_[l])) {
+      for (std::uint32_t p = 0; p < env_.dfs.num_partitions(files_[l]);
+           ++p) {
+        env_.payloads.clear(files_[l], p);
+      }
+      env_.dfs.delete_file(files_[l]);
+    }
+    env_.map_outputs.drop_job(l);
+  }
+  env_.map_outputs.drop_job(replication_point);
+  reclaimed_below_ = std::max(reclaimed_below_, replication_point);
+  RCMP_INFO() << "middleware: reclaimed storage below job "
+              << replication_point;
+}
+
+bool Middleware::should_replicate_now() const {
+  if (job_time_count_ == 0) return false;  // no cost estimate yet
+  const double avg_job = job_time_sum_ / job_time_count_;
+  // Replication cost C: the extra time replicating one job's output
+  // adds. Cluster MTBF from the per-node daily failure rate.
+  const double c = avg_job * strategy_.hybrid_replication_overhead;
+  const double mtbf_seconds =
+      86400.0 / (strategy_.node_failure_rate_per_day *
+                 std::max(1u, env_.cluster.alive_count()));
+  const double interval = std::sqrt(2.0 * c * mtbf_seconds);
+  return time_since_repl_point_ + avg_job >= interval;
+}
+
+void Middleware::enforce_storage_budget() {
+  if (strategy_.storage_budget == 0) return;
+  // Evict persisted map outputs starting with the oldest jobs, wave by
+  // wave (the paper's proposed eviction granularity), only as much as
+  // the budget requires. Recomputation stays correct — evicted outputs
+  // just mean more mappers re-run.
+  for (std::uint32_t l = 0; l < chain_.jobs.size(); ++l) {
+    const Bytes used =
+        env_.dfs.total_used() + env_.map_outputs.total_used();
+    if (used <= strategy_.storage_budget) break;
+    if (env_.map_outputs.used_for_job(l) == 0) continue;
+    const Bytes freed = env_.map_outputs.evict_upto(
+        l, used - strategy_.storage_budget);
+    if (freed > 0) {
+      ++result_.evicted_jobs;
+      RCMP_INFO() << "middleware: evicted " << freed
+                  << " bytes of persisted map outputs of job " << l
+                  << " (storage budget)";
+    }
+  }
+}
+
+void Middleware::sample_storage() {
+  const Bytes used =
+      env_.dfs.total_used() + env_.map_outputs.total_used();
+  result_.peak_storage = std::max(result_.peak_storage, used);
+}
+
+void Middleware::fail_chain() {
+  chain_done_ = true;
+  result_.completed = false;
+  result_.total_time = env_.sim.now();
+  result_.jobs_started = next_ordinal_ - 1;
+  result_.runs.clear();
+  for (const auto& run : runs_) result_.runs.push_back(run->result());
+  if (on_complete_) on_complete_(result_);
+}
+
+void Middleware::finish_chain() {
+  chain_done_ = true;
+  result_.completed = true;
+  result_.total_time = env_.sim.now();
+  result_.jobs_started = next_ordinal_ - 1;
+  result_.runs.clear();
+  for (const auto& run : runs_) result_.runs.push_back(run->result());
+  std::sort(result_.runs.begin(), result_.runs.end(),
+            [](const mapred::JobResult& a, const mapred::JobResult& b) {
+              return a.ordinal < b.ordinal;
+            });
+  RCMP_INFO() << "t=" << env_.sim.now() << " middleware: chain complete ("
+              << result_.jobs_started << " jobs started, "
+              << result_.failures_observed << " failures)";
+  if (on_complete_) on_complete_(result_);
+}
+
+}  // namespace rcmp::core

@@ -1,0 +1,163 @@
+// The RCMP middleware: multi-job orchestration with recomputation-based
+// failure resilience.
+//
+// Mirrors the paper's system design (§IV-A, Fig. 3): the user submits a
+// multi-job computation with dependencies; the middleware submits jobs
+// one by one; the Master (JobRun) knows only how to run an individual
+// job. On a failure that causes irreversible data loss, the middleware
+// cancels the running job, infers from the dependency information and
+// the current DFS ground truth which jobs must be recomputed and in
+// which order, and resubmits them tagged with the damaged reducer
+// outputs. Nested failures simply trigger a replan from ground truth.
+//
+// The same middleware also drives the comparison strategies: replication
+// (Hadoop REPL-k: task-level recovery inside jobs, full restart on
+// unrecoverable loss) and OPTIMISTIC (restart the chain on any loss).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/strategy.hpp"
+#include "mapred/engine.hpp"
+
+namespace rcmp::core {
+
+/// Sentinel dependency: read the externally generated source input.
+inline constexpr std::uint32_t kSourceInput = 0xffffffffu;
+
+/// One job (DAG node). Dependencies name the upstream jobs whose
+/// outputs are this job's inputs; each must have a smaller logical id
+/// (the job list is in topological order). An empty dependency list
+/// means "linear": job 0 reads the source input, job j reads job j-1.
+struct JobTemplate {
+  std::string name;
+  std::vector<std::uint32_t> deps;
+  /// Initial-granularity reducer count; 0 = one wave on the full
+  /// cluster (alive nodes x reduce slots).
+  std::uint32_t num_reducers = 0;
+  double map_output_ratio = 1.0;
+  double reduce_output_ratio = 1.0;
+  const mapred::MapUdf* mapper = nullptr;
+  const mapred::ReduceUdf* reducer = nullptr;
+};
+
+/// A multi-job computation: a DAG of jobs in topological order. The
+/// paper evaluates a linear chain, but its design (and this middleware)
+/// applies to "any big data parallel processing computation model based
+/// on DAGs of tasks".
+struct ChainSpec {
+  std::vector<JobTemplate> jobs;
+};
+using DagSpec = ChainSpec;
+
+struct ChainResult {
+  bool completed = false;
+  SimTime total_time = 0.0;
+  /// Global job-start count — the paper's job numbering: recomputation
+  /// runs inflate it (e.g. a failure at job 7 of a 7-job chain yields
+  /// 14 started jobs under RCMP).
+  std::uint32_t jobs_started = 0;
+  std::uint32_t failures_observed = 0;
+  /// Full-computation restarts (OPTIMISTIC / replication overflow).
+  std::uint32_t restarts = 0;
+  /// Jobs whose outputs were made replication points by the dynamic
+  /// hybrid policy.
+  std::uint32_t replication_points = 0;
+  /// Jobs whose persisted map outputs were evicted for storage budget.
+  std::uint32_t evicted_jobs = 0;
+  /// Every run, in start (ordinal) order, including cancelled ones.
+  std::vector<mapred::JobResult> runs;
+  /// Max bytes of DFS blocks + persisted map outputs observed at job
+  /// boundaries (storage cost of persistence, §IV-C).
+  Bytes peak_storage = 0;
+};
+
+class Middleware {
+ public:
+  Middleware(mapred::Env env, ChainSpec chain, dfs::FileId source_input,
+             StrategyConfig strategy, mapred::EngineConfig engine_cfg,
+             std::uint64_t seed);
+  Middleware(const Middleware&) = delete;
+  Middleware& operator=(const Middleware&) = delete;
+
+  /// Register a job-start observer (ordinal is 1-based, in start order);
+  /// the failure injector hooks in here.
+  void on_job_start(std::function<void(std::uint32_t)> cb) {
+    start_observers_.push_back(std::move(cb));
+  }
+
+  /// Submit the first job; the caller then drives env.sim.run(). The
+  /// completion callback fires once, when the last job finishes.
+  void run(std::function<void(const ChainResult&)> on_complete);
+
+  bool finished() const { return chain_done_; }
+  const ChainResult& result() const { return result_; }
+
+  dfs::FileId output_file(std::uint32_t logical) const {
+    return files_.at(logical);
+  }
+  std::uint32_t attempts(std::uint32_t logical) const {
+    return attempt_count_.at(logical);
+  }
+
+ private:
+  void on_kill(cluster::NodeId n);
+  void handle_detection(cluster::NodeId n);
+  /// Some completed job's output has partitions with no surviving copy.
+  bool has_unresolved_damage() const;
+  void submit_next();
+  void on_run_done(mapred::JobRun& run);
+  void replan();
+  void wipe_and_restart();
+  void reclaim_storage(std::uint32_t replication_point);
+  void sample_storage();
+  void enforce_storage_budget();
+  /// Dynamic hybrid: is it time for the next replication point
+  /// (Young's optimal checkpoint interval)?
+  bool should_replicate_now() const;
+  std::uint32_t split_factor_now() const;
+  std::uint32_t file_replication(std::uint32_t logical) const;
+  /// Resolved dependency list of a job (explicit deps, or the implicit
+  /// linear predecessor / source input).
+  std::vector<std::uint32_t> deps_of(std::uint32_t logical) const;
+  /// DFS files a job reads (source input and/or upstream outputs).
+  std::vector<dfs::FileId> input_files(std::uint32_t logical) const;
+  bool input_available(std::uint32_t logical) const;
+  void finish_chain();
+  /// Unrecoverable data loss: report failure and stop.
+  void fail_chain();
+
+  mapred::Env env_;
+  ChainSpec chain_;
+  dfs::FileId source_input_;
+  StrategyConfig strategy_;
+  mapred::EngineConfig engine_cfg_;
+  Rng rng_;
+
+  std::vector<dfs::FileId> files_;          // output file per logical job
+  std::vector<bool> completed_once_;
+  std::vector<std::uint32_t> attempt_count_;
+  std::uint32_t reclaimed_below_ = 0;  // files with id < this are deleted
+
+  // Dynamic hybrid bookkeeping.
+  double time_since_repl_point_ = 0.0;
+  double job_time_sum_ = 0.0;
+  std::uint32_t job_time_count_ = 0;
+
+  std::deque<PlannedSubmission> queue_;
+  std::vector<std::unique_ptr<mapred::JobRun>> runs_;
+  mapred::JobRun* current_ = nullptr;
+  std::uint32_t next_ordinal_ = 1;
+  bool chain_done_ = false;
+
+  ChainResult result_;
+  std::function<void(const ChainResult&)> on_complete_;
+  std::vector<std::function<void(std::uint32_t)>> start_observers_;
+};
+
+}  // namespace rcmp::core

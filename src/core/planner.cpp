@@ -1,0 +1,33 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+
+namespace rcmp::core {
+
+std::vector<PlannedSubmission> plan_chain(
+    const std::vector<PlannerJobState>& jobs) {
+  std::vector<PlannedSubmission> plan;
+  for (std::uint32_t j = 0; j < jobs.size(); ++j) {
+    const PlannerJobState& state = jobs[j];
+    if (state.completed_once) {
+      if (!state.damaged_partitions.empty()) {
+        PlannedSubmission s;
+        s.logical_id = j;
+        s.recompute = true;
+        s.damaged_partitions = state.damaged_partitions;
+        std::sort(s.damaged_partitions.begin(),
+                  s.damaged_partitions.end());
+        plan.push_back(std::move(s));
+      }
+      // intact completed job: nothing to do
+    } else {
+      PlannedSubmission s;
+      s.logical_id = j;
+      s.recompute = false;
+      plan.push_back(std::move(s));
+    }
+  }
+  return plan;
+}
+
+}  // namespace rcmp::core

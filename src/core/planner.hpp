@@ -1,0 +1,48 @@
+// Recomputation cascade planner.
+//
+// Pure planning logic, separated from the middleware for testability:
+// given the per-job state of a multi-job computation (has the job ever
+// completed? which partitions of its output are currently unavailable?),
+// produce the ordered list of submissions that regenerates all lost data
+// and finishes the computation (paper §IV-A: "The middleware uses the
+// job dependency information and the affected files to infer which jobs
+// need to be recomputed and in which order so that the lost data is
+// regenerated").
+//
+// The rule is uniform and idempotent, which is what makes nested
+// failures (a failure during recovery from a previous failure) free: a
+// replan from current ground truth automatically unions all damage, as
+// the paper requires ("RCMP only needs to ... tag the submitted
+// recomputation job with the reducer outputs damaged by all failures").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rcmp::core {
+
+struct PlannerJobState {
+  /// The job completed successfully at least once (its output file was
+  /// fully materialized at some point).
+  bool completed_once = false;
+  /// Output partitions currently unavailable (initial granularity).
+  std::vector<std::uint32_t> damaged_partitions;
+};
+
+struct PlannedSubmission {
+  std::uint32_t logical_id = 0;
+  /// True: recomputation run regenerating `damaged_partitions` only.
+  /// False: full (initial-style) run.
+  bool recompute = false;
+  std::vector<std::uint32_t> damaged_partitions;
+};
+
+/// Plan the rest of a linear chain. Jobs that completed and whose
+/// outputs are intact are skipped; completed jobs with damage are
+/// resubmitted as recomputations; jobs that never completed run in full.
+/// Ascending logical order guarantees every job's input is regenerated
+/// before the job runs.
+std::vector<PlannedSubmission> plan_chain(
+    const std::vector<PlannerJobState>& jobs);
+
+}  // namespace rcmp::core

@@ -1,0 +1,269 @@
+#include "dfs/namenode.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace rcmp::dfs {
+
+NameNode::NameNode(cluster::Cluster& cluster, Bytes block_size,
+                   std::uint64_t seed)
+    : cluster_(cluster), block_size_(block_size), rng_(seed) {
+  RCMP_CHECK_MSG(block_size_ > 0, "block size must be positive");
+  used_per_node_.assign(cluster_.size(), 0);
+}
+
+FileId NameNode::create_file(std::string name, std::uint32_t num_partitions,
+                             std::uint32_t replication) {
+  RCMP_CHECK(num_partitions >= 1);
+  if (replication < 1 || replication > cluster_.size()) {
+    throw ConfigError("replication factor " + std::to_string(replication) +
+                      " infeasible on " + std::to_string(cluster_.size()) +
+                      " nodes");
+  }
+  File f;
+  f.name = std::move(name);
+  f.replication = replication;
+  f.partitions.resize(num_partitions);
+  files_.push_back(std::move(f));
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+void NameNode::delete_file(FileId f) {
+  RCMP_CHECK(f < files_.size() && !files_[f].deleted);
+  for (std::uint32_t p = 0; p < files_[f].partitions.size(); ++p) {
+    clear_partition(f, p);
+  }
+  files_[f].deleted = true;
+}
+
+bool NameNode::file_exists(FileId f) const {
+  return f < files_.size() && !files_[f].deleted;
+}
+
+const std::string& NameNode::file_name(FileId f) const {
+  RCMP_CHECK(f < files_.size());
+  return files_[f].name;
+}
+
+std::uint32_t NameNode::num_partitions(FileId f) const {
+  RCMP_CHECK(file_exists(f));
+  return static_cast<std::uint32_t>(files_[f].partitions.size());
+}
+
+std::uint32_t NameNode::replication(FileId f) const {
+  RCMP_CHECK(file_exists(f));
+  return files_[f].replication;
+}
+
+void NameNode::set_replication(FileId f, std::uint32_t replication) {
+  RCMP_CHECK(file_exists(f));
+  if (replication < 1 || replication > cluster_.size()) {
+    throw ConfigError("replication factor " + std::to_string(replication) +
+                      " infeasible on " + std::to_string(cluster_.size()) +
+                      " nodes");
+  }
+  files_[f].replication = replication;
+}
+
+Bytes NameNode::file_size(FileId f) const {
+  RCMP_CHECK(file_exists(f));
+  Bytes total = 0;
+  for (const auto& p : files_[f].partitions) total += p.size;
+  return total;
+}
+
+std::vector<cluster::NodeId> NameNode::pick_replicas(
+    cluster::NodeId writer, std::uint32_t replication,
+    PlacementPolicy policy) {
+  const auto alive = cluster_.alive_storage_nodes();
+  RCMP_CHECK_MSG(alive.size() >= replication,
+                 "not enough alive nodes for replication "
+                     << replication);
+  std::vector<cluster::NodeId> replicas;
+  replicas.reserve(replication);
+
+  if (policy == PlacementPolicy::kScatter) {
+    // Round-robin over alive nodes; additional replicas continue the
+    // rotation so they land on distinct nodes.
+    for (std::uint32_t r = 0; r < replication; ++r) {
+      replicas.push_back(
+          alive[(scatter_cursor_ + r) % alive.size()]);
+    }
+    ++scatter_cursor_;
+    return replicas;
+  }
+
+  // kLocalFirst: writer first (if it is an alive storage node — in the
+  // non-collocated case a compute node's writes always go remote).
+  if (cluster_.alive(writer) && cluster_.is_storage_node(writer)) {
+    replicas.push_back(writer);
+  } else {
+    replicas.push_back(alive[rng_.below(alive.size())]);
+  }
+  const std::uint32_t writer_rack = cluster_.rack_of(replicas[0]);
+  bool have_offrack = cluster_.spec().racks <= 1;
+  while (replicas.size() < replication) {
+    // Bias the second replica off-rack when the topology has racks,
+    // mirroring HDFS's rack-aware policy.
+    cluster::NodeId pick = alive[rng_.below(alive.size())];
+    if (std::find(replicas.begin(), replicas.end(), pick) != replicas.end())
+      continue;
+    if (!have_offrack && cluster_.rack_of(pick) == writer_rack &&
+        alive.size() > replicas.size() + 1) {
+      // Try again for an off-rack node; give up eventually via the
+      // have_offrack flag once one lands off-rack.
+      if (rng_.chance(0.75)) continue;
+    }
+    if (cluster_.rack_of(pick) != writer_rack) have_offrack = true;
+    replicas.push_back(pick);
+  }
+  return replicas;
+}
+
+std::vector<NameNode::PlannedBlock> NameNode::plan_write(
+    FileId f, cluster::NodeId writer, Bytes size, PlacementPolicy policy) {
+  RCMP_CHECK(file_exists(f));
+  std::vector<PlannedBlock> plan;
+  if (size == 0) return plan;
+  const std::uint64_t nblocks = ceil_div(size, block_size_);
+  plan.reserve(nblocks);
+  Bytes left = size;
+  for (std::uint64_t b = 0; b < nblocks; ++b) {
+    PlannedBlock pb;
+    pb.size = std::min<Bytes>(left, block_size_);
+    left -= pb.size;
+    pb.replicas = pick_replicas(writer, files_[f].replication, policy);
+    plan.push_back(std::move(pb));
+  }
+  return plan;
+}
+
+void NameNode::commit_partition(FileId f, PartitionIndex p,
+                                const std::vector<PlannedBlock>& blocks) {
+  RCMP_CHECK(file_exists(f));
+  RCMP_CHECK(p < files_[f].partitions.size());
+  PartitionInfo& part = files_[f].partitions[p];
+  for (const auto& pb : blocks) {
+    BlockInfo bi;
+    bi.size = pb.size;
+    bi.replicas = pb.replicas;
+    for (cluster::NodeId n : pb.replicas) used_per_node_[n] += pb.size;
+    blocks_.push_back(std::move(bi));
+    part.blocks.push_back(blocks_.size() - 1);
+    part.size += pb.size;
+  }
+  part.written = true;
+}
+
+void NameNode::clear_partition(FileId f, PartitionIndex p,
+                               bool preserve_layout) {
+  RCMP_CHECK(f < files_.size());
+  RCMP_CHECK(p < files_[f].partitions.size());
+  PartitionInfo& part = files_[f].partitions[p];
+  for (std::uint64_t b : part.blocks) {
+    for (cluster::NodeId n : blocks_[b].replicas) {
+      if (cluster_.alive(n)) {
+        RCMP_CHECK(used_per_node_[n] >= blocks_[b].size);
+        used_per_node_[n] -= blocks_[b].size;
+      }
+    }
+    blocks_[b].replicas.clear();
+    blocks_[b].size = 0;
+  }
+  part.blocks.clear();
+  part.size = 0;
+  part.written = false;
+  if (!preserve_layout) ++part.layout_version;
+}
+
+const PartitionInfo& NameNode::partition(FileId f, PartitionIndex p) const {
+  RCMP_CHECK(f < files_.size());
+  RCMP_CHECK(p < files_[f].partitions.size());
+  return files_[f].partitions[p];
+}
+
+const BlockInfo& NameNode::block(std::uint64_t block_id) const {
+  RCMP_CHECK(block_id < blocks_.size());
+  return blocks_[block_id];
+}
+
+std::vector<cluster::NodeId> NameNode::alive_locations(
+    std::uint64_t block_id) const {
+  RCMP_CHECK(block_id < blocks_.size());
+  std::vector<cluster::NodeId> out;
+  for (cluster::NodeId n : blocks_[block_id].replicas) {
+    if (cluster_.alive(n)) out.push_back(n);
+  }
+  return out;
+}
+
+bool NameNode::partition_available(FileId f, PartitionIndex p) const {
+  const PartitionInfo& part = partition(f, p);
+  if (!part.written) return false;
+  for (std::uint64_t b : part.blocks) {
+    if (alive_locations(b).empty()) return false;
+  }
+  return true;
+}
+
+bool NameNode::file_available(FileId f) const {
+  RCMP_CHECK(file_exists(f));
+  for (std::uint32_t p = 0; p < files_[f].partitions.size(); ++p) {
+    if (!partition_available(f, p)) return false;
+  }
+  return true;
+}
+
+std::vector<LossReport> NameNode::on_node_failure(cluster::NodeId dead) {
+  // Account the dead node's stored bytes as gone.
+  used_per_node_[dead] = 0;
+
+  std::vector<LossReport> reports;
+  for (FileId f = 0; f < files_.size(); ++f) {
+    if (files_[f].deleted) continue;
+    LossReport report;
+    for (PartitionIndex p = 0;
+         p < static_cast<PartitionIndex>(files_[f].partitions.size()); ++p) {
+      const PartitionInfo& part = files_[f].partitions[p];
+      if (!part.written) continue;
+      // Lost now, and the dead node held a replica of one of its blocks
+      // (i.e. the loss is attributable to this failure event).
+      bool touches_dead = false;
+      for (std::uint64_t b : part.blocks) {
+        const auto& reps = blocks_[b].replicas;
+        if (std::find(reps.begin(), reps.end(), dead) != reps.end()) {
+          touches_dead = true;
+          break;
+        }
+      }
+      if (touches_dead && !partition_available(f, p)) {
+        report.lost_partitions.push_back(p);
+      }
+    }
+    if (!report.lost_partitions.empty()) {
+      report.file = f;
+      report.file_name = files_[f].name;
+      reports.push_back(std::move(report));
+    }
+  }
+  if (!reports.empty()) {
+    RCMP_INFO() << "dfs: node " << dead << " failure lost partitions in "
+                << reports.size() << " file(s)";
+  }
+  return reports;
+}
+
+Bytes NameNode::used_on_node(cluster::NodeId n) const {
+  RCMP_CHECK(n < used_per_node_.size());
+  return used_per_node_[n];
+}
+
+Bytes NameNode::total_used() const {
+  Bytes total = 0;
+  for (Bytes b : used_per_node_) total += b;
+  return total;
+}
+
+}  // namespace rcmp::dfs

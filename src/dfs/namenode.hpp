@@ -1,0 +1,156 @@
+// Distributed file system metadata service (HDFS-like).
+//
+// Job inputs and reducer outputs live in the DFS as files; a file is an
+// ordered set of logical partitions — one per reducer of the job that
+// wrote it (paper §IV: "dividing the job output file into separate
+// partitions with one partition per reducer" lets lost key-value pairs
+// be traced back to the reducer that created them). Partitions are
+// stored as fixed-size blocks, each with `replication` replicas placed
+// by a policy. Only metadata lives here; the bytes are simulated (and
+// optionally materialized as real records by the engine's payload mode).
+//
+// A partition is *available* iff every one of its blocks still has at
+// least one replica on an alive node. Node failures produce loss
+// reports: the per-file list of partitions that just became unavailable
+// — exactly the information RCMP's middleware needs to plan a
+// recomputation cascade.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace rcmp::dfs {
+
+using FileId = std::uint32_t;
+using PartitionIndex = std::uint32_t;
+inline constexpr FileId kInvalidFile = 0xffffffffu;
+
+enum class PlacementPolicy {
+  /// First replica on the writer node, remaining replicas on distinct
+  /// random alive nodes (rack-aware when racks > 1). Hadoop's default.
+  kLocalFirst,
+  /// Spread blocks round-robin over all alive nodes regardless of the
+  /// writer — the paper's alternative hot-spot mitigation (§IV-B2):
+  /// "RCMP can tell the reducers belonging to recomputed jobs to spread
+  /// their output over many nodes".
+  kScatter,
+};
+
+struct BlockInfo {
+  Bytes size = 0;
+  std::vector<cluster::NodeId> replicas;  // all ever-placed replicas
+};
+
+struct PartitionInfo {
+  Bytes size = 0;
+  std::vector<std::uint64_t> blocks;  // indices into the block table
+  bool written = false;
+  /// Incremented every time the partition is cleared for rewrite. A
+  /// recomputation that changes the partition's record-to-block layout
+  /// (reducer splitting) therefore invalidates downstream map outputs
+  /// keyed to the old version — the generalized Fig. 5 rule.
+  std::uint64_t layout_version = 0;
+};
+
+struct LossReport {
+  FileId file = kInvalidFile;
+  std::string file_name;
+  std::vector<PartitionIndex> lost_partitions;
+};
+
+class NameNode {
+ public:
+  NameNode(cluster::Cluster& cluster, Bytes block_size, std::uint64_t seed);
+
+  Bytes block_size() const { return block_size_; }
+
+  /// Create an empty file with a fixed partition count and replication
+  /// factor for subsequently written blocks.
+  FileId create_file(std::string name, std::uint32_t num_partitions,
+                     std::uint32_t replication);
+  void delete_file(FileId f);
+  bool file_exists(FileId f) const;
+  const std::string& file_name(FileId f) const;
+  std::uint32_t num_partitions(FileId f) const;
+  std::uint32_t replication(FileId f) const;
+  /// Change the replication factor applied to future writes into this
+  /// file (existing blocks keep their replicas). Used by the dynamic
+  /// hybrid policy to upgrade a job's output before it runs.
+  void set_replication(FileId f, std::uint32_t replication);
+  Bytes file_size(FileId f) const;
+
+  /// Plan replica placements for writing `size` bytes into a partition
+  /// from `writer`. Does not mutate metadata — the engine uses the plan
+  /// to price the replication pipeline flows, then commits.
+  struct PlannedBlock {
+    Bytes size = 0;
+    std::vector<cluster::NodeId> replicas;
+  };
+  std::vector<PlannedBlock> plan_write(FileId f, cluster::NodeId writer,
+                                       Bytes size, PlacementPolicy policy);
+
+  /// Commit planned blocks into a partition. Multiple commits accumulate
+  /// (reducer splits each commit their sub-partition).
+  void commit_partition(FileId f, PartitionIndex p,
+                        const std::vector<PlannedBlock>& blocks);
+
+  /// Drop a partition's blocks (before a recomputation overwrites it).
+  /// preserve_layout: the caller guarantees the upcoming rewrite will
+  /// regenerate the identical record-to-block layout (a deterministic
+  /// NO-SPLIT recompute), so downstream map outputs remain reusable.
+  /// A split recompute must pass false, bumping the layout version —
+  /// the generalized Fig. 5 invalidation.
+  void clear_partition(FileId f, PartitionIndex p,
+                       bool preserve_layout = false);
+
+  const PartitionInfo& partition(FileId f, PartitionIndex p) const;
+  const BlockInfo& block(std::uint64_t block_id) const;
+  std::uint64_t layout_version(FileId f, PartitionIndex p) const {
+    return partition(f, p).layout_version;
+  }
+
+  bool partition_available(FileId f, PartitionIndex p) const;
+  bool file_available(FileId f) const;
+
+  /// Alive replica locations of a block (may be empty = lost).
+  std::vector<cluster::NodeId> alive_locations(std::uint64_t block_id) const;
+
+  /// Partitions per file that became unavailable because of this node's
+  /// death. Subscribed to Cluster::on_kill by the owner; also callable
+  /// directly from tests.
+  std::vector<LossReport> on_node_failure(cluster::NodeId dead);
+
+  /// Bytes of block replicas currently stored on a node (storage
+  /// accounting for the reclamation extension).
+  Bytes used_on_node(cluster::NodeId n) const;
+  Bytes total_used() const;
+
+ private:
+  struct File {
+    std::string name;
+    std::uint32_t replication = 1;
+    std::vector<PartitionInfo> partitions;
+    bool deleted = false;
+  };
+
+  std::vector<cluster::NodeId> pick_replicas(cluster::NodeId writer,
+                                             std::uint32_t replication,
+                                             PlacementPolicy policy);
+
+  cluster::Cluster& cluster_;
+  Bytes block_size_;
+  Rng rng_;
+  std::vector<File> files_;
+  std::vector<BlockInfo> blocks_;
+  std::vector<Bytes> used_per_node_;
+  std::uint64_t scatter_cursor_ = 0;
+};
+
+}  // namespace rcmp::dfs

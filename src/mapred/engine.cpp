@@ -1,0 +1,1234 @@
+#include "mapred/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace rcmp::mapred {
+
+namespace {
+Bytes round_bytes(double b) {
+  return static_cast<Bytes>(std::llround(std::max(0.0, b)));
+}
+}  // namespace
+
+JobRun::JobRun(Env env, JobSpec spec, RecomputeDirective directive,
+               EngineConfig cfg, std::uint32_t ordinal, std::uint64_t seed,
+               DoneCallback on_done)
+    : env_(env),
+      spec_(std::move(spec)),
+      directive_(std::move(directive)),
+      cfg_(cfg),
+      ordinal_(ordinal),
+      rng_(seed),
+      on_done_(std::move(on_done)) {
+  RCMP_CHECK(spec_.num_reducers >= 1);
+  RCMP_CHECK(directive_.split_factor >= 1);
+}
+
+bool JobRun::payload_mode() const { return payload_mode_; }
+
+// ---------------------------------------------------------------------
+// setup
+// ---------------------------------------------------------------------
+
+void JobRun::start() {
+  RCMP_CHECK(state_ == RunState::kCreated);
+  state_ = RunState::kRunning;
+
+  result_.logical_id = spec_.logical_id;
+  result_.ordinal = ordinal_;
+  result_.was_recompute = directive_.active;
+  result_.start_time = env_.sim.now();
+
+  payload_mode_ = false;
+  if (spec_.mapper != nullptr && spec_.reducer != nullptr) {
+    for (dfs::FileId in : spec_.inputs) {
+      payload_mode_ |= env_.payloads.file_has_payload(in);
+    }
+  }
+
+  if (directive_.active) {
+    // Damaged partitions are regenerated from scratch. A NO-SPLIT
+    // recomputation deterministically reproduces the original layout,
+    // so downstream map outputs stay valid; splitting changes the
+    // layout and must invalidate them (Fig. 5 rule).
+    const bool preserve = directive_.split_factor == 1;
+    for (std::uint32_t p : directive_.damaged_partitions) {
+      env_.dfs.clear_partition(spec_.output, p, preserve);
+      env_.payloads.clear(spec_.output, p);
+    }
+  }
+
+  build_map_tasks();
+  build_reduce_tasks();
+
+  free_map_slots_.assign(env_.cluster.size(), 0);
+  free_reduce_slots_.assign(env_.cluster.size(), 0);
+  for (cluster::NodeId n = 0; n < env_.cluster.size(); ++n) {
+    if (!env_.cluster.alive(n) || !env_.cluster.is_compute_node(n))
+      continue;
+    free_map_slots_[n] = env_.cluster.spec().map_slots;
+    free_reduce_slots_[n] = env_.cluster.spec().reduce_slots;
+  }
+
+  // Coalesced shuffle flush threshold: a fraction of the expected
+  // per-(source node, reducer) volume.
+  double total_out = 0.0;
+  for (const MapTask& t : maps_) {
+    total_out += t.state == MapState::kReused
+                     ? t.out_bytes
+                     : static_cast<double>(t.input_bytes) *
+                           spec_.map_output_ratio;
+  }
+  flush_threshold_ =
+      std::max(1.0, total_out * cfg_.shuffle_flush_fraction /
+                        std::max(1u, env_.cluster.alive_count()) /
+                        std::max<std::size_t>(1, reduces_.size()));
+
+  RCMP_INFO() << "t=" << env_.sim.now() << " job " << spec_.name
+              << " (ordinal " << ordinal_ << ") starting: "
+              << maps_.size() << " mappers ("
+              << (maps_.size() - maps_remaining_) << " reused), "
+              << reduces_.size() << " reducers"
+              << (directive_.active
+                      ? " [recompute, split=" +
+                            std::to_string(directive_.split_factor) + "]"
+                      : "");
+
+  bootstrap_ev_ = env_.sim.schedule_after(cfg_.job_setup_time,
+                                          [this] { bootstrap(); });
+}
+
+void JobRun::bootstrap() {
+  bootstrap_ev_ = sim::kInvalidEvent;
+  if (state_ != RunState::kRunning) return;
+
+  // Fig. 14 experiment knob: restrict which nodes run recomputed
+  // mappers (varies the recomputation's mapper wave count).
+  if (directive_.active && cfg_.recompute_map_node_limit > 0) {
+    std::uint32_t allowed = cfg_.recompute_map_node_limit;
+    for (cluster::NodeId n = 0; n < env_.cluster.size(); ++n) {
+      if (!env_.cluster.alive(n)) continue;
+      if (allowed > 0) {
+        --allowed;
+      } else {
+        free_map_slots_[n] = 0;
+      }
+    }
+  }
+
+  for (std::uint32_t m = 0; m < maps_.size(); ++m) {
+    if (maps_[m].state == MapState::kReused) on_mapper_available(m);
+  }
+  schedule_tasks();
+  on_map_phase_maybe_done();
+  if (cfg_.speculative_execution) schedule_speculation_check();
+}
+
+void JobRun::build_map_tasks() {
+  RCMP_CHECK_MSG(!spec_.inputs.empty(), "job has no inputs");
+  RCMP_CHECK_MSG(spec_.inputs.size() <= 64,
+                 "at most 64 input files per job");
+  for (std::uint32_t in = 0; in < spec_.inputs.size(); ++in) {
+    const dfs::FileId file = spec_.inputs[in];
+    const std::uint32_t nparts = env_.dfs.num_partitions(file);
+    for (std::uint32_t p = 0; p < nparts; ++p) {
+      RCMP_CHECK_MSG(env_.dfs.partition_available(file, p),
+                     "job " << spec_.name << ": input partition " << p
+                            << " of file " << env_.dfs.file_name(file)
+                            << " unavailable at submission");
+      const dfs::PartitionInfo& part = env_.dfs.partition(file, p);
+      for (std::uint32_t i = 0; i < part.blocks.size(); ++i) {
+        MapTask t;
+        t.input_file = file;
+        t.input_index = in;
+        t.input_partition = p;
+        t.block_index = i;
+        t.block_id = part.blocks[i];
+        t.input_bytes = env_.dfs.block(t.block_id).size;
+        t.input_layout_version = part.layout_version;
+
+        const auto key = t.key(spec_.logical_id);
+        if (directive_.active && directive_.reuse_map_outputs &&
+            map_output_reusable(key, t.input_layout_version)) {
+          const MapOutput* out = env_.map_outputs.find(key);
+          t.state = MapState::kReused;
+          t.node = out->node;
+          t.out_bytes = out->total_bytes;
+        } else {
+          ++maps_remaining_;
+        }
+        maps_.push_back(std::move(t));
+      }
+    }
+  }
+  pending_maps_.clear();
+  for (std::uint32_t m = 0; m < maps_.size(); ++m) {
+    if (maps_[m].state == MapState::kPending) pending_maps_.push_back(m);
+  }
+  RCMP_CHECK_MSG(!maps_.empty(), "job has no input blocks");
+}
+
+bool JobRun::map_output_reusable(const MapOutputKey& key,
+                                 std::uint64_t layout_version) const {
+  if (directive_.enforce_fig5_rule) {
+    return env_.map_outputs.usable(key, layout_version, env_.cluster);
+  }
+  // Rule disabled (demonstration of the Fig. 5 hazard): accept any
+  // surviving output regardless of input-layout compatibility.
+  const MapOutput* out = env_.map_outputs.find(key);
+  return out != nullptr && !out->lost && env_.cluster.alive(out->node);
+}
+
+void JobRun::build_reduce_tasks() {
+  std::vector<std::uint32_t> parts;
+  if (directive_.active) {
+    parts = directive_.damaged_partitions;
+    std::sort(parts.begin(), parts.end());
+    RCMP_CHECK_MSG(!parts.empty(), "recompute job with nothing to do");
+  } else {
+    parts.resize(spec_.num_reducers);
+    for (std::uint32_t p = 0; p < spec_.num_reducers; ++p) parts[p] = p;
+  }
+  const std::uint32_t split = directive_.active ? directive_.split_factor : 1;
+  for (std::uint32_t p : parts) {
+    for (std::uint32_t s = 0; s < split; ++s) {
+      ReduceTask rt;
+      rt.partition = p;
+      rt.split_index = s;
+      rt.contrib.assign(maps_.size(), ContribState::kWaiting);
+      rt.unfetched = static_cast<std::uint32_t>(maps_.size());
+      rt.ready_bytes.assign(env_.cluster.size(), 0.0);
+      rt.ready.assign(env_.cluster.size(), {});
+      reduces_.push_back(std::move(rt));
+    }
+  }
+  reduces_remaining_ = static_cast<std::uint32_t>(reduces_.size());
+  pending_reduces_.clear();
+  for (std::uint32_t r = 0; r < reduces_.size(); ++r)
+    pending_reduces_.push_back(r);
+}
+
+// ---------------------------------------------------------------------
+// scheduling
+// ---------------------------------------------------------------------
+
+void JobRun::schedule_tasks() {
+  if (state_ != RunState::kRunning) return;
+  schedule_maps();
+  schedule_reduces();
+}
+
+void JobRun::schedule_maps() {
+  if (pending_maps_.empty()) return;
+
+  // Locality pass: give every node with free map slots its local blocks
+  // first (with even data distribution this keeps initial runs fully
+  // data-local, as the paper notes for collocated clusters).
+  for (cluster::NodeId n = 0;
+       !cfg_.ignore_locality && n < env_.cluster.size(); ++n) {
+    if (!env_.cluster.alive(n)) continue;
+    for (std::size_t i = 0;
+         i < pending_maps_.size() && free_map_slots_[n] > 0;) {
+      const std::uint32_t m = pending_maps_[i];
+      const auto& reps = env_.dfs.block(maps_[m].block_id).replicas;
+      if (std::find(reps.begin(), reps.end(), n) != reps.end()) {
+        assign_map(m, n);
+        pending_maps_[i] = pending_maps_.back();
+        pending_maps_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Remote pass: remaining tasks go wherever a slot is free. This is
+  // what concentrates readers on a hot node after a NO-SPLIT
+  // recomputation: every surviving node pulls its map input from the
+  // single node holding the regenerated partition (paper Fig. 6).
+  while (!pending_maps_.empty()) {
+    cluster::NodeId target = cluster::kInvalidNode;
+    for (std::uint32_t step = 0; step < env_.cluster.size(); ++step) {
+      const cluster::NodeId n =
+          (rr_cursor_ + step) % env_.cluster.size();
+      if (env_.cluster.alive(n) && free_map_slots_[n] > 0) {
+        target = n;
+        rr_cursor_ = n + 1;
+        break;
+      }
+    }
+    if (target == cluster::kInvalidNode) break;
+    const std::uint32_t m = pending_maps_.back();
+    pending_maps_.pop_back();
+    assign_map(m, target);
+  }
+}
+
+void JobRun::schedule_reduces() {
+  std::size_t head = 0;
+  while (head < pending_reduces_.size()) {
+    cluster::NodeId target = cluster::kInvalidNode;
+    for (std::uint32_t step = 0; step < env_.cluster.size(); ++step) {
+      const cluster::NodeId n =
+          (rr_cursor_ + step) % env_.cluster.size();
+      if (env_.cluster.alive(n) && free_reduce_slots_[n] > 0) {
+        target = n;
+        rr_cursor_ = n + 1;
+        break;
+      }
+    }
+    if (target == cluster::kInvalidNode) break;
+    assign_reduce(pending_reduces_[head], target);
+    ++head;
+  }
+  pending_reduces_.erase(pending_reduces_.begin(),
+                         pending_reduces_.begin() +
+                             static_cast<std::ptrdiff_t>(head));
+}
+
+void JobRun::assign_map(std::uint32_t m, cluster::NodeId n) {
+  MapTask& t = maps_[m];
+  RCMP_CHECK(t.state == MapState::kPending);
+  RCMP_CHECK(free_map_slots_[n] > 0);
+  --free_map_slots_[n];
+  t.node = n;
+  t.state = MapState::kStarting;
+  t.start_time = env_.sim.now();
+  const std::uint32_t epoch = t.epoch;
+  t.ev = env_.sim.schedule_after(
+      cfg_.startup_cost(), [this, m, epoch] { map_startup_done(m, epoch); });
+}
+
+void JobRun::assign_reduce(std::uint32_t r, cluster::NodeId n) {
+  ReduceTask& rt = reduces_[r];
+  RCMP_CHECK(rt.state == ReduceState::kUnassigned);
+  RCMP_CHECK(free_reduce_slots_[n] > 0);
+  --free_reduce_slots_[n];
+  rt.node = n;
+  rt.state = ReduceState::kStarting;
+  rt.start_time = env_.sim.now();
+  const std::uint32_t epoch = rt.epoch;
+  rt.ev = env_.sim.schedule_after(cfg_.startup_cost(), [this, r, epoch] {
+    reduce_startup_done(r, epoch);
+  });
+}
+
+// ---------------------------------------------------------------------
+// map task state machine
+// ---------------------------------------------------------------------
+
+cluster::NodeId JobRun::pick_read_source(
+    const std::vector<cluster::NodeId>& locs, cluster::NodeId reader) {
+  RCMP_CHECK(!locs.empty());
+  // Local replica is free; otherwise read from the least-loaded source
+  // disk (HDFS clients prefer close/idle replicas; this is also what
+  // lets replicated inputs dodge a congested or degraded drive).
+  if (std::find(locs.begin(), locs.end(), reader) != locs.end()) {
+    return reader;
+  }
+  cluster::NodeId best = locs[0];
+  double best_pressure = std::numeric_limits<double>::max();
+  for (cluster::NodeId cand : locs) {
+    const double pressure =
+        env_.net.link_pressure(env_.cluster.disk(cand));
+    if (pressure < best_pressure) {
+      best_pressure = pressure;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+void JobRun::map_startup_done(std::uint32_t m, std::uint32_t epoch) {
+  MapTask& t = maps_[m];
+  if (state_ != RunState::kRunning || t.epoch != epoch) return;
+  RCMP_CHECK(t.state == MapState::kStarting);
+  t.ev = sim::kInvalidEvent;
+
+  const auto locs = env_.dfs.alive_locations(t.block_id);
+  if (locs.empty()) {
+    // Input replica vanished between assignment and now; the Master has
+    // not yet detected the failure. Freeze — the detection handler will
+    // report the data loss.
+    t.state = MapState::kFrozen;
+    return;
+  }
+  const cluster::NodeId src = pick_read_source(locs, t.node);
+  t.state = MapState::kReading;
+  res::FlowSpec fs;
+  auto path = env_.cluster.path_transfer(src, t.node,
+                                         /*read_src_disk=*/true,
+                                         /*write_dst_disk=*/false);
+  fs.path = std::move(path.links);
+  fs.weights = std::move(path.weights);
+  fs.bytes = t.input_bytes;
+  fs.on_complete = [this, m, epoch] { map_read_done(m, epoch); };
+  t.flow = env_.net.start_flow(std::move(fs));
+}
+
+void JobRun::map_read_done(std::uint32_t m, std::uint32_t epoch) {
+  MapTask& t = maps_[m];
+  if (state_ != RunState::kRunning || t.epoch != epoch) return;
+  RCMP_CHECK(t.state == MapState::kReading);
+  t.flow = res::kInvalidFlow;
+  t.state = MapState::kComputing;
+  const SimTime dt = static_cast<double>(t.input_bytes) /
+                     cfg_.map_cpu_rate *
+                     env_.cluster.cpu_factor(t.node);
+  t.ev = env_.sim.schedule_after(
+      dt, [this, m, epoch] { map_compute_done(m, epoch); });
+}
+
+void JobRun::map_compute_done(std::uint32_t m, std::uint32_t epoch) {
+  MapTask& t = maps_[m];
+  if (state_ != RunState::kRunning || t.epoch != epoch) return;
+  RCMP_CHECK(t.state == MapState::kComputing);
+  t.ev = sim::kInvalidEvent;
+
+  if (payload_mode_) {
+    MapOutput staged;  // only buckets are used from this staging object
+    run_map_udf(m, staged);
+    std::uint64_t records = 0;
+    for (const auto& b : staged.buckets) records += b.size();
+    t.out_bytes =
+        static_cast<double>(records) * static_cast<double>(cfg_.record_bytes);
+    staged_buckets_[m] = std::move(staged.buckets);
+  } else {
+    t.out_bytes =
+        static_cast<double>(t.input_bytes) * spec_.map_output_ratio;
+  }
+
+  t.state = MapState::kWriting;
+  res::FlowSpec fs;
+  auto path = env_.cluster.path_disk_write(t.node);
+  fs.path = std::move(path.links);
+  fs.weights = std::move(path.weights);
+  fs.bytes = round_bytes(t.out_bytes);
+  fs.on_complete = [this, m, epoch] { map_write_done(m, epoch); };
+  t.flow = env_.net.start_flow(std::move(fs));
+}
+
+void JobRun::run_map_udf(std::uint32_t m, MapOutput& out) const {
+  const MapTask& t = maps_[m];
+  out.buckets.assign(spec_.num_reducers, {});
+  Emitter em;
+  for (const Record& rec : env_.payloads.block_records(
+           t.input_file, t.input_partition, t.block_index)) {
+    em.records().clear();
+    spec_.mapper->map(rec, spec_.udf_salt(), em);
+    for (const Record& o : em.records()) {
+      const std::uint32_t p =
+          partition_of(o.key, spec_.num_reducers, spec_.partition_salt());
+      out.buckets[p].push_back(o);
+    }
+  }
+}
+
+void JobRun::map_write_done(std::uint32_t m, std::uint32_t epoch) {
+  MapTask& t = maps_[m];
+  if (state_ != RunState::kRunning || t.epoch != epoch) return;
+  RCMP_CHECK(t.state == MapState::kWriting);
+  t.flow = res::kInvalidFlow;
+  complete_map_task(m);
+}
+
+void JobRun::complete_map_task(std::uint32_t m) {
+  MapTask& t = maps_[m];
+  cancel_duplicate(m);  // the original won (or the winner adopted t)
+  register_map_output(m);
+  t.state = MapState::kDone;
+  t.end_time = env_.sim.now();
+  t.executed = true;
+  completed_map_time_sum_ += t.end_time - t.start_time;
+  ++completed_map_count_;
+  RCMP_CHECK(maps_remaining_ > 0);
+  --maps_remaining_;
+  ++result_.mappers_executed;
+  if (env_.cluster.alive(t.node)) ++free_map_slots_[t.node];
+  on_mapper_available(m);
+  schedule_tasks();
+  on_map_phase_maybe_done();
+}
+
+void JobRun::register_map_output(std::uint32_t m) {
+  MapTask& t = maps_[m];
+  MapOutput out;
+  out.node = t.node;
+  out.input_layout_version = t.input_layout_version;
+  out.total_bytes = t.out_bytes;
+  if (payload_mode_) {
+    auto it = staged_buckets_.find(m);
+    RCMP_CHECK(it != staged_buckets_.end());
+    out.buckets = std::move(it->second);
+    staged_buckets_.erase(it);
+    out.per_reducer_bytes.resize(spec_.num_reducers);
+    for (std::uint32_t p = 0; p < spec_.num_reducers; ++p) {
+      out.per_reducer_bytes[p] =
+          static_cast<double>(out.buckets[p].size()) *
+          static_cast<double>(cfg_.record_bytes);
+    }
+  } else {
+    out.per_reducer_bytes.assign(
+        spec_.num_reducers, t.out_bytes / spec_.num_reducers);
+  }
+  const auto key = t.key(spec_.logical_id);
+  env_.map_outputs.put(key, std::move(out));
+  outputs_registered_.push_back(key);
+}
+
+void JobRun::on_mapper_available(std::uint32_t m) {
+  for (std::uint32_t r = 0; r < reduces_.size(); ++r) {
+    ReduceTask& rt = reduces_[r];
+    if (rt.state == ReduceState::kDone) continue;
+    if (rt.contrib[m] != ContribState::kWaiting) continue;
+    mark_contrib_ready(r, m);
+    if (rt.state == ReduceState::kFetching) flush_ready(r, /*force=*/false);
+  }
+}
+
+void JobRun::reset_map_task(std::uint32_t m) {
+  cancel_duplicate(m);
+  MapTask& t = maps_[m];
+  const bool was_available =
+      t.state == MapState::kDone || t.state == MapState::kReused;
+  cancel_task_work(t);
+  if (t.state == MapState::kDone) {
+    // Drop the (lost) registered output so a fresh one replaces it.
+    env_.map_outputs.drop(t.key(spec_.logical_id));
+  }
+  if (was_available) ++maps_remaining_;
+  ++t.epoch;
+  t.state = MapState::kPending;
+  t.node = cluster::kInvalidNode;
+  pending_maps_.push_back(m);
+}
+
+// ---------------------------------------------------------------------
+// speculative execution
+// ---------------------------------------------------------------------
+
+void JobRun::schedule_speculation_check() {
+  speculation_ev_ = env_.sim.schedule_after(
+      cfg_.speculative_check_interval, [this] { speculation_check(); });
+}
+
+void JobRun::speculation_check() {
+  speculation_ev_ = sim::kInvalidEvent;
+  if (state_ != RunState::kRunning) return;
+  schedule_speculation_check();
+
+  if (completed_map_count_ < cfg_.speculative_min_completed) return;
+  const double avg =
+      completed_map_time_sum_ / completed_map_count_;
+  const double threshold = cfg_.speculative_slowness * avg;
+
+  for (std::uint32_t m = 0; m < maps_.size(); ++m) {
+    const MapTask& t = maps_[m];
+    const bool running = t.state == MapState::kReading ||
+                         t.state == MapState::kComputing ||
+                         t.state == MapState::kWriting;
+    if (!running) continue;
+    if (env_.sim.now() - t.start_time <= threshold) continue;
+    if (duplicates_.count(m) > 0) continue;
+
+    // Find a free map slot on a different node.
+    cluster::NodeId target = cluster::kInvalidNode;
+    for (std::uint32_t step = 0; step < env_.cluster.size(); ++step) {
+      const cluster::NodeId n = (rr_cursor_ + step) % env_.cluster.size();
+      if (n != t.node && env_.cluster.alive(n) && free_map_slots_[n] > 0) {
+        target = n;
+        rr_cursor_ = n + 1;
+        break;
+      }
+    }
+    if (target == cluster::kInvalidNode) continue;
+    launch_duplicate(m, target);
+  }
+}
+
+void JobRun::launch_duplicate(std::uint32_t m, cluster::NodeId node) {
+  RCMP_CHECK(free_map_slots_[node] > 0);
+  --free_map_slots_[node];
+  Duplicate dup;
+  dup.token = next_dup_token_++;
+  dup.node = node;
+  dup.state = MapState::kStarting;
+  const std::uint64_t token = dup.token;
+  dup.ev = env_.sim.schedule_after(
+      cfg_.startup_cost(), [this, m, token] { dup_startup_done(m, token); });
+  duplicates_[m] = std::move(dup);
+  ++result_.speculative_launched;
+  RCMP_DEBUG() << "t=" << env_.sim.now() << " speculating mapper " << m
+               << " on node " << node;
+}
+
+JobRun::Duplicate* JobRun::find_dup(std::uint32_t m, std::uint64_t token) {
+  auto it = duplicates_.find(m);
+  if (it == duplicates_.end() || it->second.token != token) return nullptr;
+  return &it->second;
+}
+
+void JobRun::dup_startup_done(std::uint32_t m, std::uint64_t token) {
+  Duplicate* dup = find_dup(m, token);
+  if (dup == nullptr || state_ != RunState::kRunning) return;
+  dup->ev = sim::kInvalidEvent;
+
+  const MapTask& t = maps_[m];
+  const auto locs = env_.dfs.alive_locations(t.block_id);
+  if (locs.empty()) {
+    cancel_duplicate(m);
+    return;
+  }
+  // Load-aware selection naturally sends the duplicate to a different
+  // replica than the straggling original — the benefit extra replicas
+  // buy speculation. With one replica the duplicate has no choice but
+  // the same (possibly slow) source.
+  const cluster::NodeId src = pick_read_source(locs, dup->node);
+  dup->state = MapState::kReading;
+  res::FlowSpec fs;
+  auto path = env_.cluster.path_transfer(src, dup->node,
+                                         /*read_src_disk=*/true,
+                                         /*write_dst_disk=*/false);
+  fs.path = std::move(path.links);
+  fs.weights = std::move(path.weights);
+  fs.bytes = t.input_bytes;
+  fs.on_complete = [this, m, token] { dup_read_done(m, token); };
+  dup->flow = env_.net.start_flow(std::move(fs));
+}
+
+void JobRun::dup_read_done(std::uint32_t m, std::uint64_t token) {
+  Duplicate* dup = find_dup(m, token);
+  if (dup == nullptr || state_ != RunState::kRunning) return;
+  dup->flow = res::kInvalidFlow;
+  dup->state = MapState::kComputing;
+  const SimTime dt = static_cast<double>(maps_[m].input_bytes) /
+                     cfg_.map_cpu_rate *
+                     env_.cluster.cpu_factor(dup->node);
+  dup->ev = env_.sim.schedule_after(
+      dt, [this, m, token] { dup_compute_done(m, token); });
+}
+
+void JobRun::dup_compute_done(std::uint32_t m, std::uint64_t token) {
+  Duplicate* dup = find_dup(m, token);
+  if (dup == nullptr || state_ != RunState::kRunning) return;
+  dup->ev = sim::kInvalidEvent;
+
+  const MapTask& t = maps_[m];
+  if (payload_mode_) {
+    MapOutput staged;
+    run_map_udf(m, staged);
+    std::uint64_t records = 0;
+    for (const auto& b : staged.buckets) records += b.size();
+    dup->out_bytes = static_cast<double>(records) *
+                     static_cast<double>(cfg_.record_bytes);
+    dup->staged_buckets = std::move(staged.buckets);
+  } else {
+    dup->out_bytes =
+        static_cast<double>(t.input_bytes) * spec_.map_output_ratio;
+  }
+  dup->state = MapState::kWriting;
+  res::FlowSpec fs;
+  auto path = env_.cluster.path_disk_write(dup->node);
+  fs.path = std::move(path.links);
+  fs.weights = std::move(path.weights);
+  fs.bytes = round_bytes(dup->out_bytes);
+  fs.on_complete = [this, m, token] { dup_write_done(m, token); };
+  dup->flow = env_.net.start_flow(std::move(fs));
+}
+
+void JobRun::dup_write_done(std::uint32_t m, std::uint64_t token) {
+  Duplicate* dup = find_dup(m, token);
+  if (dup == nullptr || state_ != RunState::kRunning) return;
+  dup->flow = res::kInvalidFlow;
+
+  // The duplicate won the race: it becomes the task's execution. Stop
+  // the straggling original and adopt the duplicate's node/output.
+  MapTask& t = maps_[m];
+  RCMP_CHECK(t.state == MapState::kReading ||
+             t.state == MapState::kComputing ||
+             t.state == MapState::kWriting);
+  cancel_task_work(t);
+  if (env_.cluster.alive(t.node)) ++free_map_slots_[t.node];
+  t.node = dup->node;
+  t.out_bytes = dup->out_bytes;
+  if (payload_mode_) {
+    staged_buckets_[m] = std::move(dup->staged_buckets);
+  }
+  ++result_.speculative_won;
+  RCMP_DEBUG() << "t=" << env_.sim.now() << " speculative copy of mapper "
+               << m << " won on node " << t.node;
+  // complete_map_task() erases the duplicate entry (without refunding
+  // the slot twice: the task now occupies the duplicate's slot).
+  duplicates_.erase(m);
+  complete_map_task(m);
+}
+
+void JobRun::cancel_duplicate(std::uint32_t m) {
+  auto it = duplicates_.find(m);
+  if (it == duplicates_.end()) return;
+  Duplicate& dup = it->second;
+  if (dup.ev != sim::kInvalidEvent) env_.sim.cancel(dup.ev);
+  if (dup.flow != res::kInvalidFlow) env_.net.cancel_flow(dup.flow);
+  if (env_.cluster.alive(dup.node)) ++free_map_slots_[dup.node];
+  duplicates_.erase(it);
+}
+
+void JobRun::on_map_phase_maybe_done() {
+  if (state_ != RunState::kRunning) return;
+  if (maps_remaining_ != 0) return;
+  result_.map_phase_end = env_.sim.now();
+  flush_all_ready(/*force=*/true);
+}
+
+// ---------------------------------------------------------------------
+// shuffle
+// ---------------------------------------------------------------------
+
+double JobRun::contrib_bytes(std::uint32_t r, std::uint32_t m) const {
+  const MapOutput* out =
+      env_.map_outputs.find(maps_[m].key(spec_.logical_id));
+  RCMP_CHECK_MSG(out != nullptr, "contribution from unregistered mapper");
+  const ReduceTask& rt = reduces_[r];
+  const std::uint32_t split =
+      directive_.active ? directive_.split_factor : 1;
+  return out->per_reducer_bytes[rt.partition] / split;
+}
+
+void JobRun::mark_contrib_ready(std::uint32_t r, std::uint32_t m) {
+  ReduceTask& rt = reduces_[r];
+  RCMP_CHECK(rt.contrib[m] == ContribState::kWaiting);
+  const MapOutput* out =
+      env_.map_outputs.find(maps_[m].key(spec_.logical_id));
+  if (out == nullptr || out->lost || !env_.cluster.alive(out->node)) {
+    return;  // stays kWaiting; a rerun will make it ready again
+  }
+  rt.contrib[m] = ContribState::kReady;
+  rt.ready_bytes[out->node] += contrib_bytes(r, m);
+  rt.ready[out->node].push_back(m);
+}
+
+void JobRun::flush_ready(std::uint32_t r, bool force) {
+  ReduceTask& rt = reduces_[r];
+  RCMP_CHECK(rt.state == ReduceState::kFetching);
+  for (cluster::NodeId src = 0; src < env_.cluster.size(); ++src) {
+    // Zero-byte contributions (empty payload buckets) still need a
+    // (zero-byte) fetch so the reducer's unfetched count drains.
+    if (rt.ready[src].empty()) continue;
+    if (!force && rt.ready_bytes[src] < flush_threshold_) continue;
+    if (!env_.cluster.alive(src)) continue;  // rewound at detection
+
+    FetchFlow ff;
+    ff.reducer = r;
+    ff.reducer_epoch = rt.epoch;
+    ff.src = src;
+    ff.mappers = std::move(rt.ready[src]);
+    ff.bytes = rt.ready_bytes[src];
+    rt.ready[src].clear();
+    rt.ready_bytes[src] = 0.0;
+    for (std::uint32_t m : ff.mappers) {
+      RCMP_CHECK(rt.contrib[m] == ContribState::kReady);
+      rt.contrib[m] = ContribState::kInflight;
+    }
+
+    const std::uint64_t token = next_fetch_token_++;
+    res::FlowSpec fs;
+    auto path = env_.cluster.path_transfer(src, rt.node,
+                                           /*read_src_disk=*/true,
+                                           /*write_dst_disk=*/true);
+    fs.path = std::move(path.links);
+    fs.weights = std::move(path.weights);
+    fs.bytes = round_bytes(ff.bytes);
+    fs.on_complete = [this, token] { fetch_done(token); };
+    ff.flow = env_.net.start_flow(std::move(fs));
+    active_fetches_.emplace(token, std::move(ff));
+  }
+}
+
+void JobRun::flush_all_ready(bool force) {
+  for (std::uint32_t r = 0; r < reduces_.size(); ++r) {
+    if (reduces_[r].state == ReduceState::kFetching)
+      flush_ready(r, force);
+  }
+}
+
+void JobRun::fetch_done(std::uint64_t token) {
+  auto it = active_fetches_.find(token);
+  if (it == active_fetches_.end()) return;  // cancelled
+  FetchFlow ff = std::move(it->second);
+  active_fetches_.erase(it);
+  if (state_ != RunState::kRunning) return;
+
+  ReduceTask& rt = reduces_[ff.reducer];
+  if (rt.epoch != ff.reducer_epoch) return;
+  RCMP_CHECK(rt.state == ReduceState::kFetching);
+
+  for (std::uint32_t m : ff.mappers) {
+    RCMP_CHECK(rt.contrib[m] == ContribState::kInflight);
+    rt.contrib[m] = ContribState::kFetched;
+    RCMP_CHECK(rt.unfetched > 0);
+    --rt.unfetched;
+    if (payload_mode_) {
+      const MapOutput* out =
+          env_.map_outputs.find(maps_[m].key(spec_.logical_id));
+      RCMP_CHECK(out != nullptr);
+      const std::uint32_t split =
+          directive_.active ? directive_.split_factor : 1;
+      for (const Record& rec : out->buckets[rt.partition]) {
+        if (split > 1 &&
+            partition_of(rec.key, split, directive_.split_salt) !=
+                rt.split_index) {
+          continue;
+        }
+        rt.gathered.push_back(rec);
+      }
+    }
+  }
+  rt.fetched_bytes += ff.bytes;
+  // Each mapper's output is a separate transfer; per-transfer latency
+  // serializes over the reducer's parallel copiers and is paid before
+  // the reduce phase (this is what makes the paper's SLOW SHUFFLE slow).
+  rt.tail_debt += static_cast<double>(ff.mappers.size()) *
+                  cfg_.shuffle_tail_latency /
+                  std::max(1u, cfg_.shuffle_fetch_parallelism);
+  result_.shuffle_bytes += ff.bytes;
+  maybe_start_reduce_compute(ff.reducer);
+}
+
+void JobRun::cancel_fetches_of_reducer(std::uint32_t r) {
+  for (auto it = active_fetches_.begin(); it != active_fetches_.end();) {
+    if (it->second.reducer == r) {
+      env_.net.cancel_flow(it->second.flow);
+      it = active_fetches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// reduce task state machine
+// ---------------------------------------------------------------------
+
+void JobRun::reduce_startup_done(std::uint32_t r, std::uint32_t epoch) {
+  ReduceTask& rt = reduces_[r];
+  if (state_ != RunState::kRunning || rt.epoch != epoch) return;
+  RCMP_CHECK(rt.state == ReduceState::kStarting);
+  rt.ev = sim::kInvalidEvent;
+  rt.state = ReduceState::kFetching;
+  // Late-wave reducers find all map outputs ready: fetch them at once.
+  flush_ready(r, /*force=*/true);
+  maybe_start_reduce_compute(r);
+}
+
+void JobRun::maybe_start_reduce_compute(std::uint32_t r) {
+  ReduceTask& rt = reduces_[r];
+  if (rt.state != ReduceState::kFetching || rt.unfetched != 0) return;
+  rt.state = ReduceState::kComputing;
+  const SimTime dt = rt.fetched_bytes / cfg_.reduce_cpu_rate *
+                         env_.cluster.cpu_factor(rt.node) +
+                     rt.tail_debt;
+  const std::uint32_t epoch = rt.epoch;
+  rt.ev = env_.sim.schedule_after(
+      dt, [this, r, epoch] { reduce_compute_done(r, epoch); });
+}
+
+void JobRun::reduce_compute_done(std::uint32_t r, std::uint32_t epoch) {
+  ReduceTask& rt = reduces_[r];
+  if (state_ != RunState::kRunning || rt.epoch != epoch) return;
+  RCMP_CHECK(rt.state == ReduceState::kComputing);
+  rt.ev = sim::kInvalidEvent;
+
+  if (payload_mode_) {
+    // Sort-merge: group values by key, one reduce call per key. Each
+    // split owns whole keys, so grouping within the split is complete.
+    std::sort(rt.gathered.begin(), rt.gathered.end(),
+              [](const Record& a, const Record& b) {
+                return a.key < b.key || (a.key == b.key && a.value < b.value);
+              });
+    Emitter em;
+    std::vector<std::uint64_t> values;
+    std::size_t i = 0;
+    while (i < rt.gathered.size()) {
+      const std::uint64_t key = rt.gathered[i].key;
+      values.clear();
+      while (i < rt.gathered.size() && rt.gathered[i].key == key) {
+        values.push_back(rt.gathered[i].value);
+        ++i;
+      }
+      spec_.reducer->reduce(key, values, spec_.udf_salt(), em);
+    }
+    rt.out_records = std::move(em.records());
+    rt.gathered.clear();
+    rt.gathered.shrink_to_fit();
+    rt.out_bytes = static_cast<double>(rt.out_records.size()) *
+                   static_cast<double>(cfg_.record_bytes);
+  } else {
+    rt.out_bytes = rt.fetched_bytes * spec_.reduce_output_ratio;
+  }
+  start_reduce_write(r);
+}
+
+void JobRun::start_reduce_write(std::uint32_t r) {
+  ReduceTask& rt = reduces_[r];
+  rt.state = ReduceState::kWriting;
+  rt.planned = env_.dfs.plan_write(spec_.output, rt.node,
+                                   round_bytes(rt.out_bytes),
+                                   spec_.output_placement);
+  rt.next_block = 0;
+  rt.outstanding_writes = 0;
+  rt.write_flows.clear();
+  write_next_block(r, rt.epoch);
+}
+
+void JobRun::write_next_block(std::uint32_t r, std::uint32_t epoch) {
+  ReduceTask& rt = reduces_[r];
+  if (state_ != RunState::kRunning || rt.epoch != epoch) return;
+  RCMP_CHECK(rt.state == ReduceState::kWriting);
+
+  if (rt.next_block >= rt.planned.size()) {
+    // All blocks written (possibly zero): commit.
+    env_.dfs.commit_partition(spec_.output, rt.partition, rt.planned);
+    if (payload_mode_) {
+      env_.payloads.append(
+          spec_.output, rt.partition, std::move(rt.out_records),
+          static_cast<std::uint32_t>(std::max<std::size_t>(
+              1, rt.planned.size())));
+      rt.out_records.clear();
+    }
+    if (std::find(partitions_committed_.begin(),
+                  partitions_committed_.end(),
+                  rt.partition) == partitions_committed_.end()) {
+      partitions_committed_.push_back(rt.partition);
+    }
+    result_.output_bytes += rt.out_bytes;
+    reduce_done(r);
+    return;
+  }
+
+  // Replication pipeline for one block: all replica streams concurrent.
+  const auto& block = rt.planned[rt.next_block];
+  rt.write_flows.clear();
+  rt.outstanding_writes = static_cast<std::uint32_t>(block.replicas.size());
+  for (cluster::NodeId rep : block.replicas) {
+    res::FlowSpec fs;
+    auto path = env_.cluster.path_transfer(rt.node, rep,
+                                           /*read_src_disk=*/false,
+                                           /*write_dst_disk=*/true);
+    fs.path = std::move(path.links);
+    fs.weights = std::move(path.weights);
+    fs.bytes = block.size;
+    fs.on_complete = [this, r, epoch] { block_write_done(r, epoch); };
+    rt.write_flows.push_back(env_.net.start_flow(std::move(fs)));
+  }
+}
+
+void JobRun::block_write_done(std::uint32_t r, std::uint32_t epoch) {
+  ReduceTask& rt = reduces_[r];
+  if (state_ != RunState::kRunning || rt.epoch != epoch) return;
+  if (rt.state != ReduceState::kWriting || rt.write_blocked) return;
+  RCMP_CHECK(rt.outstanding_writes > 0);
+  --rt.outstanding_writes;
+  if (rt.outstanding_writes == 0) {
+    ++rt.next_block;
+    write_next_block(r, epoch);
+  }
+}
+
+void JobRun::reduce_done(std::uint32_t r) {
+  ReduceTask& rt = reduces_[r];
+  rt.state = ReduceState::kDone;
+  rt.end_time = env_.sim.now();
+  ++result_.reducers_executed;
+  RCMP_CHECK(reduces_remaining_ > 0);
+  --reduces_remaining_;
+  if (env_.cluster.alive(rt.node)) ++free_reduce_slots_[rt.node];
+  schedule_tasks();
+  maybe_finish();
+}
+
+void JobRun::reset_reduce_task(std::uint32_t r) {
+  ReduceTask& rt = reduces_[r];
+  RCMP_CHECK(rt.state != ReduceState::kDone);
+  cancel_task_work(rt);
+  cancel_fetches_of_reducer(r);
+  ++rt.epoch;
+  rt.state = ReduceState::kUnassigned;
+  rt.node = cluster::kInvalidNode;
+  rt.fetched_bytes = 0.0;
+  rt.tail_debt = 0.0;
+  rt.gathered.clear();
+  rt.out_records.clear();
+  rt.planned.clear();
+  rt.next_block = 0;
+  rt.outstanding_writes = 0;
+  rt.write_blocked = false;
+  std::fill(rt.ready_bytes.begin(), rt.ready_bytes.end(), 0.0);
+  for (auto& v : rt.ready) v.clear();
+  rt.unfetched = static_cast<std::uint32_t>(maps_.size());
+  std::fill(rt.contrib.begin(), rt.contrib.end(), ContribState::kWaiting);
+  // Re-buffer contributions from mappers whose outputs are available.
+  for (std::uint32_t m = 0; m < maps_.size(); ++m) {
+    const MapTask& t = maps_[m];
+    if (t.state == MapState::kDone || t.state == MapState::kReused) {
+      mark_contrib_ready(r, m);
+    }
+  }
+  pending_reduces_.push_back(r);
+}
+
+// ---------------------------------------------------------------------
+// failures
+// ---------------------------------------------------------------------
+
+void JobRun::on_node_killed(cluster::NodeId n) {
+  if (state_ != RunState::kRunning) return;
+  free_map_slots_[n] = 0;
+  free_reduce_slots_[n] = 0;
+
+  // Drop all speculative duplicates: any of them may have been running
+  // on, or reading from, the dead node. Speculation re-arms later.
+  std::vector<std::uint32_t> dup_tasks;
+  for (const auto& [m, dup] : duplicates_) dup_tasks.push_back(m);
+  for (std::uint32_t m : dup_tasks) cancel_duplicate(m);
+
+  for (auto& t : maps_) {
+    if (t.node == n &&
+        (t.state == MapState::kStarting || t.state == MapState::kReading ||
+         t.state == MapState::kComputing ||
+         t.state == MapState::kWriting)) {
+      cancel_task_work(t);
+      t.state = MapState::kFrozen;
+    }
+  }
+  for (std::uint32_t r = 0; r < reduces_.size(); ++r) {
+    ReduceTask& rt = reduces_[r];
+    if (rt.node == n &&
+        (rt.state == ReduceState::kStarting ||
+         rt.state == ReduceState::kFetching ||
+         rt.state == ReduceState::kComputing ||
+         rt.state == ReduceState::kWriting)) {
+      cancel_task_work(rt);
+      cancel_fetches_of_reducer(r);
+      rt.state = ReduceState::kFrozen;
+    }
+  }
+
+  // Shuffle transfers sourced at the dead node stop flowing.
+  for (auto it = active_fetches_.begin(); it != active_fetches_.end();) {
+    if (it->second.src == n) {
+      env_.net.cancel_flow(it->second.flow);
+      ReduceTask& rt = reduces_[it->second.reducer];
+      if (rt.epoch == it->second.reducer_epoch) {
+        for (std::uint32_t m : it->second.mappers) {
+          if (rt.contrib[m] == ContribState::kInflight)
+            rt.contrib[m] = ContribState::kWaiting;
+        }
+      }
+      it = active_fetches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Buffered-but-unfetched contributions whose source died go back to
+  // waiting; the mapper will be re-executed after detection.
+  for (auto& rt : reduces_) {
+    if (rt.state == ReduceState::kDone) continue;
+    for (std::uint32_t m : rt.ready[n]) {
+      if (rt.contrib[m] == ContribState::kReady)
+        rt.contrib[m] = ContribState::kWaiting;
+    }
+    rt.ready[n].clear();
+    rt.ready_bytes[n] = 0.0;
+  }
+
+  // Output writes with a replica stream to the dead node stall until
+  // the Master replans them at detection time.
+  for (auto& rt : reduces_) {
+    if (rt.state != ReduceState::kWriting || rt.write_blocked) continue;
+    if (rt.next_block >= rt.planned.size()) continue;
+    const auto& reps = rt.planned[rt.next_block].replicas;
+    if (std::find(reps.begin(), reps.end(), n) != reps.end()) {
+      for (res::FlowId f : rt.write_flows) env_.net.cancel_flow(f);
+      rt.write_flows.clear();
+      rt.write_blocked = true;
+    }
+  }
+}
+
+JobRun::FailureOutcome JobRun::on_detected_failure(cluster::NodeId n) {
+  (void)n;  // all state was tagged at kill time; n is informational
+  if (state_ != RunState::kRunning) return FailureOutcome::kRecovered;
+
+  // 1) Restart frozen reducers from scratch on surviving nodes.
+  for (std::uint32_t r = 0; r < reduces_.size(); ++r) {
+    if (reduces_[r].state == ReduceState::kFrozen) reset_reduce_task(r);
+  }
+
+  // 2) Re-plan writes whose replica pipeline lost a target.
+  for (std::uint32_t r = 0; r < reduces_.size(); ++r) {
+    ReduceTask& rt = reduces_[r];
+    if (rt.write_blocked) {
+      RCMP_CHECK(rt.state == ReduceState::kWriting);
+      rt.write_blocked = false;
+      start_reduce_write(r);
+    }
+  }
+
+  // 3) Re-execute mappers whose persisted output is gone but is still
+  //    needed by some unfetched contribution.
+  for (std::uint32_t m = 0; m < maps_.size(); ++m) {
+    MapTask& t = maps_[m];
+    if (t.state != MapState::kDone && t.state != MapState::kReused)
+      continue;
+    const MapOutput* out = env_.map_outputs.find(t.key(spec_.logical_id));
+    const bool output_ok =
+        out != nullptr && !out->lost && env_.cluster.alive(out->node);
+    if (output_ok) continue;
+    bool needed = false;
+    for (const auto& rt : reduces_) {
+      if (rt.state == ReduceState::kDone) continue;
+      if (rt.contrib[m] != ContribState::kFetched) {
+        needed = true;
+        break;
+      }
+    }
+    if (needed) reset_map_task(m);
+  }
+
+  // 4) Re-queue mappers frozen by the kill.
+  for (std::uint32_t m = 0; m < maps_.size(); ++m) {
+    if (maps_[m].state == MapState::kFrozen) reset_map_task(m);
+  }
+
+  // 5) Irreversible-loss assessment: every task that still has to run
+  //    must be able to read its input; every committed partition must
+  //    still be available.
+  for (const MapTask& t : maps_) {
+    if (t.state == MapState::kDone || t.state == MapState::kReused)
+      continue;
+    if (env_.dfs.alive_locations(t.block_id).empty()) {
+      RCMP_WARN() << "t=" << env_.sim.now() << " job " << spec_.name
+                  << ": map input block lost — aborting";
+      return FailureOutcome::kNeedsAbort;
+    }
+  }
+  for (std::uint32_t p : partitions_committed_) {
+    if (!env_.dfs.partition_available(spec_.output, p)) {
+      RCMP_WARN() << "t=" << env_.sim.now() << " job " << spec_.name
+                  << ": committed output partition " << p
+                  << " lost — aborting";
+      return FailureOutcome::kNeedsAbort;
+    }
+  }
+
+  schedule_tasks();
+  on_map_phase_maybe_done();
+  return FailureOutcome::kRecovered;
+}
+
+// ---------------------------------------------------------------------
+// lifecycle
+// ---------------------------------------------------------------------
+
+void JobRun::cancel_task_work(MapTask& t) {
+  if (t.ev != sim::kInvalidEvent) {
+    env_.sim.cancel(t.ev);
+    t.ev = sim::kInvalidEvent;
+  }
+  if (t.flow != res::kInvalidFlow) {
+    env_.net.cancel_flow(t.flow);
+    t.flow = res::kInvalidFlow;
+  }
+  staged_buckets_.erase(static_cast<std::uint32_t>(&t - maps_.data()));
+}
+
+void JobRun::cancel_task_work(ReduceTask& t) {
+  if (t.ev != sim::kInvalidEvent) {
+    env_.sim.cancel(t.ev);
+    t.ev = sim::kInvalidEvent;
+  }
+  for (res::FlowId f : t.write_flows) env_.net.cancel_flow(f);
+  t.write_flows.clear();
+}
+
+void JobRun::cancel() {
+  if (state_ != RunState::kRunning) return;
+  state_ = RunState::kCancelled;
+  result_.status = JobResult::Status::kCancelled;
+  result_.end_time = env_.sim.now();
+
+  if (bootstrap_ev_ != sim::kInvalidEvent) {
+    env_.sim.cancel(bootstrap_ev_);
+    bootstrap_ev_ = sim::kInvalidEvent;
+  }
+  if (speculation_ev_ != sim::kInvalidEvent) {
+    env_.sim.cancel(speculation_ev_);
+    speculation_ev_ = sim::kInvalidEvent;
+  }
+  std::vector<std::uint32_t> dup_tasks;
+  for (const auto& [m, dup] : duplicates_) dup_tasks.push_back(m);
+  for (std::uint32_t m : dup_tasks) cancel_duplicate(m);
+  for (auto& t : maps_) cancel_task_work(t);
+  for (std::uint32_t r = 0; r < reduces_.size(); ++r) {
+    cancel_task_work(reduces_[r]);
+  }
+  for (auto& [token, ff] : active_fetches_) env_.net.cancel_flow(ff.flow);
+  active_fetches_.clear();
+
+  // Discard this attempt's partial results (paper §V-A: "RCMP currently
+  // discards the partial results computed before the failure").
+  for (const MapOutputKey& key : outputs_registered_) {
+    env_.map_outputs.drop(key);
+  }
+  const bool preserve =
+      !directive_.active || directive_.split_factor == 1;
+  for (std::uint32_t p : partitions_committed_) {
+    env_.dfs.clear_partition(spec_.output, p, preserve);
+    env_.payloads.clear(spec_.output, p);
+  }
+  RCMP_INFO() << "t=" << env_.sim.now() << " job " << spec_.name
+              << " (ordinal " << ordinal_ << ") cancelled";
+}
+
+void JobRun::maybe_finish() {
+  if (state_ != RunState::kRunning) return;
+  if (reduces_remaining_ != 0) return;
+  finish(JobResult::Status::kCompleted);
+}
+
+void JobRun::finish(JobResult::Status status) {
+  state_ = RunState::kFinished;
+  if (speculation_ev_ != sim::kInvalidEvent) {
+    env_.sim.cancel(speculation_ev_);
+    speculation_ev_ = sim::kInvalidEvent;
+  }
+  result_.status = status;
+  result_.end_time = env_.sim.now();
+  result_.mappers_reused = 0;
+  for (std::uint32_t m = 0; m < maps_.size(); ++m) {
+    const MapTask& t = maps_[m];
+    if (t.state == MapState::kReused) ++result_.mappers_reused;
+    if (t.executed) {
+      result_.map_timings.push_back(
+          TaskTiming{true, m, t.node, t.start_time, t.end_time});
+    }
+  }
+  for (std::uint32_t r = 0; r < reduces_.size(); ++r) {
+    const ReduceTask& rt = reduces_[r];
+    if (rt.state == ReduceState::kDone) {
+      result_.reduce_timings.push_back(
+          TaskTiming{false, r, rt.node, rt.start_time, rt.end_time});
+    }
+  }
+  RCMP_INFO() << "t=" << env_.sim.now() << " job " << spec_.name
+              << " (ordinal " << ordinal_ << ") finished in "
+              << result_.duration() << "s";
+  if (on_done_) on_done_(*this);
+}
+
+}  // namespace rcmp::mapred

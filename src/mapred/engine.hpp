@@ -1,0 +1,309 @@
+// The MapReduce job execution engine.
+//
+// A JobRun executes one job (initial run or recomputation run) on the
+// simulated cluster, end to end: map scheduling with locality, map
+// input reads, UDF compute, local map-output writes, the shuffle (with
+// map-phase overlap for early reducer waves), reduce compute, and the
+// replicated DFS output write. Failures freeze work immediately (the
+// physical effect) but are acted upon only after the Master's detection
+// timeout (the knowledge effect), matching the paper's 15 s inject /
+// 30 s detect methodology.
+//
+// Recomputation runs honor a RecomputeDirective: only damaged output
+// partitions are regenerated, persisted map outputs are reused when the
+// reuse rules allow, and reducers may be hash-split into finer tasks
+// (the paper's core contribution, §IV-B).
+//
+// Ownership: the middleware (src/core) constructs one JobRun per
+// submission and keeps it alive until the simulation ends; JobRun
+// callbacks are epoch-guarded so cancelled work can never resurrect.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "dfs/namenode.hpp"
+#include "mapred/job.hpp"
+#include "mapred/map_output_store.hpp"
+#include "mapred/payload_store.hpp"
+#include "resources/flow_network.hpp"
+#include "sim/simulation.hpp"
+
+namespace rcmp::mapred {
+
+/// The substrate a job runs on. All references must outlive the JobRun.
+struct Env {
+  sim::Simulation& sim;
+  res::FlowNetwork& net;
+  cluster::Cluster& cluster;
+  dfs::NameNode& dfs;
+  MapOutputStore& map_outputs;
+  PayloadStore& payloads;
+};
+
+class JobRun {
+ public:
+  /// Invoked exactly once, when the run completes or aborts (never for
+  /// cancelled runs).
+  using DoneCallback = std::function<void(JobRun&)>;
+
+  JobRun(Env env, JobSpec spec, RecomputeDirective directive,
+         EngineConfig cfg, std::uint32_t ordinal, std::uint64_t seed,
+         DoneCallback on_done);
+
+  JobRun(const JobRun&) = delete;
+  JobRun& operator=(const JobRun&) = delete;
+
+  /// Begin execution at the current simulated time.
+  void start();
+
+  /// Middleware notification: a node just died (physical effect). Stops
+  /// all work touching the node but defers decisions to detection.
+  void on_node_killed(cluster::NodeId n);
+
+  enum class FailureOutcome { kRecovered, kNeedsAbort };
+  /// Master detected the failure (kill + detection timeout). Either
+  /// recovers via task re-execution (inputs still available: the
+  /// replication path) or reports that required data is gone.
+  FailureOutcome on_detected_failure(cluster::NodeId n);
+
+  /// Cancel the run: all in-flight work stops, partial output partitions
+  /// and this attempt's persisted map outputs are discarded (the paper's
+  /// RCMP "discards the partial results computed before the failure").
+  void cancel();
+
+  bool running() const { return state_ == RunState::kRunning; }
+  bool finished() const { return state_ == RunState::kFinished; }
+  const JobResult& result() const { return result_; }
+  const JobSpec& spec() const { return spec_; }
+  const RecomputeDirective& directive() const { return directive_; }
+
+ private:
+  enum class RunState { kCreated, kRunning, kFinished, kCancelled };
+
+  enum class MapState : std::uint8_t {
+    kPending,    // waiting for a slot
+    kStarting,   // slot held, task start-up delay
+    kReading,    // input flow in flight
+    kComputing,  // UDF delay
+    kWriting,    // local map-output write flow
+    kDone,       // output registered in the MapOutputStore
+    kReused,     // persisted output from a previous run is used as-is
+    kFrozen,     // was running on a node that died; awaiting detection
+  };
+
+  struct MapTask {
+    dfs::FileId input_file = dfs::kInvalidFile;
+    std::uint32_t input_index = 0;  // which of JobSpec::inputs
+    std::uint32_t input_partition = 0;
+    std::uint32_t block_index = 0;
+    std::uint64_t block_id = 0;
+    Bytes input_bytes = 0;
+    std::uint64_t input_layout_version = 0;
+
+    MapState state = MapState::kPending;
+    cluster::NodeId node = cluster::kInvalidNode;
+    std::uint32_t epoch = 0;  // bumped on every reset; stale guard
+    res::FlowId flow = res::kInvalidFlow;
+    sim::EventId ev = sim::kInvalidEvent;
+
+    double out_bytes = 0.0;  // total map-output bytes (set when done)
+    SimTime start_time = -1.0;
+    SimTime end_time = -1.0;
+    bool executed = false;  // ran (at least once) in this attempt
+
+    /// Map-output identity: the partition coordinate encodes which
+    /// input file the block belongs to (multi-input DAG jobs).
+    MapOutputKey key(std::uint32_t logical_job) const {
+      return MapOutputKey{logical_job,
+                          (input_index << 16) | input_partition,
+                          block_index};
+    }
+  };
+
+  enum class ContribState : std::uint8_t {
+    kWaiting,   // mapper output not (or no longer) available
+    kReady,     // available, buffered for a coalesced fetch
+    kInflight,  // fetch flow running
+    kFetched,   // bytes are on the reducer's node
+  };
+
+  enum class ReduceState : std::uint8_t {
+    kUnassigned,  // waiting for a reduce slot
+    kStarting,    // slot held, start-up delay
+    kFetching,    // shuffle in progress
+    kComputing,   // sort/merge + reduce UDF delay
+    kWriting,     // DFS output pipeline
+    kDone,
+    kFrozen,  // node died; awaiting detection
+  };
+
+  struct ReduceTask {
+    std::uint32_t partition = 0;     // initial-granularity output partition
+    std::uint32_t split_index = 0;   // 0 when split_factor == 1
+    ReduceState state = ReduceState::kUnassigned;
+    cluster::NodeId node = cluster::kInvalidNode;
+    std::uint32_t epoch = 0;
+    sim::EventId ev = sim::kInvalidEvent;
+
+    std::vector<ContribState> contrib;  // one per map task
+    std::uint32_t unfetched = 0;
+    double fetched_bytes = 0.0;
+    /// Serialized per-transfer latency owed before the reduce phase
+    /// (n_transfers * shuffle_tail_latency / fetch_parallelism).
+    SimTime tail_debt = 0.0;
+    // Ready-buffer per source node: bytes and mapper indices awaiting a
+    // coalesced fetch flow.
+    std::vector<double> ready_bytes;                 // [node]
+    std::vector<std::vector<std::uint32_t>> ready;   // [node] -> mappers
+
+    std::vector<Record> gathered;  // payload mode
+    double out_bytes = 0.0;
+    std::vector<dfs::NameNode::PlannedBlock> planned;
+    std::uint32_t next_block = 0;
+    std::vector<res::FlowId> write_flows;
+    std::uint32_t outstanding_writes = 0;
+    bool write_blocked = false;  // a replica target died mid-write
+    std::vector<Record> out_records;
+
+    SimTime start_time = -1.0;
+    SimTime end_time = -1.0;
+  };
+
+  /// A speculative duplicate of a running map task. The duplicate races
+  /// the original; whichever finishes first completes the task and the
+  /// loser is cancelled.
+  struct Duplicate {
+    std::uint64_t token = 0;  // stale-callback guard
+    cluster::NodeId node = cluster::kInvalidNode;
+    MapState state = MapState::kStarting;
+    res::FlowId flow = res::kInvalidFlow;
+    sim::EventId ev = sim::kInvalidEvent;
+    double out_bytes = 0.0;
+    std::vector<std::vector<Record>> staged_buckets;  // payload mode
+  };
+
+  struct FetchFlow {
+    std::uint32_t reducer = 0;
+    std::uint32_t reducer_epoch = 0;
+    cluster::NodeId src = cluster::kInvalidNode;
+    std::vector<std::uint32_t> mappers;
+    double bytes = 0.0;
+    res::FlowId flow = res::kInvalidFlow;
+  };
+
+  // --- setup ---------------------------------------------------------
+  void bootstrap();  // runs after job_setup_time
+  void build_map_tasks();
+  void build_reduce_tasks();
+  bool map_output_reusable(const MapOutputKey& key,
+                           std::uint64_t layout_version) const;
+
+  // --- scheduling ----------------------------------------------------
+  void schedule_tasks();
+  void schedule_maps();
+  void schedule_reduces();
+  void assign_map(std::uint32_t m, cluster::NodeId n);
+  void assign_reduce(std::uint32_t r, cluster::NodeId n);
+
+  // --- map task state machine ----------------------------------------
+  cluster::NodeId pick_read_source(
+      const std::vector<cluster::NodeId>& locs, cluster::NodeId reader);
+  void map_startup_done(std::uint32_t m, std::uint32_t epoch);
+  void map_read_done(std::uint32_t m, std::uint32_t epoch);
+  void map_compute_done(std::uint32_t m, std::uint32_t epoch);
+  void map_write_done(std::uint32_t m, std::uint32_t epoch);
+  void complete_map_task(std::uint32_t m);
+  void register_map_output(std::uint32_t m);
+  void on_mapper_available(std::uint32_t m);  // done or reused
+  void reset_map_task(std::uint32_t m);
+
+  // --- speculative execution ------------------------------------------
+  void schedule_speculation_check();
+  void speculation_check();
+  void launch_duplicate(std::uint32_t m, cluster::NodeId node);
+  void dup_startup_done(std::uint32_t m, std::uint64_t token);
+  void dup_read_done(std::uint32_t m, std::uint64_t token);
+  void dup_compute_done(std::uint32_t m, std::uint64_t token);
+  void dup_write_done(std::uint32_t m, std::uint64_t token);
+  /// Cancel and discard a task's duplicate (if any), freeing its slot.
+  void cancel_duplicate(std::uint32_t m);
+  Duplicate* find_dup(std::uint32_t m, std::uint64_t token);
+
+  // --- shuffle ---------------------------------------------------------
+  void mark_contrib_ready(std::uint32_t r, std::uint32_t m);
+  double contrib_bytes(std::uint32_t r, std::uint32_t m) const;
+  void flush_ready(std::uint32_t r, bool force);
+  void flush_all_ready(bool force);
+  void fetch_done(std::uint64_t token);
+  void cancel_fetches_of_reducer(std::uint32_t r);
+
+  // --- reduce task state machine --------------------------------------
+  void reduce_startup_done(std::uint32_t r, std::uint32_t epoch);
+  void maybe_start_reduce_compute(std::uint32_t r);
+  void reduce_compute_done(std::uint32_t r, std::uint32_t epoch);
+  void start_reduce_write(std::uint32_t r);
+  void write_next_block(std::uint32_t r, std::uint32_t epoch);
+  void block_write_done(std::uint32_t r, std::uint32_t epoch);
+  void reduce_done(std::uint32_t r);
+  void reset_reduce_task(std::uint32_t r);
+
+  // --- lifecycle -------------------------------------------------------
+  void on_map_phase_maybe_done();
+  void maybe_finish();
+  void finish(JobResult::Status status);
+  void cancel_task_work(MapTask& t);
+  void cancel_task_work(ReduceTask& t);
+  void run_map_udf(std::uint32_t m, MapOutput& out) const;
+
+  bool payload_mode() const;
+  double flush_threshold() const { return flush_threshold_; }
+
+  Env env_;
+  JobSpec spec_;
+  RecomputeDirective directive_;
+  EngineConfig cfg_;
+  std::uint32_t ordinal_;
+  Rng rng_;
+  DoneCallback on_done_;
+
+  RunState state_ = RunState::kCreated;
+  JobResult result_;
+
+  std::vector<MapTask> maps_;
+  std::vector<ReduceTask> reduces_;
+  std::vector<std::uint32_t> pending_maps_;
+  std::vector<std::uint32_t> pending_reduces_;
+  std::uint32_t maps_remaining_ = 0;    // not yet done/reused
+  std::uint32_t reduces_remaining_ = 0;
+
+  std::vector<std::uint32_t> free_map_slots_;     // per node
+  std::vector<std::uint32_t> free_reduce_slots_;  // per node
+  std::uint32_t rr_cursor_ = 0;  // round-robin node cursor
+
+  std::unordered_map<std::uint64_t, FetchFlow> active_fetches_;
+  std::uint64_t next_fetch_token_ = 1;
+  double flush_threshold_ = 0.0;
+  bool payload_mode_ = false;
+  /// Payload mode: UDF outputs staged between map compute and the end of
+  /// the map-output write flow.
+  std::unordered_map<std::uint32_t, std::vector<std::vector<Record>>>
+      staged_buckets_;
+
+  std::vector<MapOutputKey> outputs_registered_;     // this attempt
+  std::vector<std::uint32_t> partitions_committed_;  // this attempt
+  sim::EventId bootstrap_ev_ = sim::kInvalidEvent;
+
+  std::unordered_map<std::uint32_t, Duplicate> duplicates_;  // by task
+  std::uint64_t next_dup_token_ = 1;
+  sim::EventId speculation_ev_ = sim::kInvalidEvent;
+  double completed_map_time_sum_ = 0.0;
+  std::uint32_t completed_map_count_ = 0;
+};
+
+}  // namespace rcmp::mapred

@@ -1,0 +1,92 @@
+#include "mapred/map_output_store.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rcmp::mapred {
+
+void MapOutputStore::put(const MapOutputKey& key, MapOutput output) {
+  outputs_[key] = std::move(output);
+}
+
+bool MapOutputStore::contains(const MapOutputKey& key) const {
+  return outputs_.count(key) > 0;
+}
+
+const MapOutput* MapOutputStore::find(const MapOutputKey& key) const {
+  auto it = outputs_.find(key);
+  return it == outputs_.end() ? nullptr : &it->second;
+}
+
+bool MapOutputStore::usable(const MapOutputKey& key,
+                            std::uint64_t input_layout_version,
+                            const cluster::Cluster& cluster) const {
+  const MapOutput* out = find(key);
+  if (out == nullptr || out->lost) return false;
+  if (!cluster.alive(out->node)) return false;
+  return out->input_layout_version == input_layout_version;
+}
+
+void MapOutputStore::drop(const MapOutputKey& key) { outputs_.erase(key); }
+
+void MapOutputStore::drop_job(std::uint32_t logical_job) {
+  for (auto it = outputs_.begin(); it != outputs_.end();) {
+    if (it->first.logical_job == logical_job) {
+      it = outputs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Bytes MapOutputStore::evict_upto(std::uint32_t logical_job, Bytes bytes) {
+  std::vector<MapOutputKey> keys;
+  for (const auto& [key, out] : outputs_) {
+    if (key.logical_job == logical_job && !out.lost) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const MapOutputKey& a, const MapOutputKey& b) {
+              return a.packed() > b.packed();
+            });
+  double freed = 0.0;
+  for (const MapOutputKey& key : keys) {
+    if (freed >= static_cast<double>(bytes)) break;
+    freed += outputs_.at(key).total_bytes;
+    outputs_.erase(key);
+  }
+  return static_cast<Bytes>(freed);
+}
+
+void MapOutputStore::on_node_failure(cluster::NodeId dead) {
+  for (auto& [key, out] : outputs_) {
+    if (out.node == dead) out.lost = true;
+  }
+}
+
+Bytes MapOutputStore::used_on_node(cluster::NodeId n) const {
+  double total = 0.0;
+  for (const auto& [key, out] : outputs_) {
+    if (out.node == n && !out.lost) total += out.total_bytes;
+  }
+  return static_cast<Bytes>(total);
+}
+
+Bytes MapOutputStore::used_for_job(std::uint32_t logical_job) const {
+  double total = 0.0;
+  for (const auto& [key, out] : outputs_) {
+    if (key.logical_job == logical_job && !out.lost)
+      total += out.total_bytes;
+  }
+  return static_cast<Bytes>(total);
+}
+
+Bytes MapOutputStore::total_used() const {
+  double total = 0.0;
+  for (const auto& [key, out] : outputs_) {
+    if (!out.lost) total += out.total_bytes;
+  }
+  return static_cast<Bytes>(total);
+}
+
+}  // namespace rcmp::mapred

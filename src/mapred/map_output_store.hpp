@@ -1,0 +1,97 @@
+// Persisted map outputs (RCMP §IV-A: "RCMP persists this data across
+// jobs ... trading off storage space for recomputation speed-up").
+//
+// In stock Hadoop a mapper's output lives on the mapper's local disk
+// only until the job finishes. RCMP keeps it: on a recomputation run,
+// JobInit "checks the metadata on the list of already persisted map
+// outputs and readies for execution only the minimum necessary number of
+// mappers".
+//
+// A map output is identified by its input coordinates: (logical job,
+// input partition, block index). Reuse is valid only if
+//   - the output is not lost (its node is alive), and
+//   - the input partition's layout version still matches the one the
+//     mapper saw. A partition recomputed by reducer *splits* gets a new
+//     layout, which invalidates downstream map outputs — this is the
+//     paper's Fig. 5 correctness rule, generalized: "not re-using the
+//     map outputs for which the reducer they depend on has been split".
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "mapred/record.hpp"
+
+namespace rcmp::mapred {
+
+struct MapOutputKey {
+  std::uint32_t logical_job = 0;
+  std::uint32_t input_partition = 0;
+  std::uint32_t block_index = 0;
+
+  bool operator==(const MapOutputKey&) const = default;
+  std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(logical_job) << 44) |
+           (static_cast<std::uint64_t>(input_partition) << 22) |
+           block_index;
+  }
+};
+
+struct MapOutput {
+  cluster::NodeId node = cluster::kInvalidNode;
+  /// Layout version of the input partition when the mapper ran.
+  std::uint64_t input_layout_version = 0;
+  double total_bytes = 0.0;
+  /// Bytes destined to each initial-granularity reducer partition.
+  std::vector<double> per_reducer_bytes;
+  /// Payload mode: records bucketed per initial reducer partition.
+  std::vector<std::vector<Record>> buckets;
+  bool lost = false;
+};
+
+class MapOutputStore {
+ public:
+  void put(const MapOutputKey& key, MapOutput output);
+  bool contains(const MapOutputKey& key) const;
+  /// nullptr if absent.
+  const MapOutput* find(const MapOutputKey& key) const;
+
+  /// Reuse check: present, not lost, node alive, and layout matches.
+  bool usable(const MapOutputKey& key, std::uint64_t input_layout_version,
+              const cluster::Cluster& cluster) const;
+
+  void drop(const MapOutputKey& key);
+  /// Drop every output of a logical job (storage reclamation, and
+  /// discarding a cancelled attempt's partial outputs).
+  void drop_job(std::uint32_t logical_job);
+
+  /// Evict outputs of one job until at least `bytes` are freed or the
+  /// job has none left; returns the bytes actually freed. Eviction
+  /// order is deterministic (descending key), i.e. roughly wave by
+  /// wave from the latest mappers backwards — the paper's proposed
+  /// "deleting persisted outputs at the granularity of waves".
+  Bytes evict_upto(std::uint32_t logical_job, Bytes bytes);
+
+  /// Mark outputs stored on a dead node as lost (physical truth; the
+  /// engine learns about it only after the detection timeout).
+  void on_node_failure(cluster::NodeId dead);
+
+  Bytes used_on_node(cluster::NodeId n) const;
+  Bytes total_used() const;
+  /// Bytes persisted for one logical job (eviction accounting).
+  Bytes used_for_job(std::uint32_t logical_job) const;
+  std::size_t size() const { return outputs_.size(); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const MapOutputKey& k) const {
+      return static_cast<std::size_t>(k.packed() * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  std::unordered_map<MapOutputKey, MapOutput, KeyHash> outputs_;
+};
+
+}  // namespace rcmp::mapred

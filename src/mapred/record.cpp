@@ -1,0 +1,11 @@
+#include "mapred/record.hpp"
+
+namespace rcmp::mapred {
+
+Checksum checksum_of(std::span<const Record> records) {
+  Checksum c;
+  for (const Record& r : records) c.add(r);
+  return c;
+}
+
+}  // namespace rcmp::mapred

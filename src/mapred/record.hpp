@@ -1,0 +1,125 @@
+// Records, UDF interfaces and verification checksums for the functional
+// (payload-backed) execution mode.
+//
+// The simulator always tracks *logical* byte volumes; when a dataset is
+// payload-backed, tasks additionally execute real user-defined functions
+// over real records. This is how the reproduction demonstrates that
+// RCMP's recomputation is *correct*, not just fast: after any failure
+// schedule, the final output must contain exactly the same key multiset
+// and checksum aggregate as a failure-free run (the paper's per-record
+// MD5 and byte-sum checks serve the same purpose).
+//
+// Records are (u64 key, u64 value); the value deterministically expands
+// to a synthetic payload for MD5 purposes, keeping memory proportional
+// to record count rather than data volume.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/md5.hpp"
+#include "common/rng.hpp"
+
+namespace rcmp::mapred {
+
+struct Record {
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+
+  bool operator==(const Record&) const = default;
+};
+
+/// Expand a record's value into its synthetic payload bytes. Every
+/// consumer (MD5 check, byte-sum check) sees the same expansion.
+inline void expand_payload(std::uint64_t value, std::uint8_t out[64]) {
+  std::uint64_t s = value;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t w = splitmix64(s);
+    for (int b = 0; b < 8; ++b)
+      out[i * 8 + b] = static_cast<std::uint8_t>(w >> (8 * b));
+  }
+}
+
+/// MD5-based check: first 8 bytes of MD5(payload(value)).
+inline std::uint64_t record_md5_check(const Record& r) {
+  std::uint8_t payload[64];
+  expand_payload(r.value, payload);
+  return Md5::hash64(payload, sizeof(payload));
+}
+
+/// Byte-sum based check: sum of all payload bytes.
+inline std::uint64_t record_byte_sum(const Record& r) {
+  std::uint8_t payload[64];
+  expand_payload(r.value, payload);
+  std::uint64_t s = 0;
+  for (std::uint8_t b : payload) s += b;
+  return s;
+}
+
+/// Order-independent aggregate over a record multiset. Two datasets have
+/// equal Checksum iff (with overwhelming probability) they hold the same
+/// records with the same multiplicities — the property RCMP must
+/// preserve across recomputations (paper Fig. 5: keys must neither
+/// disappear nor appear twice).
+struct Checksum {
+  std::uint64_t md5_acc = 0;   // sum of per-record MD5 checks
+  std::uint64_t sum_acc = 0;   // sum of per-record byte sums
+  std::uint64_t key_acc = 0;   // sum of mix64(key) — detects key changes
+  std::uint64_t count = 0;
+
+  void add(const Record& r) {
+    md5_acc += record_md5_check(r);
+    sum_acc += record_byte_sum(r);
+    key_acc += mix64(r.key);
+    ++count;
+  }
+  void merge(const Checksum& o) {
+    md5_acc += o.md5_acc;
+    sum_acc += o.sum_acc;
+    key_acc += o.key_acc;
+    count += o.count;
+  }
+  bool operator==(const Checksum&) const = default;
+};
+
+Checksum checksum_of(std::span<const Record> records);
+
+/// Collects a UDF's emitted records.
+class Emitter {
+ public:
+  void emit(std::uint64_t key, std::uint64_t value) {
+    out_.push_back(Record{key, value});
+  }
+  void emit(const Record& r) { out_.push_back(r); }
+  std::vector<Record>& records() { return out_; }
+  const std::vector<Record>& records() const { return out_; }
+
+ private:
+  std::vector<Record> out_;
+};
+
+/// Map UDF. `job_salt` identifies the logical job so that per-record
+/// "randomization" (as in the paper's workload) is deterministic across
+/// recomputations: a recomputed mapper must reproduce its initial output
+/// bit-for-bit, or persisted downstream state would be inconsistent.
+class MapUdf {
+ public:
+  virtual ~MapUdf() = default;
+  virtual void map(const Record& in, std::uint64_t job_salt,
+                   Emitter& out) const = 0;
+};
+
+/// Reduce UDF: one key with all its values (the engine guarantees all
+/// values of a key reach exactly one reduce call, including under
+/// reducer splitting — each split owns whole keys, §IV-B1).
+class ReduceUdf {
+ public:
+  virtual ~ReduceUdf() = default;
+  virtual void reduce(std::uint64_t key,
+                      std::span<const std::uint64_t> values,
+                      std::uint64_t job_salt, Emitter& out) const = 0;
+};
+
+}  // namespace rcmp::mapred

@@ -1,0 +1,231 @@
+#include "resources/flow_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rcmp::res {
+
+namespace {
+// A flow is considered drained when fewer than this many bytes remain;
+// absorbs floating-point drift from repeated rate changes.
+constexpr double kDrainEpsilon = 1e-3;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+LinkId FlowNetwork::add_link(LinkSpec spec) {
+  RCMP_CHECK_MSG(spec.capacity > 0.0, "link capacity must be positive");
+  RCMP_CHECK(spec.contention_alpha >= 0.0);
+  links_.push_back(Link{std::move(spec), {}});
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+void FlowNetwork::set_link_capacity(LinkId id, Rate capacity) {
+  RCMP_CHECK(id < links_.size());
+  RCMP_CHECK(capacity > 0.0);
+  advance_progress();
+  links_[id].spec.capacity = capacity;
+  reallocate_and_reschedule();
+}
+
+Rate FlowNetwork::link_capacity(LinkId id) const {
+  RCMP_CHECK(id < links_.size());
+  return links_[id].spec.capacity;
+}
+
+Rate FlowNetwork::link_effective_capacity(LinkId id) const {
+  RCMP_CHECK(id < links_.size());
+  const Link& l = links_[id];
+  const double k = l.weighted_streams;
+  if (k <= 1.0 || l.spec.contention_alpha == 0.0) return l.spec.capacity;
+  const double threshold = std::max(1.0, l.spec.contention_threshold);
+  const double excess = k / threshold;
+  if (excess <= 1.0) return l.spec.capacity;
+  return l.spec.capacity /
+         (1.0 + l.spec.contention_alpha * std::log(excess));
+}
+
+std::size_t FlowNetwork::link_active_flows(LinkId id) const {
+  RCMP_CHECK(id < links_.size());
+  return links_[id].flows.size();
+}
+
+double FlowNetwork::link_pressure(LinkId id) const {
+  RCMP_CHECK(id < links_.size());
+  const double streams = links_[id].weighted_streams + 1.0;
+  return streams / link_effective_capacity(id);
+}
+
+FlowId FlowNetwork::start_flow(FlowSpec spec) {
+  for (LinkId l : spec.path) RCMP_CHECK(l < links_.size());
+  if (spec.weights.empty()) {
+    spec.weights.assign(spec.path.size(), 1.0);
+  }
+  RCMP_CHECK_MSG(spec.weights.size() == spec.path.size(),
+                 "weights must align with path");
+  for (double w : spec.weights) RCMP_CHECK(w > 0.0);
+
+  const FlowId id = next_flow_id_++;
+  if (spec.bytes == 0 || spec.path.empty()) {
+    // Nothing to transfer through the network (zero bytes, or a pure
+    // latency flow with no links): complete after the tail latency
+    // alone, via the event queue so callbacks never reenter the caller.
+    sim_.schedule_after(spec.tail_latency, std::move(spec.on_complete));
+    return id;
+  }
+
+  advance_progress();
+  Flow f;
+  f.path = std::move(spec.path);
+  f.weights = std::move(spec.weights);
+  f.remaining = static_cast<double>(spec.bytes);
+  f.tail_latency = spec.tail_latency;
+  f.on_complete = std::move(spec.on_complete);
+  for (std::size_t i = 0; i < f.path.size(); ++i) {
+    links_[f.path[i]].flows.push_back(id);
+    links_[f.path[i]].weighted_streams += f.weights[i];
+  }
+  flows_.emplace(id, std::move(f));
+  reallocate_and_reschedule();
+  return id;
+}
+
+void FlowNetwork::cancel_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  advance_progress();
+  detach_from_links(id, it->second);
+  flows_.erase(it);
+  reallocate_and_reschedule();
+}
+
+Rate FlowNetwork::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double FlowNetwork::flow_remaining(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.remaining;
+}
+
+void FlowNetwork::detach_from_links(FlowId id, const Flow& f) {
+  for (std::size_t i = 0; i < f.path.size(); ++i) {
+    auto& link = links_[f.path[i]];
+    auto pos = std::find(link.flows.begin(), link.flows.end(), id);
+    RCMP_CHECK(pos != link.flows.end());
+    *pos = link.flows.back();
+    link.flows.pop_back();
+    link.weighted_streams =
+        std::max(0.0, link.weighted_streams - f.weights[i]);
+  }
+}
+
+void FlowNetwork::advance_progress() {
+  const SimTime now = sim_.now();
+  const SimTime dt = now - last_advance_;
+  last_advance_ = now;
+  if (dt <= 0.0) return;
+  for (auto& [id, f] : flows_) {
+    f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+  }
+}
+
+void FlowNetwork::compute_rates() {
+  ++reallocations_;
+  const std::size_t nlinks = links_.size();
+  scratch_rem_.resize(nlinks);
+  scratch_unfrozen_.resize(nlinks);
+
+  for (std::size_t l = 0; l < nlinks; ++l) {
+    scratch_rem_[l] = link_effective_capacity(static_cast<LinkId>(l));
+    scratch_unfrozen_[l] = links_[l].weighted_streams;
+  }
+  for (auto& [id, f] : flows_) f.rate = -1.0;  // -1 == unfrozen
+
+  // Progressive filling: repeatedly find the most constrained link
+  // (smallest fair share per unit weight), freeze its flows at that
+  // share, subtract their consumption everywhere.
+  constexpr double kWeightEps = 1e-9;
+  for (;;) {
+    double best_share = kInf;
+    std::size_t best_link = nlinks;
+    for (std::size_t l = 0; l < nlinks; ++l) {
+      if (scratch_unfrozen_[l] <= kWeightEps) continue;
+      const double share =
+          std::max(0.0, scratch_rem_[l]) / scratch_unfrozen_[l];
+      if (share < best_share) {
+        best_share = share;
+        best_link = l;
+      }
+    }
+    if (best_link == nlinks) break;  // all flows frozen
+
+    // Freeze every still-unfrozen flow crossing best_link.
+    for (FlowId fid : links_[best_link].flows) {
+      Flow& f = flows_.at(fid);
+      if (f.rate >= 0.0) continue;  // already frozen via another link
+      f.rate = best_share;
+      for (std::size_t i = 0; i < f.path.size(); ++i) {
+        scratch_rem_[f.path[i]] -= best_share * f.weights[i];
+        scratch_unfrozen_[f.path[i]] -= f.weights[i];
+      }
+    }
+    RCMP_CHECK(scratch_unfrozen_[best_link] <= 1e-6);
+    scratch_unfrozen_[best_link] = 0.0;
+  }
+}
+
+void FlowNetwork::reallocate_and_reschedule() {
+  if (completion_event_ != sim::kInvalidEvent) {
+    sim_.cancel(completion_event_);
+    completion_event_ = sim::kInvalidEvent;
+  }
+  if (flows_.empty()) return;
+
+  compute_rates();
+
+  double min_dt = kInf;
+  for (const auto& [id, f] : flows_) {
+    if (f.remaining <= kDrainEpsilon) {
+      min_dt = 0.0;
+      break;
+    }
+    if (f.rate > 0.0) min_dt = std::min(min_dt, f.remaining / f.rate);
+  }
+  RCMP_CHECK_MSG(min_dt < kInf,
+                 "active flows exist but none can make progress");
+  completion_event_ =
+      sim_.schedule_after(min_dt, [this] { on_timer(); });
+}
+
+void FlowNetwork::on_timer() {
+  completion_event_ = sim::kInvalidEvent;
+  advance_progress();
+
+  std::vector<FlowId> done;
+  for (auto& [id, f] : flows_) {
+    if (f.remaining <= kDrainEpsilon) done.push_back(id);
+  }
+  RCMP_CHECK_MSG(!done.empty(), "flow timer fired with no drained flow");
+
+  // Deterministic callback order regardless of hash-map iteration.
+  std::sort(done.begin(), done.end());
+  for (FlowId id : done) finish_flow(id);
+  reallocate_and_reschedule();
+}
+
+void FlowNetwork::finish_flow(FlowId id) {
+  auto it = flows_.find(id);
+  RCMP_CHECK(it != flows_.end());
+  Flow f = std::move(it->second);
+  detach_from_links(id, f);
+  flows_.erase(it);
+  if (f.on_complete) {
+    sim_.schedule_after(f.tail_latency, std::move(f.on_complete));
+  }
+}
+
+}  // namespace rcmp::res

@@ -1,0 +1,146 @@
+// Max-min fair-share flow network.
+//
+// Every data movement in the reproduction — a mapper reading its input
+// block, a map-output spill, a shuffle fetch, a DFS replication pipeline
+// stream — is a Flow over a path of capacitated Links (source disk,
+// source NIC uplink, fabric, destination NIC downlink, destination disk).
+// Whenever the set of active flows changes, rates are recomputed by
+// progressive filling (water-filling), the standard max-min fair
+// allocation: repeatedly saturate the most contended link and freeze the
+// flows through it.
+//
+// Disk links additionally model seek contention: the *aggregate*
+// throughput of a disk degrades with the number k of concurrent streams,
+//     eff(k) = capacity / (1 + alpha * ln(k)),
+// which is what turns "N*S mappers converge on one node's storage"
+// (paper §IV-B2, Figs. 6 and 12) into a hot-spot instead of a mere
+// fair-share slowdown.
+//
+// The network keeps a single pending completion event in the Simulation:
+// on every change it advances all flows' residual bytes at the old rates,
+// recomputes rates, and reschedules the earliest completion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/simulation.hpp"
+
+namespace rcmp::res {
+
+using LinkId = std::uint32_t;
+using FlowId = std::uint64_t;
+inline constexpr FlowId kInvalidFlow = 0;
+
+struct LinkSpec {
+  std::string name;
+  Rate capacity = 0.0;  // bytes/s aggregate when uncontended
+  /// Seek/contention degradation coefficient; 0 disables (networks).
+  double contention_alpha = 0.0;
+  /// Stream count up to which the link delivers full aggregate
+  /// capacity; degradation applies to k beyond this (a disk scheduler
+  /// absorbs a few concurrent streams; dozens of them — a hot-spot —
+  /// thrash it):  eff(k) = capacity / (1 + alpha * ln(max(1, k/k0))).
+  double contention_threshold = 1.0;
+};
+
+struct FlowSpec {
+  std::vector<LinkId> path;  // may be empty: pure-latency flow
+  /// Per-link work weights, aligned with `path` (empty = all 1.0).
+  /// A flow moving at rate r consumes weight*r of a link's capacity —
+  /// e.g. DFS writes cost more disk work per byte than reads (journal,
+  /// filesystem overhead; the paper cites Shafer et al. [22] on HDFS
+  /// write inefficiency). All flows frozen at a bottleneck get equal
+  /// byte rates; weights scale their capacity consumption.
+  std::vector<double> weights;
+  Bytes bytes = 0;
+  /// Latency appended after the last byte (the paper's SLOW SHUFFLE adds
+  /// a 10 s delay "at the end of each shuffle transfer").
+  SimTime tail_latency = 0.0;
+  std::function<void()> on_complete;
+};
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(sim::Simulation& sim) : sim_(sim) {}
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  LinkId add_link(LinkSpec spec);
+  std::size_t link_count() const { return links_.size(); }
+
+  /// Change a link's base capacity (used by tests and by the slow-network
+  /// emulation); triggers reallocation.
+  void set_link_capacity(LinkId id, Rate capacity);
+  Rate link_capacity(LinkId id) const;
+
+  /// Effective aggregate capacity of a link given its current stream
+  /// count (exposed for tests of the degradation model).
+  Rate link_effective_capacity(LinkId id) const;
+  std::size_t link_active_flows(LinkId id) const;
+
+  /// Congestion heuristic for source selection: expected time-per-byte
+  /// for one more stream, (active_streams + 1) / effective_capacity.
+  /// A degraded or congested link has high pressure even when it
+  /// carries few (slow) flows.
+  double link_pressure(LinkId id) const;
+
+  /// Start a flow. on_complete fires through the Simulation once all
+  /// bytes have moved plus tail_latency. Zero-byte flows complete after
+  /// tail_latency alone.
+  FlowId start_flow(FlowSpec spec);
+
+  /// Abort an in-flight flow; its on_complete never fires. No-op if the
+  /// flow already completed.
+  void cancel_flow(FlowId id);
+
+  std::size_t active_flows() const { return flows_.size(); }
+  bool flow_active(FlowId id) const { return flows_.count(id) > 0; }
+  /// Current allocated rate of a flow (bytes/s); 0 if unknown.
+  Rate flow_rate(FlowId id) const;
+  /// Bytes still to transfer; 0 if unknown/complete.
+  double flow_remaining(FlowId id) const;
+
+  /// Number of rate reallocations performed (for micro-benchmarks).
+  std::uint64_t reallocations() const { return reallocations_; }
+
+ private:
+  struct Link {
+    LinkSpec spec;
+    std::vector<FlowId> flows;  // active flows crossing this link
+    double weighted_streams = 0.0;
+  };
+  struct Flow {
+    std::vector<LinkId> path;
+    std::vector<double> weights;  // aligned with path
+    double remaining = 0.0;       // bytes
+    Rate rate = 0.0;
+    SimTime tail_latency = 0.0;
+    std::function<void()> on_complete;
+  };
+
+  void detach_from_links(FlowId id, const Flow& f);
+  void advance_progress();
+  void reallocate_and_reschedule();
+  void compute_rates();
+  void on_timer();
+  void finish_flow(FlowId id);
+
+  sim::Simulation& sim_;
+  std::vector<Link> links_;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 1;
+  SimTime last_advance_ = 0.0;
+  sim::EventId completion_event_ = sim::kInvalidEvent;
+  std::uint64_t reallocations_ = 0;
+
+  // Scratch buffers reused across reallocations to avoid churn.
+  std::vector<double> scratch_rem_;
+  std::vector<double> scratch_unfrozen_;  // weighted stream counts
+};
+
+}  // namespace rcmp::res

@@ -1,0 +1,45 @@
+#include "sim/simulation.hpp"
+
+#include <cmath>
+
+namespace rcmp::sim {
+
+EventId Simulation::schedule_at(SimTime t, std::function<void()> fn) {
+  RCMP_CHECK_MSG(std::isfinite(t), "event time must be finite");
+  // Tolerate tiny negative drift from floating-point rate arithmetic.
+  if (t < now_) {
+    RCMP_CHECK_MSG(now_ - t < 1e-6, "event scheduled in the past: t="
+                                        << t << " now=" << now_);
+    t = now_;
+  }
+  const EventId id = next_id_++;
+  pending_.emplace(id, std::move(fn));
+  heap_.push(HeapEntry{t, next_seq_++, id});
+  return id;
+}
+
+std::uint64_t Simulation::run_until(SimTime t) {
+  std::uint64_t fired = 0;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    auto it = pending_.find(top.id);
+    if (it == pending_.end()) {  // cancelled: discard lazily
+      heap_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    heap_.pop();
+    RCMP_CHECK_MSG(processed_ < max_events_,
+                   "simulation exceeded max_events");
+    now_ = top.time;
+    // Move the callback out before firing: it may schedule/cancel events.
+    std::function<void()> fn = std::move(it->second);
+    pending_.erase(it);
+    fn();
+    ++processed_;
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace rcmp::sim

@@ -1,0 +1,87 @@
+// Discrete-event simulation core.
+//
+// A Simulation owns a virtual clock and an event queue. Everything in the
+// reproduction — task state machines, flow completions, failure injection,
+// detection timeouts — is expressed as events scheduled on one Simulation
+// instance. Execution is strictly deterministic: events fire in
+// (time, insertion-sequence) order, so a (seed, config) pair reproduces a
+// run bit-for-bit.
+//
+// A Simulation is single-threaded by design (CP.1/CP.3: no shared mutable
+// state across threads). Parallelism in benches comes from running
+// independent Simulation instances on separate threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace rcmp::sim {
+
+/// Handle for a scheduled event; 0 is never a valid id.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute simulated time `t` (>= now).
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_after(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired or invalid id is
+  /// a no-op (lazy deletion keeps this O(1)).
+  void cancel(EventId id) { pending_.erase(id); }
+
+  bool is_pending(EventId id) const { return pending_.count(id) > 0; }
+
+  /// Run until the queue drains. Returns the number of events processed.
+  std::uint64_t run() { return run_until(std::numeric_limits<SimTime>::max()); }
+
+  /// Run events with time <= t; the clock is left at the last fired
+  /// event's time (not advanced to t if the queue drains earlier).
+  std::uint64_t run_until(SimTime t);
+
+  std::uint64_t events_processed() const { return processed_; }
+  std::size_t events_pending() const { return pending_.size(); }
+
+  /// Safety valve against runaway simulations (default: effectively off).
+  void set_max_events(std::uint64_t n) { max_events_ = n; }
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const HeapEntry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t max_events_ = std::numeric_limits<std::uint64_t>::max();
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap_;
+  std::unordered_map<EventId, std::function<void()>> pending_;
+};
+
+}  // namespace rcmp::sim

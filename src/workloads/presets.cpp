@@ -1,0 +1,106 @@
+#include "workloads/presets.hpp"
+
+namespace rcmp::workloads {
+
+using namespace rcmp::literals;
+
+ScenarioConfig stic_config(std::uint32_t map_slots,
+                           std::uint32_t reduce_slots) {
+  ScenarioConfig cfg;
+  cfg.cluster.nodes = 10;
+  cfg.cluster.racks = 1;
+  cfg.cluster.disk_bw = 90_MBps;  // app-visible HDD throughput
+  cfg.cluster.disk_alpha = 0.7;   // seek contention degradation
+  cfg.cluster.disk_contention_threshold = 3.0;
+  cfg.cluster.nic_bw = 10_Gbps;
+  cfg.cluster.fabric_oversubscription = 1.0;
+  cfg.cluster.map_slots = map_slots;
+  cfg.cluster.reduce_slots = reduce_slots;
+
+  cfg.engine.task_startup = 1.0;
+  cfg.engine.jvm_reuse = false;
+  cfg.engine.map_cpu_rate = 400e6;
+  cfg.engine.reduce_cpu_rate = 400e6;
+
+  cfg.per_node_input = 4_GiB;   // 16 mappers of 256MB per node
+  cfg.block_size = 256_MiB;
+  cfg.chain_length = 7;
+  cfg.input_replication = 3;
+  return cfg;
+}
+
+ScenarioConfig dco_config() { return dco_config_nodes(60); }
+
+ScenarioConfig dco_config_nodes(std::uint32_t nodes) {
+  ScenarioConfig cfg;
+  cfg.cluster.nodes = nodes;
+  cfg.cluster.racks = 3;
+  cfg.cluster.disk_bw = 130_MBps;  // newer 2TB drives
+  cfg.cluster.disk_alpha = 0.7;
+  cfg.cluster.disk_contention_threshold = 3.0;
+  cfg.cluster.nic_bw = 10_Gbps;
+  cfg.cluster.fabric_oversubscription = 1.0;
+  cfg.cluster.map_slots = 1;
+  cfg.cluster.reduce_slots = 1;
+
+  cfg.engine.task_startup = 1.0;
+  cfg.engine.jvm_reuse = true;  // the paper enables JVM reuse on DCO
+  cfg.engine.map_cpu_rate = 500e6;
+  cfg.engine.reduce_cpu_rate = 500e6;
+
+  cfg.per_node_input = 20_GiB;  // ~80 mappers of 256MB per node
+  cfg.block_size = 256_MiB;
+  cfg.chain_length = 7;
+  cfg.input_replication = 3;
+  return cfg;
+}
+
+ScenarioConfig tiny_config(std::uint32_t nodes, std::uint32_t chain_length) {
+  ScenarioConfig cfg;
+  cfg.cluster.nodes = nodes;
+  cfg.cluster.disk_bw = 100_MBps;
+  cfg.cluster.disk_alpha = 0.7;
+  cfg.cluster.disk_contention_threshold = 3.0;
+  cfg.cluster.nic_bw = 10_Gbps;
+  cfg.cluster.map_slots = 1;
+  cfg.cluster.reduce_slots = 1;
+
+  cfg.engine.task_startup = 0.3;
+  cfg.engine.map_cpu_rate = 400e6;
+  cfg.engine.reduce_cpu_rate = 400e6;
+
+  cfg.per_node_input = 512_MiB;  // 4 blocks of 128MB per node
+  cfg.block_size = 128_MiB;
+  cfg.chain_length = chain_length;
+  cfg.input_replication = 3;
+  return cfg;
+}
+
+ScenarioConfig payload_config(std::uint32_t nodes,
+                              std::uint32_t chain_length,
+                              std::uint32_t records_per_node) {
+  ScenarioConfig cfg;
+  cfg.cluster.nodes = nodes;
+  cfg.cluster.disk_bw = 100_MBps;
+  cfg.cluster.disk_alpha = 0.7;
+  cfg.cluster.disk_contention_threshold = 3.0;
+  cfg.cluster.nic_bw = 10_Gbps;
+  cfg.cluster.map_slots = 1;
+  cfg.cluster.reduce_slots = 1;
+
+  cfg.engine.task_startup = 0.1;
+  cfg.engine.map_cpu_rate = 400e6;
+  cfg.engine.reduce_cpu_rate = 400e6;
+  cfg.engine.record_bytes = 256;
+
+  cfg.payload = true;
+  // Sizes derive from records: keep 4 blocks per node-partition.
+  cfg.per_node_input = records_per_node * cfg.engine.record_bytes;
+  cfg.block_size = cfg.per_node_input / 4;
+  if (cfg.block_size == 0) cfg.block_size = cfg.engine.record_bytes;
+  cfg.chain_length = chain_length;
+  cfg.input_replication = 3;
+  return cfg;
+}
+
+}  // namespace rcmp::workloads

@@ -1,0 +1,105 @@
+#include "workloads/scenario.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace rcmp::workloads {
+
+Scenario::Scenario(ScenarioConfig cfg)
+    : cfg_(cfg),
+      net_(sim_),
+      cluster_(sim_, net_, cfg_.cluster),
+      dfs_(cluster_, cfg_.block_size, cfg_.seed ^ 0xdf5dULL),
+      rng_(cfg_.seed) {
+  generate_input();
+
+  chain_.jobs.reserve(cfg_.chain_length);
+  for (std::uint32_t j = 0; j < cfg_.chain_length; ++j) {
+    core::JobTemplate t;
+    t.name = "job" + std::to_string(j + 1);
+    t.num_reducers = cfg_.reducers_per_job;  // 0 = auto (one wave)
+    t.map_output_ratio = 1.0;                // the paper's 1/1/1 ratio
+    t.reduce_output_ratio = 1.0;
+    if (cfg_.payload) {
+      t.mapper = &mapper_;
+      t.reducer = &reducer_;
+    }
+    chain_.jobs.push_back(std::move(t));
+  }
+}
+
+void Scenario::generate_input() {
+  // "randomly generated, triple replicated, binary input data",
+  // distributed evenly: one partition local to each storage node (in
+  // the collocated default, every node).
+  const auto storage = cluster_.alive_storage_nodes();
+  const auto nodes = static_cast<std::uint32_t>(storage.size());
+  input_ = dfs_.create_file("input", nodes, cfg_.input_replication);
+  for (std::uint32_t p = 0; p < nodes; ++p) {
+    const cluster::NodeId writer = storage[p];
+    const auto plan = dfs_.plan_write(input_, writer, cfg_.per_node_input,
+                                      dfs::PlacementPolicy::kLocalFirst);
+    dfs_.commit_partition(input_, p, plan);
+    if (cfg_.payload) {
+      const std::uint64_t count =
+          cfg_.per_node_input / cfg_.engine.record_bytes;
+      std::vector<mapred::Record> records;
+      records.reserve(count);
+      for (std::uint64_t r = 0; r < count; ++r) {
+        records.push_back(mapred::Record{rng_(), rng_()});
+      }
+      payloads_.append(input_, p, std::move(records),
+                       static_cast<std::uint32_t>(plan.size()));
+    }
+  }
+}
+
+core::ChainResult Scenario::run(core::StrategyConfig strategy,
+                                cluster::FailurePlan failures) {
+  RCMP_CHECK_MSG(!ran_, "Scenario is one-shot; construct a fresh one");
+  ran_ = true;
+
+  middleware_ = std::make_unique<core::Middleware>(
+      env(), chain_, input_, strategy, cfg_.engine, rng_.fork_seed());
+
+  if (!failures.at_job_ordinals.empty()) {
+    injector_ = std::make_unique<cluster::FailureInjector>(
+        cluster_, failures, rng_.fork_seed());
+    middleware_->on_job_start(
+        [this](std::uint32_t ordinal) { injector_->notify_job_start(ordinal); });
+  }
+
+  core::ChainResult result;
+  middleware_->run([&result](const core::ChainResult& r) { result = r; });
+  sim_.run();
+  RCMP_CHECK_MSG(middleware_->finished(),
+                 "simulation drained before the chain completed "
+                 "(engine deadlock)");
+  return result;
+}
+
+dfs::FileId Scenario::final_output_file() const {
+  RCMP_CHECK(middleware_ != nullptr);
+  return middleware_->output_file(
+      static_cast<std::uint32_t>(chain_.jobs.size() - 1));
+}
+
+mapred::Checksum Scenario::final_output_checksum() {
+  RCMP_CHECK(cfg_.payload);
+  const dfs::FileId f = final_output_file();
+  return payloads_.file_checksum(f, dfs_.num_partitions(f));
+}
+
+mapred::Checksum Scenario::input_checksum() {
+  RCMP_CHECK(cfg_.payload);
+  return payloads_.file_checksum(input_, dfs_.num_partitions(input_));
+}
+
+core::ChainResult run_scenario(const ScenarioConfig& cfg,
+                               core::StrategyConfig strategy,
+                               cluster::FailurePlan failures) {
+  Scenario s(cfg);
+  return s.run(strategy, std::move(failures));
+}
+
+}  // namespace rcmp::workloads

@@ -1,0 +1,80 @@
+// Scenario: one fully wired experiment — simulation, flow network,
+// cluster, DFS, stores, the paper's chain workload, a failure plan and a
+// strategy — run start to finish.
+//
+// A Scenario is one-shot: construct, optionally tweak, call run() once.
+// Benches and tests construct a fresh Scenario per data point, which is
+// also what guarantees statistical independence across seeds.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "cluster/failure_injector.hpp"
+#include "core/middleware.hpp"
+#include "workloads/presets.hpp"
+#include "workloads/udfs.hpp"
+
+namespace rcmp::workloads {
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig cfg);
+
+  /// Run the chain to completion under a strategy, with optional
+  /// injected failures. Returns the chain result; throws if the
+  /// simulation deadlocks before the chain completes.
+  core::ChainResult run(core::StrategyConfig strategy,
+                        cluster::FailurePlan failures = {});
+
+  // --- introspection for tests and benches ---------------------------
+  mapred::Env env() {
+    return mapred::Env{sim_, net_, cluster_, dfs_, map_outputs_, payloads_};
+  }
+  sim::Simulation& sim() { return sim_; }
+  cluster::Cluster& cluster() { return cluster_; }
+  dfs::NameNode& dfs() { return dfs_; }
+  mapred::MapOutputStore& map_outputs() { return map_outputs_; }
+  mapred::PayloadStore& payloads() { return payloads_; }
+  dfs::FileId input_file() const { return input_; }
+  const ScenarioConfig& config() const { return cfg_; }
+  core::Middleware& middleware() { return *middleware_; }
+  cluster::FailureInjector* injector() { return injector_.get(); }
+
+  /// Payload mode: checksum of the final job's output records.
+  mapred::Checksum final_output_checksum();
+  /// Payload mode: checksum of the source input records.
+  mapred::Checksum input_checksum();
+  dfs::FileId final_output_file() const;
+
+  /// The chain templates (exposed so tests can customize before run()).
+  core::ChainSpec& chain() { return chain_; }
+
+ private:
+  void generate_input();
+
+  ScenarioConfig cfg_;
+  sim::Simulation sim_;
+  res::FlowNetwork net_;
+  cluster::Cluster cluster_;
+  dfs::NameNode dfs_;
+  mapred::MapOutputStore map_outputs_;
+  mapred::PayloadStore payloads_;
+  Rng rng_;
+
+  ChainMapper mapper_;
+  ChainReducer reducer_;
+  core::ChainSpec chain_;
+  dfs::FileId input_ = dfs::kInvalidFile;
+
+  std::unique_ptr<core::Middleware> middleware_;
+  std::unique_ptr<cluster::FailureInjector> injector_;
+  bool ran_ = false;
+};
+
+/// Convenience: run one scenario end to end and return the result.
+core::ChainResult run_scenario(const ScenarioConfig& cfg,
+                               core::StrategyConfig strategy,
+                               cluster::FailurePlan failures = {});
+
+}  // namespace rcmp::workloads

@@ -1,0 +1,68 @@
+// The paper's evaluation workload (§V-A):
+//
+//   "We built a custom 7-job, I/O-intensive, chain computation. Each
+//    mapper and reducer, for every input record, performs two
+//    computations which help us check correctness. One is based on the
+//    MD5 hash of a record's value while the other is based on the sum
+//    of all bytes in a record value. In addition, each mapper randomizes
+//    the key of each record to ensure load balancing of data across
+//    tasks for every job."
+//
+// Both UDFs emit exactly one record per input record, giving the paper's
+// input/shuffle/output ratio of 1/1/1. Key randomization is a hash of
+// (job salt, input record), so it balances load *and* is reproducible:
+// a recomputed task emits byte-identical records.
+#pragma once
+
+#include "common/hash.hpp"
+#include "mapred/record.hpp"
+
+namespace rcmp::workloads {
+
+class ChainMapper final : public mapred::MapUdf {
+ public:
+  void map(const mapred::Record& in, std::uint64_t job_salt,
+           mapred::Emitter& out) const override {
+    // The two per-record correctness computations from the paper.
+    const std::uint64_t md5_check = mapred::record_md5_check(in);
+    const std::uint64_t sum_check = mapred::record_byte_sum(in);
+    // Deterministic key randomization (per record, per job).
+    const std::uint64_t new_key =
+        hash_combine(job_salt, hash_combine(in.key, in.value));
+    // Fold the checks into the value so they flow through the chain.
+    out.emit(new_key, hash_combine(md5_check, sum_check));
+  }
+};
+
+class ChainReducer final : public mapred::ReduceUdf {
+ public:
+  void reduce(std::uint64_t key, std::span<const std::uint64_t> values,
+              std::uint64_t job_salt, mapred::Emitter& out) const override {
+    for (std::uint64_t v : values) {
+      const mapred::Record r{key, v};
+      const std::uint64_t md5_check = mapred::record_md5_check(r);
+      const std::uint64_t sum_check = mapred::record_byte_sum(r);
+      out.emit(key, hash_combine(job_salt ^ md5_check, sum_check));
+    }
+  }
+};
+
+/// Identity UDFs: useful in tests that need to compare record sets
+/// between jobs directly.
+class IdentityMapper final : public mapred::MapUdf {
+ public:
+  void map(const mapred::Record& in, std::uint64_t,
+           mapred::Emitter& out) const override {
+    out.emit(in);
+  }
+};
+
+class IdentityReducer final : public mapred::ReduceUdf {
+ public:
+  void reduce(std::uint64_t key, std::span<const std::uint64_t> values,
+              std::uint64_t, mapred::Emitter& out) const override {
+    for (std::uint64_t v : values) out.emit(key, v);
+  }
+};
+
+}  // namespace rcmp::workloads

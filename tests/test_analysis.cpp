@@ -1,0 +1,153 @@
+// Tests for the numerical-analysis module, including consistency of the
+// OPTIMISTIC model against direct simulation (a check the paper could
+// not do — it only had the model).
+#include <gtest/gtest.h>
+
+#include "analysis/extrapolation.hpp"
+#include "workloads/scenario.hpp"
+
+namespace rcmp::analysis {
+namespace {
+
+using core::Strategy;
+using core::StrategyConfig;
+using workloads::Scenario;
+
+mapred::JobResult make_run(std::uint32_t ordinal, double dur,
+                           bool recompute, bool cancelled = false) {
+  mapred::JobResult r;
+  r.ordinal = ordinal;
+  r.start_time = 0;
+  r.end_time = dur;
+  r.was_recompute = recompute;
+  r.status = cancelled ? mapred::JobResult::Status::kCancelled
+                       : mapred::JobResult::Status::kCompleted;
+  return r;
+}
+
+TEST(Profile, SplitsBeforeRecomputeAfter) {
+  std::vector<mapred::JobResult> runs;
+  runs.push_back(make_run(1, 100, false));
+  runs.push_back(make_run(2, 110, false));
+  runs.push_back(make_run(3, 50, false, /*cancelled=*/true));
+  runs.push_back(make_run(4, 30, true));
+  runs.push_back(make_run(5, 34, true));
+  runs.push_back(make_run(6, 120, false));
+  const auto p = profile_from_runs(runs);
+  EXPECT_DOUBLE_EQ(p.job_before_failure, 105.0);
+  EXPECT_DOUBLE_EQ(p.recompute_job, 32.0);
+  EXPECT_DOUBLE_EQ(p.job_after_failure, 120.0);
+  EXPECT_DOUBLE_EQ(p.failure_overhead, 50.0);
+  EXPECT_EQ(p.recompute_count, 2u);
+}
+
+TEST(Profile, NoPostFailureJobsFallsBack) {
+  std::vector<mapred::JobResult> runs;
+  runs.push_back(make_run(1, 100, false));
+  runs.push_back(make_run(2, 40, false, true));
+  const auto p = profile_from_runs(runs);
+  EXPECT_DOUBLE_EQ(p.job_after_failure, 100.0);
+}
+
+TEST(Models, RcmpFormula) {
+  ChainProfile p;
+  p.job_before_failure = 100;
+  p.recompute_job = 20;
+  p.job_after_failure = 110;
+  p.failure_overhead = 45;
+  // fail at job 2 of 10: 1 before + overhead + 1 recompute + 9 after.
+  EXPECT_DOUBLE_EQ(rcmp_total_time(p, 10, 2),
+                   100 + 45 + 20 + 9 * 110);
+}
+
+TEST(Models, OptimisticFormula) {
+  ChainProfile p;
+  p.job_before_failure = 100;
+  p.job_after_failure = 110;
+  p.failure_overhead = 45;
+  EXPECT_DOUBLE_EQ(optimistic_total_time(p, 10, 4),
+                   3 * 100 + 45 + 10 * 110);
+}
+
+TEST(Models, ReplicationFormula) {
+  EXPECT_DOUBLE_EQ(replication_total_time(100, 110, 45, 10, 2),
+                   100 + 45 + 9 * 110);
+}
+
+TEST(Models, RcmpAdvantageStableWithChainLength) {
+  ChainProfile p;
+  p.job_before_failure = 100;
+  p.recompute_job = 20;
+  p.job_after_failure = 110;
+  p.failure_overhead = 45;
+  const double r10 = optimistic_total_time(p, 10, 2) /
+                     rcmp_total_time(p, 10, 2);
+  const double r100 = optimistic_total_time(p, 100, 2) /
+                      rcmp_total_time(p, 100, 2);
+  // Fig. 10's claim: the ratio barely moves with chain length.
+  EXPECT_NEAR(r10, r100, 0.12);
+}
+
+TEST(Models, OptimisticModelMatchesDirectSimulation) {
+  // The paper derives OPTIMISTIC numerically from RCMP NO-SPLIT runs.
+  // We can also simulate OPTIMISTIC directly; both should agree on the
+  // total to within modeling error.
+  const auto cfg = workloads::tiny_config(6, 5);
+  cluster::FailurePlan plan;
+  plan.at_job_ordinals = {4};
+
+  double simulated;
+  {
+    Scenario s(cfg);
+    StrategyConfig sc;
+    sc.strategy = Strategy::kOptimistic;
+    simulated = s.run(sc, plan).total_time;
+  }
+  double modeled;
+  {
+    Scenario s(cfg);
+    StrategyConfig sc;
+    sc.strategy = Strategy::kRcmpNoSplit;
+    const auto r = s.run(sc, plan);
+    const auto p = profile_from_runs(r.runs);
+    modeled = optimistic_total_time(p, 5, 4);
+  }
+  EXPECT_NEAR(simulated, modeled, simulated * 0.2);
+}
+
+TEST(Speedup, ComputedFromRuns) {
+  std::vector<mapred::JobResult> runs;
+  runs.push_back(make_run(1, 100, false));
+  runs.push_back(make_run(2, 25, true));
+  EXPECT_DOUBLE_EQ(recompute_speedup(runs), 4.0);
+}
+
+TEST(Speedup, RequiresBothKinds) {
+  std::vector<mapred::JobResult> runs;
+  runs.push_back(make_run(1, 100, false));
+  EXPECT_THROW(recompute_speedup(runs), InvariantError);
+}
+
+TEST(Speedup, SplitBeatsNoSplitInSimulation) {
+  const auto cfg = workloads::tiny_config(8, 5);
+  cluster::FailurePlan plan;
+  plan.at_job_ordinals = {5};
+  double split, nosplit;
+  {
+    Scenario s(cfg);
+    StrategyConfig sc;
+    sc.strategy = Strategy::kRcmpSplit;
+    split = recompute_speedup(s.run(sc, plan).runs);
+  }
+  {
+    Scenario s(cfg);
+    StrategyConfig sc;
+    sc.strategy = Strategy::kRcmpNoSplit;
+    nosplit = recompute_speedup(s.run(sc, plan).runs);
+  }
+  EXPECT_GT(split, nosplit);
+  EXPECT_GT(split, 1.0);
+}
+
+}  // namespace
+}  // namespace rcmp::analysis

@@ -1,0 +1,167 @@
+// Edge cases across the stack: degenerate cluster shapes, extreme wave
+// counts, parameterized trace-model sweeps.
+#include <gtest/gtest.h>
+
+#include "cluster/failure_trace.hpp"
+#include "workloads/scenario.hpp"
+
+namespace rcmp {
+namespace {
+
+using core::Strategy;
+using core::StrategyConfig;
+using workloads::Scenario;
+
+StrategyConfig rcmp_split() {
+  StrategyConfig cfg;
+  cfg.strategy = Strategy::kRcmpSplit;
+  return cfg;
+}
+
+TEST(EdgeCases, TwoNodeCluster) {
+  auto cfg = workloads::tiny_config(2, 3);
+  cfg.input_replication = 2;  // 3 is infeasible on 2 nodes
+  Scenario s(cfg);
+  const auto r = s.run(rcmp_split());
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(EdgeCases, TwoNodeClusterSurvivesFailure) {
+  auto cfg = workloads::tiny_config(2, 3);
+  cfg.input_replication = 2;
+  Scenario s(cfg);
+  cluster::FailurePlan plan;
+  plan.at_job_ordinals = {2};
+  const auto r = s.run(rcmp_split(), plan);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.failures_observed, 1u);
+}
+
+TEST(EdgeCases, InfeasibleInputReplicationRejected) {
+  EXPECT_THROW(Scenario s(workloads::tiny_config(2, 3)), ConfigError);
+}
+
+TEST(EdgeCases, SingleJobChain) {
+  Scenario s(workloads::tiny_config(4, 1));
+  const auto r = s.run(rcmp_split());
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.jobs_started, 1u);
+}
+
+TEST(EdgeCases, SingleJobChainWithFailure) {
+  // Failure during job 1: its input is triple-replicated, so the run
+  // recovers in place (task re-execution) — no recomputation possible
+  // or needed.
+  Scenario s(workloads::tiny_config(4, 1));
+  cluster::FailurePlan plan;
+  plan.at_job_ordinals = {1};
+  const auto r = s.run(rcmp_split(), plan);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(EdgeCases, ManyReducerWaves) {
+  auto cfg = workloads::tiny_config(4, 2);
+  cfg.reducers_per_job = 24;  // 6 waves on 4 nodes x 1 slot
+  Scenario s(cfg);
+  const auto r = s.run(rcmp_split());
+  ASSERT_TRUE(r.completed);
+  for (const auto& run : r.runs) {
+    EXPECT_EQ(run.reducers_executed, 24u);
+  }
+}
+
+TEST(EdgeCases, SingleReducerJob) {
+  auto cfg = workloads::tiny_config(4, 2);
+  cfg.reducers_per_job = 1;
+  Scenario s(cfg);
+  const auto r = s.run(rcmp_split());
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(EdgeCases, LopsidedSlots) {
+  auto cfg = workloads::tiny_config(4, 2);
+  cfg.cluster.map_slots = 4;
+  cfg.cluster.reduce_slots = 1;
+  Scenario s(cfg);
+  EXPECT_TRUE(s.run(rcmp_split()).completed);
+}
+
+TEST(EdgeCases, SplitFactorLargerThanCluster) {
+  auto cfg = workloads::tiny_config(4, 3);
+  Scenario s(cfg);
+  StrategyConfig sc = rcmp_split();
+  sc.split_factor = 32;  // way more splits than slots: multiple waves
+  cluster::FailurePlan plan;
+  plan.at_job_ordinals = {3};
+  const auto r = s.run(sc, plan);
+  ASSERT_TRUE(r.completed);
+  for (const auto& run : r.runs) {
+    if (run.was_recompute &&
+        run.status == mapred::JobResult::Status::kCompleted) {
+      EXPECT_EQ(run.reducers_executed, 32u);
+    }
+  }
+}
+
+TEST(EdgeCases, BlockSizeLargerThanPartition) {
+  auto cfg = workloads::tiny_config(4, 2);
+  cfg.block_size = 4 * cfg.per_node_input;  // one block per partition
+  Scenario s(cfg);
+  EXPECT_TRUE(s.run(rcmp_split()).completed);
+}
+
+TEST(EdgeCases, RepeatedFailuresEitherRecoverOrFailCleanly) {
+  // Four failures on six nodes can destroy all three replicas of a
+  // source-input block; that is genuinely unrecoverable and must end in
+  // a clean failure report, never a crash or a hang.
+  Scenario s(workloads::tiny_config(6, 4));
+  cluster::FailurePlan plan;
+  plan.at_job_ordinals = {2, 3, 4, 5};  // keeps failing through recovery
+  const auto r = s.run(rcmp_split(), plan);
+  if (r.completed) {
+    EXPECT_GE(r.failures_observed, 3u);
+  } else {
+    EXPECT_GE(r.failures_observed, 2u);
+    EXPECT_FALSE(s.dfs().file_available(s.input_file()));
+  }
+}
+
+TEST(EdgeCases, UnrecoverableSourceLossReportsFailure) {
+  // Kill every replica holder of the input: the chain must end with
+  // completed == false.
+  auto cfg = workloads::tiny_config(4, 3);
+  cfg.input_replication = 1;  // every partition has exactly one home
+  Scenario s(cfg);
+  auto& sim = s.sim();
+  auto& cl = s.cluster();
+  sim.schedule_at(20.0, [&] { cl.kill(0); });
+  sim.schedule_at(25.0, [&] { cl.kill(1); });
+  const auto r = s.run(rcmp_split());
+  EXPECT_FALSE(r.completed);
+}
+
+// Trace-model sweep: calibration holds across the parameter space.
+class TraceModelSweep
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(TraceModelSweep, FractionTracksParameter) {
+  const auto [p_fail, seed] = GetParam();
+  cluster::TraceModel model = cluster::stic_trace_model();
+  model.p_failure_day = p_fail;
+  model.days = 3000;
+  const auto trace =
+      cluster::generate_trace(model, static_cast<std::uint64_t>(seed));
+  EXPECT_NEAR(trace.failure_day_fraction(), p_fail, 0.035);
+  const auto cdf = trace.cdf_percent(model.burst_max);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i], cdf[i - 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TraceModelSweep,
+    ::testing::Combine(::testing::Values(0.05, 0.12, 0.17, 0.3, 0.5),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace rcmp

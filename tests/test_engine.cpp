@@ -1,0 +1,365 @@
+// Behavioral tests for the job execution engine (single JobRun runs,
+// driven directly without the middleware).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mapred/engine.hpp"
+#include "workloads/udfs.hpp"
+
+namespace rcmp::mapred {
+namespace {
+
+using namespace rcmp::literals;
+
+struct EngineFixture {
+  explicit EngineFixture(std::uint32_t nodes = 4,
+                         std::uint32_t blocks_per_node = 4,
+                         std::uint32_t input_replication = 1,
+                         std::uint32_t map_slots = 1,
+                         std::uint32_t reduce_slots = 1)
+      : net(sim),
+        cluster(sim, net, make_cluster(nodes, map_slots, reduce_slots)),
+        dfs(cluster, 64_MiB, 123) {
+    cfg.detect_timeout = 30.0;
+    cfg.task_startup = 0.2;
+    cfg.job_setup_time = 1.0;
+    cfg.map_cpu_rate = 400e6;
+    cfg.reduce_cpu_rate = 400e6;
+
+    input = dfs.create_file("input", nodes, input_replication);
+    for (cluster::NodeId n = 0; n < nodes; ++n) {
+      const Bytes bytes = static_cast<Bytes>(blocks_per_node) * 64_MiB;
+      dfs.commit_partition(
+          input, n,
+          dfs.plan_write(input, n, bytes, dfs::PlacementPolicy::kLocalFirst));
+    }
+  }
+
+  static cluster::ClusterSpec make_cluster(std::uint32_t nodes,
+                                           std::uint32_t map_slots,
+                                           std::uint32_t reduce_slots) {
+    cluster::ClusterSpec spec;
+    spec.nodes = nodes;
+    spec.disk_bw = 100e6;
+    spec.nic_bw = 10e9 / 8;
+    spec.map_slots = map_slots;
+    spec.reduce_slots = reduce_slots;
+    return spec;
+  }
+
+  Env env() { return Env{sim, net, cluster, dfs, outputs, payloads}; }
+
+  JobSpec make_spec(std::uint32_t reducers, std::uint32_t out_repl = 1) {
+    JobSpec spec;
+    spec.name = "test-job";
+    spec.logical_id = 0;
+    spec.set_input(input);
+    spec.output = dfs.create_file("out", reducers, out_repl);
+    spec.num_reducers = reducers;
+    return spec;
+  }
+
+  /// Run a job to completion; returns the finished JobRun.
+  JobRun& run(JobSpec spec, RecomputeDirective dir = {}) {
+    runs.push_back(std::make_unique<JobRun>(
+        env(), std::move(spec), std::move(dir), cfg, next_ordinal++, 7,
+        [](JobRun&) {}));
+    runs.back()->start();
+    sim.run();
+    return *runs.back();
+  }
+
+  sim::Simulation sim;
+  res::FlowNetwork net;
+  cluster::Cluster cluster;
+  dfs::NameNode dfs;
+  MapOutputStore outputs;
+  PayloadStore payloads;
+  EngineConfig cfg;
+  dfs::FileId input = dfs::kInvalidFile;
+  std::uint32_t next_ordinal = 1;
+  std::vector<std::unique_ptr<JobRun>> runs;
+};
+
+TEST(Engine, CompletesAndCommitsAllPartitions) {
+  EngineFixture f;
+  const auto spec = f.make_spec(4);
+  const auto out = spec.output;
+  auto& run = f.run(spec);
+  ASSERT_TRUE(run.finished());
+  EXPECT_EQ(run.result().status, JobResult::Status::kCompleted);
+  EXPECT_TRUE(f.dfs.file_available(out));
+  EXPECT_EQ(run.result().mappers_executed, 16u);  // 4 nodes x 4 blocks
+  EXPECT_EQ(run.result().reducers_executed, 4u);
+  EXPECT_EQ(run.result().mappers_reused, 0u);
+}
+
+TEST(Engine, OneToOneRatioPreservesBytes) {
+  EngineFixture f;
+  const auto spec = f.make_spec(4);
+  const auto out = spec.output;
+  auto& run = f.run(spec);
+  const double input_bytes = static_cast<double>(f.dfs.file_size(f.input));
+  EXPECT_NEAR(run.result().shuffle_bytes, input_bytes, input_bytes * 0.01);
+  EXPECT_NEAR(static_cast<double>(f.dfs.file_size(out)), input_bytes,
+              input_bytes * 0.01);
+}
+
+TEST(Engine, TimingsAreOrdered) {
+  EngineFixture f;
+  auto& run = f.run(f.make_spec(4));
+  const auto& r = run.result();
+  EXPECT_GT(r.map_phase_end, r.start_time);
+  EXPECT_GT(r.end_time, r.map_phase_end);
+  for (const auto& t : r.map_timings) {
+    EXPECT_GE(t.start, r.start_time);
+    EXPECT_GT(t.end, t.start);
+    EXPECT_LE(t.end, r.map_phase_end + 1e-9);
+  }
+  for (const auto& t : r.reduce_timings) {
+    EXPECT_GT(t.end, t.start);
+    EXPECT_LE(t.end, r.end_time + 1e-9);
+  }
+}
+
+TEST(Engine, SlotLimitsRespected) {
+  EngineFixture f(/*nodes=*/3, /*blocks_per_node=*/6, 1, /*map_slots=*/2);
+  auto& run = f.run(f.make_spec(3));
+  // At no instant may a node run more concurrent mappers than it has
+  // slots: check pairwise interval overlaps per node.
+  std::map<cluster::NodeId, std::vector<std::pair<double, double>>> by_node;
+  for (const auto& t : run.result().map_timings) {
+    by_node[t.node].emplace_back(t.start, t.end);
+  }
+  for (auto& [node, spans] : by_node) {
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      int overlap = 0;
+      for (std::size_t j = 0; j < spans.size(); ++j) {
+        if (spans[j].first <= spans[i].first &&
+            spans[i].first < spans[j].second) {
+          ++overlap;
+        }
+      }
+      EXPECT_LE(overlap, 2);  // map_slots
+    }
+  }
+}
+
+TEST(Engine, MapWavesExtendPhase) {
+  // Same data in 2 blocks/node vs 8 blocks/node: more waves (slots 1-1)
+  // must lengthen the map phase.
+  EngineFixture two(/*nodes=*/4, /*blocks_per_node=*/2);
+  EngineFixture eight(/*nodes=*/4, /*blocks_per_node=*/8);
+  auto& a = two.run(two.make_spec(4));
+  auto& b = eight.run(eight.make_spec(4));
+  const double map_a = a.result().map_phase_end - a.result().start_time;
+  const double map_b = b.result().map_phase_end - b.result().start_time;
+  EXPECT_GT(map_b, map_a * 1.5);
+}
+
+TEST(Engine, ReplicatedOutputHasReplicas) {
+  EngineFixture f;
+  const auto spec = f.make_spec(4, /*out_repl=*/3);
+  const auto out = spec.output;
+  f.run(spec);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    for (std::uint64_t b : f.dfs.partition(out, p).blocks) {
+      EXPECT_EQ(f.dfs.block(b).replicas.size(), 3u);
+    }
+  }
+}
+
+TEST(Engine, ReplicationSlowsJob) {
+  EngineFixture f1, f3;
+  auto& r1 = f1.run(f1.make_spec(4, 1));
+  auto& r3 = f3.run(f3.make_spec(4, 3));
+  EXPECT_GT(r3.result().duration(), r1.result().duration() * 1.1);
+}
+
+TEST(Engine, RegistersPersistedMapOutputs) {
+  EngineFixture f;
+  f.run(f.make_spec(4));
+  EXPECT_EQ(f.outputs.size(), 16u);
+  // Each output is on an alive node with per-reducer shares summing to
+  // the total.
+  const MapOutput* out = f.outputs.find({0, 0, 0});
+  ASSERT_NE(out, nullptr);
+  double sum = 0;
+  for (double b : out->per_reducer_bytes) sum += b;
+  EXPECT_NEAR(sum, out->total_bytes, 1.0);
+}
+
+TEST(Engine, PayloadIdentityJobPreservesRecords) {
+  EngineFixture f;
+  workloads::IdentityMapper mapper;
+  workloads::IdentityReducer reducer;
+  std::vector<Record> recs;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) recs.push_back({rng(), rng()});
+  // Attach payload to every input partition (25 records each).
+  for (cluster::NodeId n = 0; n < 4; ++n) {
+    std::vector<Record> part(recs.begin() + n * 25,
+                             recs.begin() + (n + 1) * 25);
+    f.payloads.append(f.input, n, part, 4);
+  }
+  auto spec = f.make_spec(4);
+  spec.mapper = &mapper;
+  spec.reducer = &reducer;
+  const auto out = spec.output;
+  f.run(spec);
+  EXPECT_EQ(f.payloads.file_checksum(out, 4), checksum_of(recs));
+}
+
+TEST(Engine, PayloadPartitioningRoutesByKey) {
+  EngineFixture f;
+  workloads::IdentityMapper mapper;
+  workloads::IdentityReducer reducer;
+  for (cluster::NodeId n = 0; n < 4; ++n) {
+    std::vector<Record> part;
+    for (int i = 0; i < 25; ++i)
+      part.push_back({static_cast<std::uint64_t>(n * 25 + i), 7});
+    f.payloads.append(f.input, n, part, 4);
+  }
+  auto spec = f.make_spec(4);
+  spec.mapper = &mapper;
+  spec.reducer = &reducer;
+  const auto out = spec.output;
+  f.run(spec);
+  // Every record landed in the partition its key hashes to.
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    for (const Record& r : f.payloads.partition_records(out, p)) {
+      EXPECT_EQ(partition_of(r.key, 4, spec.partition_salt()), p);
+    }
+  }
+}
+
+TEST(Engine, TaskRecoveryWithReplicatedInput) {
+  // Hadoop-style: input replicated 2x; a node dies mid-job; the job
+  // recovers by re-executing tasks and completes.
+  EngineFixture f(/*nodes=*/4, /*blocks_per_node=*/4,
+                  /*input_replication=*/2);
+  auto spec = f.make_spec(4, /*out_repl=*/2);
+  const auto out = spec.output;
+  f.runs.push_back(std::make_unique<JobRun>(
+      f.env(), std::move(spec), RecomputeDirective{}, f.cfg, 1, 7,
+      [](JobRun&) {}));
+  JobRun& run = *f.runs.back();
+  run.start();
+  f.sim.schedule_at(10.0, [&] {
+    f.cluster.kill(1);
+    f.dfs.on_node_failure(1);
+    f.outputs.on_node_failure(1);
+    run.on_node_killed(1);
+    f.sim.schedule_after(30.0, [&] {
+      EXPECT_EQ(run.on_detected_failure(1),
+                JobRun::FailureOutcome::kRecovered);
+    });
+  });
+  f.sim.run();
+  ASSERT_TRUE(run.finished());
+  EXPECT_EQ(run.result().status, JobResult::Status::kCompleted);
+  EXPECT_TRUE(f.dfs.file_available(out));
+}
+
+TEST(Engine, FailureCostsAtLeastDetectionTime) {
+  EngineFixture healthy(/*nodes=*/4, 4, 2);
+  auto& base = healthy.run(healthy.make_spec(4, 2));
+
+  EngineFixture f(/*nodes=*/4, 4, 2);
+  auto spec = f.make_spec(4, 2);
+  f.runs.push_back(std::make_unique<JobRun>(
+      f.env(), std::move(spec), RecomputeDirective{}, f.cfg, 1, 7,
+      [](JobRun&) {}));
+  JobRun& run = *f.runs.back();
+  run.start();
+  f.sim.schedule_at(10.0, [&] {
+    f.cluster.kill(1);
+    f.dfs.on_node_failure(1);
+    f.outputs.on_node_failure(1);
+    run.on_node_killed(1);
+    f.sim.schedule_after(30.0, [&] { run.on_detected_failure(1); });
+  });
+  f.sim.run();
+  ASSERT_TRUE(run.finished());
+  EXPECT_GT(run.result().duration(), base.result().duration());
+}
+
+TEST(Engine, UnreplicatedInputLossAborts) {
+  EngineFixture f(/*nodes=*/4, 4, /*input_replication=*/1);
+  auto spec = f.make_spec(4);
+  f.runs.push_back(std::make_unique<JobRun>(
+      f.env(), std::move(spec), RecomputeDirective{}, f.cfg, 1, 7,
+      [](JobRun&) {}));
+  JobRun& run = *f.runs.back();
+  run.start();
+  JobRun::FailureOutcome outcome = JobRun::FailureOutcome::kRecovered;
+  f.sim.schedule_at(5.0, [&] {
+    f.cluster.kill(2);
+    f.dfs.on_node_failure(2);
+    f.outputs.on_node_failure(2);
+    run.on_node_killed(2);
+    f.sim.schedule_after(30.0,
+                         [&] { outcome = run.on_detected_failure(2); });
+  });
+  f.sim.run_until(36.0);
+  EXPECT_EQ(outcome, JobRun::FailureOutcome::kNeedsAbort);
+  run.cancel();
+  f.sim.run();
+  EXPECT_FALSE(run.finished());
+}
+
+TEST(Engine, CancelDiscardsPartialState) {
+  EngineFixture f;
+  auto spec = f.make_spec(4);
+  const auto out = spec.output;
+  f.runs.push_back(std::make_unique<JobRun>(
+      f.env(), std::move(spec), RecomputeDirective{}, f.cfg, 1, 7,
+      [](JobRun&) {}));
+  JobRun& run = *f.runs.back();
+  run.start();
+  f.sim.run_until(20.0);  // mid-flight
+  run.cancel();
+  f.sim.run();
+  EXPECT_FALSE(run.finished());
+  EXPECT_EQ(run.result().status, JobResult::Status::kCancelled);
+  EXPECT_EQ(f.outputs.size(), 0u);  // partial map outputs dropped
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_FALSE(f.dfs.partition_available(out, p));
+  }
+}
+
+TEST(Engine, DoneCallbackFiresExactlyOnceOnCompletion) {
+  EngineFixture f;
+  int called = 0;
+  auto spec = f.make_spec(2);
+  f.runs.push_back(std::make_unique<JobRun>(
+      f.env(), std::move(spec), RecomputeDirective{}, f.cfg, 1, 7,
+      [&called](JobRun&) { ++called; }));
+  f.runs.back()->start();
+  f.sim.run();
+  EXPECT_EQ(called, 1);
+}
+
+TEST(Engine, SlowShuffleTailDebtLengthensJob) {
+  EngineFixture fast, slow;
+  slow.cfg.shuffle_tail_latency = 10.0;
+  auto& a = fast.run(fast.make_spec(4));
+  auto& b = slow.run(slow.make_spec(4));
+  // 16 mappers, parallelism 5 -> ~32 s of serialized tail per reducer.
+  EXPECT_GT(b.result().duration(), a.result().duration() + 20.0);
+}
+
+TEST(Engine, JobSetupDelaysFirstTask) {
+  EngineFixture f;
+  f.cfg.job_setup_time = 50.0;
+  auto& run = f.run(f.make_spec(2));
+  double first_start = 1e18;
+  for (const auto& t : run.result().map_timings) {
+    first_start = std::min(first_start, t.start);
+  }
+  EXPECT_GE(first_start, 50.0);
+}
+
+}  // namespace
+}  // namespace rcmp::mapred

@@ -1,0 +1,61 @@
+// Early end-to-end smoke tests: the full stack (simulation, flows,
+// cluster, DFS, engine, middleware) on small scenarios.
+#include <gtest/gtest.h>
+
+#include "workloads/scenario.hpp"
+
+namespace rcmp {
+namespace {
+
+using core::Strategy;
+using core::StrategyConfig;
+using workloads::Scenario;
+
+TEST(IntegrationSmoke, FailureFreeChainCompletes) {
+  Scenario s(workloads::tiny_config(5, 3));
+  StrategyConfig cfg;
+  cfg.strategy = Strategy::kRcmpSplit;
+  const auto result = s.run(cfg);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.jobs_started, 3u);
+  EXPECT_EQ(result.failures_observed, 0u);
+  EXPECT_GT(result.total_time, 0.0);
+}
+
+TEST(IntegrationSmoke, SingleFailureRecomputes) {
+  Scenario s(workloads::tiny_config(5, 3));
+  StrategyConfig cfg;
+  cfg.strategy = Strategy::kRcmpSplit;
+  cluster::FailurePlan plan;
+  plan.at_job_ordinals = {2};
+  const auto result = s.run(cfg, plan);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.failures_observed, 1u);
+  EXPECT_GT(result.jobs_started, 3u);  // recomputation inflates count
+}
+
+TEST(IntegrationSmoke, PayloadChecksumPreservedUnderFailure) {
+  mapred::Checksum reference;
+  {
+    Scenario s(workloads::payload_config(5, 3));
+    StrategyConfig cfg;
+    cfg.strategy = Strategy::kRcmpSplit;
+    auto r = s.run(cfg);
+    ASSERT_TRUE(r.completed);
+    reference = s.final_output_checksum();
+    EXPECT_GT(reference.count, 0u);
+  }
+  {
+    Scenario s(workloads::payload_config(5, 3));
+    StrategyConfig cfg;
+    cfg.strategy = Strategy::kRcmpSplit;
+    cluster::FailurePlan plan;
+    plan.at_job_ordinals = {3};
+    auto r = s.run(cfg, plan);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(s.final_output_checksum(), reference);
+  }
+}
+
+}  // namespace
+}  // namespace rcmp

@@ -1,0 +1,259 @@
+// Unit tests for mapred data-plane pieces: records/checksums, payload
+// store, map-output store, and the workload UDFs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mapred/map_output_store.hpp"
+#include "mapred/payload_store.hpp"
+#include "mapred/record.hpp"
+#include "workloads/udfs.hpp"
+
+namespace rcmp::mapred {
+namespace {
+
+TEST(Record, PayloadExpansionDeterministic) {
+  std::uint8_t a[64], b[64];
+  expand_payload(123, a);
+  expand_payload(123, b);
+  EXPECT_EQ(std::memcmp(a, b, 64), 0);
+  expand_payload(124, b);
+  EXPECT_NE(std::memcmp(a, b, 64), 0);
+}
+
+TEST(Record, ChecksDeterministicAndValueSensitive) {
+  const Record r1{1, 100}, r2{1, 101};
+  EXPECT_EQ(record_md5_check(r1), record_md5_check(r1));
+  EXPECT_NE(record_md5_check(r1), record_md5_check(r2));
+  EXPECT_EQ(record_byte_sum(r1), record_byte_sum(r1));
+  // Byte sum of 64 bytes is bounded.
+  EXPECT_LE(record_byte_sum(r1), 64u * 255u);
+}
+
+TEST(Checksum, OrderIndependent) {
+  std::vector<Record> recs{{1, 10}, {2, 20}, {3, 30}, {4, 40}};
+  const Checksum fwd = checksum_of(recs);
+  std::reverse(recs.begin(), recs.end());
+  EXPECT_EQ(checksum_of(recs), fwd);
+}
+
+TEST(Checksum, DetectsMissingAndDuplicate) {
+  const std::vector<Record> base{{1, 10}, {2, 20}, {3, 30}};
+  std::vector<Record> missing{{1, 10}, {2, 20}};
+  std::vector<Record> dup{{1, 10}, {2, 20}, {3, 30}, {3, 30}};
+  EXPECT_NE(checksum_of(missing), checksum_of(base));
+  EXPECT_NE(checksum_of(dup), checksum_of(base));
+}
+
+TEST(Checksum, DetectsKeyChangeEvenWithSameValues) {
+  const std::vector<Record> a{{1, 10}}, b{{2, 10}};
+  EXPECT_NE(checksum_of(a), checksum_of(b));
+}
+
+TEST(Checksum, MergeEqualsConcatenation) {
+  const std::vector<Record> a{{1, 10}, {2, 20}}, b{{3, 30}};
+  Checksum merged = checksum_of(a);
+  merged.merge(checksum_of(b));
+  std::vector<Record> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  EXPECT_EQ(merged, checksum_of(all));
+}
+
+TEST(PayloadStore, AppendAndReadBack) {
+  PayloadStore store;
+  EXPECT_FALSE(store.has(0, 0));
+  store.append(0, 0, {{1, 10}, {2, 20}, {3, 30}}, 1);
+  ASSERT_TRUE(store.has(0, 0));
+  EXPECT_EQ(store.partition_records(0, 0).size(), 3u);
+  EXPECT_EQ(store.block_count(0, 0), 1u);
+}
+
+TEST(PayloadStore, BlockSlicingEven) {
+  PayloadStore store;
+  std::vector<Record> recs;
+  for (std::uint64_t i = 0; i < 10; ++i) recs.push_back({i, i});
+  store.append(0, 0, recs, 4);  // 3,3,2,2
+  EXPECT_EQ(store.block_records(0, 0, 0).size(), 3u);
+  EXPECT_EQ(store.block_records(0, 0, 1).size(), 3u);
+  EXPECT_EQ(store.block_records(0, 0, 2).size(), 2u);
+  EXPECT_EQ(store.block_records(0, 0, 3).size(), 2u);
+  // Blocks tile the partition in order.
+  EXPECT_EQ(store.block_records(0, 0, 0)[0].key, 0u);
+  EXPECT_EQ(store.block_records(0, 0, 3)[1].key, 9u);
+}
+
+TEST(PayloadStore, MultipleAppendsAccumulateExtents) {
+  PayloadStore store;
+  store.append(7, 2, {{1, 1}, {2, 2}}, 1);
+  store.append(7, 2, {{3, 3}}, 1);
+  EXPECT_EQ(store.partition_records(7, 2).size(), 3u);
+  EXPECT_EQ(store.block_count(7, 2), 2u);
+  EXPECT_EQ(store.block_records(7, 2, 1).size(), 1u);
+  EXPECT_EQ(store.block_records(7, 2, 1)[0].key, 3u);
+}
+
+TEST(PayloadStore, ClearRemoves) {
+  PayloadStore store;
+  store.append(0, 0, {{1, 1}}, 1);
+  store.clear(0, 0);
+  EXPECT_FALSE(store.has(0, 0));
+  EXPECT_EQ(store.block_count(0, 0), 0u);
+}
+
+TEST(PayloadStore, FileChecksumSpansPartitions) {
+  PayloadStore store;
+  store.append(3, 0, {{1, 10}}, 1);
+  store.append(3, 1, {{2, 20}}, 1);
+  const Checksum c = store.file_checksum(3, 2);
+  EXPECT_EQ(c.count, 2u);
+  Checksum manual;
+  manual.add({1, 10});
+  manual.add({2, 20});
+  EXPECT_EQ(c, manual);
+}
+
+TEST(PayloadStore, FileHasPayloadPerFile) {
+  PayloadStore store;
+  store.append(5, 0, {{1, 1}}, 1);
+  EXPECT_TRUE(store.file_has_payload(5));
+  EXPECT_FALSE(store.file_has_payload(6));
+}
+
+struct StoreFixture {
+  StoreFixture() : net(sim), cluster(sim, net, make_spec()) {}
+  static cluster::ClusterSpec make_spec() {
+    cluster::ClusterSpec s;
+    s.nodes = 4;
+    s.disk_bw = 1e8;
+    s.nic_bw = 1e9;
+    return s;
+  }
+  sim::Simulation sim;
+  res::FlowNetwork net;
+  cluster::Cluster cluster;
+  MapOutputStore store;
+};
+
+MapOutput make_output(cluster::NodeId node, std::uint64_t layout = 0) {
+  MapOutput out;
+  out.node = node;
+  out.input_layout_version = layout;
+  out.total_bytes = 1000.0;
+  out.per_reducer_bytes = {500.0, 500.0};
+  return out;
+}
+
+TEST(MapOutputStore, PutFindDrop) {
+  StoreFixture f;
+  const MapOutputKey key{1, 2, 3};
+  EXPECT_FALSE(f.store.contains(key));
+  f.store.put(key, make_output(0));
+  ASSERT_TRUE(f.store.contains(key));
+  EXPECT_EQ(f.store.find(key)->node, 0u);
+  f.store.drop(key);
+  EXPECT_FALSE(f.store.contains(key));
+}
+
+TEST(MapOutputStore, UsableRequiresAliveNodeAndLayout) {
+  StoreFixture f;
+  const MapOutputKey key{1, 0, 0};
+  f.store.put(key, make_output(2, 5));
+  EXPECT_TRUE(f.store.usable(key, 5, f.cluster));
+  EXPECT_FALSE(f.store.usable(key, 6, f.cluster));  // layout changed
+  f.cluster.kill(2);
+  EXPECT_FALSE(f.store.usable(key, 5, f.cluster));  // node dead
+}
+
+TEST(MapOutputStore, NodeFailureMarksLost) {
+  StoreFixture f;
+  f.store.put({1, 0, 0}, make_output(1));
+  f.store.put({1, 0, 1}, make_output(2));
+  f.store.on_node_failure(1);
+  EXPECT_TRUE(f.store.find({1, 0, 0})->lost);
+  EXPECT_FALSE(f.store.find({1, 0, 1})->lost);
+  EXPECT_FALSE(f.store.usable({1, 0, 0}, 0, f.cluster));
+}
+
+TEST(MapOutputStore, DropJobRemovesAllItsOutputs) {
+  StoreFixture f;
+  f.store.put({1, 0, 0}, make_output(0));
+  f.store.put({1, 5, 2}, make_output(1));
+  f.store.put({2, 0, 0}, make_output(2));
+  f.store.drop_job(1);
+  EXPECT_EQ(f.store.size(), 1u);
+  EXPECT_TRUE(f.store.contains({2, 0, 0}));
+}
+
+TEST(MapOutputStore, UsedSpaceSkipsLost) {
+  StoreFixture f;
+  f.store.put({1, 0, 0}, make_output(1));
+  f.store.put({1, 0, 1}, make_output(2));
+  EXPECT_EQ(f.store.total_used(), 2000u);
+  EXPECT_EQ(f.store.used_on_node(1), 1000u);
+  f.store.on_node_failure(1);
+  EXPECT_EQ(f.store.total_used(), 1000u);
+  EXPECT_EQ(f.store.used_on_node(1), 0u);
+}
+
+TEST(MapOutputKey, PackedIsInjectiveOnSmallCoords) {
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t j = 0; j < 8; ++j)
+    for (std::uint32_t p = 0; p < 8; ++p)
+      for (std::uint32_t b = 0; b < 8; ++b)
+        seen.insert(MapOutputKey{j, p, b}.packed());
+  EXPECT_EQ(seen.size(), 8u * 8 * 8);
+}
+
+TEST(ChainUdfs, MapperEmitsOneRecordPerInput) {
+  workloads::ChainMapper mapper;
+  Emitter em;
+  mapper.map({1, 2}, 42, em);
+  EXPECT_EQ(em.records().size(), 1u);
+}
+
+TEST(ChainUdfs, MapperDeterministicPerJobSalt) {
+  workloads::ChainMapper mapper;
+  Emitter a, b, c;
+  mapper.map({1, 2}, 42, a);
+  mapper.map({1, 2}, 42, b);
+  mapper.map({1, 2}, 43, c);
+  EXPECT_EQ(a.records(), b.records());
+  EXPECT_NE(a.records()[0].key, c.records()[0].key);  // randomized key
+}
+
+TEST(ChainUdfs, MapperRandomizesKeysForBalance) {
+  workloads::ChainMapper mapper;
+  std::vector<int> counts(8, 0);
+  Emitter em;
+  for (std::uint64_t i = 0; i < 8000; ++i) {
+    em.records().clear();
+    mapper.map({i, i * 3 + 1}, 42, em);
+    ++counts[partition_of(em.records()[0].key, 8)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 200);
+}
+
+TEST(ChainUdfs, ReducerPreservesRecordCount) {
+  workloads::ChainReducer reducer;
+  Emitter em;
+  const std::vector<std::uint64_t> values{10, 20, 30};
+  reducer.reduce(7, values, 42, em);
+  EXPECT_EQ(em.records().size(), 3u);
+  for (const auto& r : em.records()) EXPECT_EQ(r.key, 7u);
+}
+
+TEST(ChainUdfs, IdentityUdfsRoundTrip) {
+  workloads::IdentityMapper m;
+  workloads::IdentityReducer r;
+  Emitter em;
+  m.map({5, 6}, 0, em);
+  ASSERT_EQ(em.records().size(), 1u);
+  EXPECT_EQ(em.records()[0], (Record{5, 6}));
+  Emitter er;
+  const std::vector<std::uint64_t> vals{6};
+  r.reduce(5, vals, 0, er);
+  EXPECT_EQ(er.records()[0], (Record{5, 6}));
+}
+
+}  // namespace
+}  // namespace rcmp::mapred

@@ -1,0 +1,244 @@
+// Middleware behavior: strategy semantics, job numbering, hybrid
+// replication, storage reclamation, restarts.
+#include <gtest/gtest.h>
+
+#include "workloads/scenario.hpp"
+
+namespace rcmp {
+namespace {
+
+using core::Strategy;
+using core::StrategyConfig;
+using mapred::JobResult;
+using workloads::Scenario;
+
+StrategyConfig strat(Strategy s, std::uint32_t repl = 1) {
+  StrategyConfig cfg;
+  cfg.strategy = s;
+  cfg.replication = repl;
+  return cfg;
+}
+
+cluster::FailurePlan fail_at(std::vector<std::uint32_t> ords) {
+  cluster::FailurePlan plan;
+  plan.at_job_ordinals = std::move(ords);
+  return plan;
+}
+
+TEST(Middleware, FailureFreeRunsEachJobOnce) {
+  for (auto s : {Strategy::kRcmpSplit, Strategy::kOptimistic}) {
+    Scenario sc(workloads::tiny_config(5, 5));
+    const auto r = sc.run(strat(s));
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.jobs_started, 5u);
+    EXPECT_EQ(r.restarts, 0u);
+  }
+}
+
+TEST(Middleware, ReplicationFailureFree) {
+  Scenario sc(workloads::tiny_config(5, 5));
+  const auto r = sc.run(strat(Strategy::kReplication, 3));
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.jobs_started, 5u);
+  // Every intermediate output triple-replicated.
+  for (std::uint32_t l = 0; l < 5; ++l) {
+    EXPECT_EQ(sc.dfs().replication(sc.middleware().output_file(l)), 3u);
+  }
+}
+
+TEST(Middleware, ReplicationIsSlowerFailureFree) {
+  double t1, t3;
+  {
+    Scenario sc(workloads::tiny_config(5, 5));
+    t1 = sc.run(strat(Strategy::kRcmpSplit)).total_time;
+  }
+  {
+    Scenario sc(workloads::tiny_config(5, 5));
+    t3 = sc.run(strat(Strategy::kReplication, 3)).total_time;
+  }
+  EXPECT_GT(t3, t1 * 1.15);
+}
+
+TEST(Middleware, ReplicationSurvivesSingleFailureInPlace) {
+  Scenario sc(workloads::tiny_config(5, 5));
+  const auto r = sc.run(strat(Strategy::kReplication, 2), fail_at({3}));
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.restarts, 0u);
+  // Replication never recomputes: same 5 jobs, handled inside runs.
+  EXPECT_EQ(r.jobs_started, 5u);
+  for (const auto& run : r.runs) {
+    EXPECT_FALSE(run.was_recompute);
+  }
+}
+
+TEST(Middleware, OptimisticRestartsFromScratch) {
+  Scenario sc(workloads::tiny_config(5, 5));
+  const auto r = sc.run(strat(Strategy::kOptimistic), fail_at({4}));
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.restarts, 1u);
+  // 3 complete + 1 cancelled + 5 rerun = 9 started.
+  EXPECT_EQ(r.jobs_started, 9u);
+  int cancelled = 0;
+  for (const auto& run : r.runs) {
+    EXPECT_FALSE(run.was_recompute);  // OPTIMISTIC never recomputes
+    cancelled += run.status == JobResult::Status::kCancelled;
+  }
+  EXPECT_EQ(cancelled, 1);
+}
+
+TEST(Middleware, OptimisticLateFailureNearlyDoubles) {
+  double clean, late;
+  {
+    Scenario sc(workloads::tiny_config(5, 6));
+    clean = sc.run(strat(Strategy::kOptimistic)).total_time;
+  }
+  {
+    Scenario sc(workloads::tiny_config(5, 6));
+    late = sc.run(strat(Strategy::kOptimistic), fail_at({6})).total_time;
+  }
+  EXPECT_GT(late, clean * 1.6);
+}
+
+TEST(Middleware, RcmpBeatsOptimisticOnLateFailure) {
+  double rcmp, optimistic;
+  {
+    Scenario sc(workloads::tiny_config(6, 6));
+    rcmp = sc.run(strat(Strategy::kRcmpSplit), fail_at({6})).total_time;
+  }
+  {
+    Scenario sc(workloads::tiny_config(6, 6));
+    optimistic =
+        sc.run(strat(Strategy::kOptimistic), fail_at({6})).total_time;
+  }
+  EXPECT_LT(rcmp, optimistic);
+}
+
+TEST(Middleware, JobNumberingCountsRecomputations) {
+  // The paper's example: failure during the 7th job of a 7-job chain
+  // leads to 14 started jobs under RCMP, 7 under replication.
+  {
+    Scenario sc(workloads::tiny_config(5, 7));
+    const auto r = sc.run(strat(Strategy::kRcmpSplit), fail_at({7}));
+    EXPECT_EQ(r.jobs_started, 14u);
+  }
+  {
+    Scenario sc(workloads::tiny_config(5, 7));
+    const auto r = sc.run(strat(Strategy::kReplication, 3), fail_at({7}));
+    EXPECT_EQ(r.jobs_started, 7u);
+  }
+}
+
+TEST(Middleware, HybridReplicatesEveryKthJob) {
+  Scenario sc(workloads::tiny_config(5, 6));
+  StrategyConfig cfg = strat(Strategy::kRcmpSplit);
+  cfg.hybrid_every = 3;
+  cfg.hybrid_replication = 2;
+  const auto r = sc.run(cfg);
+  ASSERT_TRUE(r.completed);
+  // Jobs 3 and 6 (1-based) are replication points.
+  for (std::uint32_t l = 0; l < 6; ++l) {
+    const auto f = sc.middleware().output_file(l);
+    EXPECT_EQ(sc.dfs().replication(f), (l + 1) % 3 == 0 ? 2u : 1u);
+  }
+}
+
+TEST(Middleware, HybridCascadeStopsAtReplicationPoint) {
+  Scenario sc(workloads::tiny_config(5, 7));
+  StrategyConfig cfg = strat(Strategy::kRcmpSplit);
+  cfg.hybrid_every = 5;
+  const auto r = sc.run(cfg, fail_at({7}));
+  ASSERT_TRUE(r.completed);
+  // Jobs 1..4 damaged but upstream of the replicated job-5 output are
+  // still recomputed only if their own outputs were damaged; crucially
+  // job 5's output survived, so the cascade need not regenerate it.
+  std::uint32_t recomputed = 0;
+  for (const auto& run : r.runs) {
+    if (run.was_recompute &&
+        run.status == JobResult::Status::kCompleted) {
+      ++recomputed;
+      EXPECT_NE(run.logical_id, 4u);  // job 5 (0-based 4) never recomputed
+    }
+  }
+  // Without hybrid this failure recomputes 6 jobs; with a surviving
+  // replication point at job 5, at most jobs {1..4 damaged} + {6}.
+  Scenario base(workloads::tiny_config(5, 7));
+  const auto rb = base.run(strat(Strategy::kRcmpSplit), fail_at({7}));
+  std::uint32_t base_recomputed = 0;
+  for (const auto& run : rb.runs) {
+    base_recomputed += run.was_recompute &&
+                       run.status == JobResult::Status::kCompleted;
+  }
+  EXPECT_EQ(base_recomputed, 6u);
+  EXPECT_LT(recomputed, base_recomputed);
+}
+
+TEST(Middleware, ReclamationReducesStorage) {
+  StrategyConfig keep = strat(Strategy::kRcmpSplit);
+  keep.hybrid_every = 2;
+  StrategyConfig reclaim = keep;
+  reclaim.reclaim_after_replication = true;
+  Bytes keep_peak, reclaim_peak;
+  {
+    Scenario sc(workloads::tiny_config(5, 6));
+    keep_peak = sc.run(keep).peak_storage;
+  }
+  {
+    Scenario sc(workloads::tiny_config(5, 6));
+    reclaim_peak = sc.run(reclaim).peak_storage;
+  }
+  EXPECT_LT(reclaim_peak, keep_peak);
+}
+
+TEST(Middleware, ReclamationStillRecoverable) {
+  Scenario sc(workloads::payload_config(5, 6));
+  StrategyConfig cfg = strat(Strategy::kRcmpSplit);
+  cfg.hybrid_every = 2;
+  cfg.reclaim_after_replication = true;
+  const auto r = sc.run(cfg, fail_at({6}));
+  ASSERT_TRUE(r.completed);
+
+  mapred::Checksum ref;
+  {
+    Scenario clean(workloads::payload_config(5, 6));
+    clean.run(strat(Strategy::kRcmpSplit));
+    ref = clean.final_output_checksum();
+  }
+  EXPECT_EQ(sc.final_output_checksum(), ref);
+}
+
+TEST(Middleware, PeakStorageScalesWithReplication) {
+  Bytes p1, p3;
+  {
+    Scenario sc(workloads::tiny_config(5, 4));
+    p1 = sc.run(strat(Strategy::kRcmpSplit)).peak_storage;
+  }
+  {
+    Scenario sc(workloads::tiny_config(5, 4));
+    p3 = sc.run(strat(Strategy::kReplication, 3)).peak_storage;
+  }
+  EXPECT_GT(p3, p1);
+}
+
+TEST(Middleware, AttemptsTracked) {
+  Scenario sc(workloads::tiny_config(5, 4));
+  const auto r = sc.run(strat(Strategy::kRcmpSplit), fail_at({4}));
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(sc.middleware().attempts(3), 2u);  // interrupted + rerun
+  EXPECT_GE(sc.middleware().attempts(0), 2u);  // initial + recompute
+}
+
+TEST(Middleware, RejectsReplicationFactorOne) {
+  Scenario sc(workloads::tiny_config(4, 2));
+  EXPECT_THROW(sc.run(strat(Strategy::kReplication, 1)), InvariantError);
+}
+
+TEST(Middleware, RunsSortedByOrdinal) {
+  Scenario sc(workloads::tiny_config(5, 5));
+  const auto r = sc.run(strat(Strategy::kRcmpSplit), fail_at({5}));
+  for (std::size_t i = 1; i < r.runs.size(); ++i) {
+    EXPECT_EQ(r.runs[i].ordinal, r.runs[i - 1].ordinal + 1);
+  }
+}
+
+}  // namespace
+}  // namespace rcmp

@@ -1,0 +1,130 @@
+// Non-collocated deployments (paper §II: storage and computation
+// separated). The key semantic differences from the collocated case:
+//   - all map reads are remote ("Data locality is not even applicable
+//    to non-collocated environments. All transfers are remote.")
+//   - a compute-node failure loses tasks and persisted map outputs but
+//     NO reducer outputs (those live on storage nodes), so cascades are
+//     shallower;
+//   - a storage-node failure loses data but kills no tasks.
+#include <gtest/gtest.h>
+
+#include "workloads/scenario.hpp"
+
+namespace rcmp {
+namespace {
+
+using core::Strategy;
+using core::StrategyConfig;
+using workloads::Scenario;
+
+workloads::ScenarioConfig noncollocated_config(std::uint32_t chain = 3) {
+  auto cfg = workloads::tiny_config(8, chain);
+  cfg.cluster.storage_nodes = 4;  // nodes 0-3 store, 4-7 compute
+  return cfg;
+}
+
+StrategyConfig rcmp_split() {
+  StrategyConfig cfg;
+  cfg.strategy = Strategy::kRcmpSplit;
+  return cfg;
+}
+
+TEST(NonCollocated, TopologyHelpers) {
+  sim::Simulation sim;
+  res::FlowNetwork net(sim);
+  auto spec = noncollocated_config().cluster;
+  cluster::Cluster c(sim, net, spec);
+  EXPECT_FALSE(c.collocated());
+  EXPECT_TRUE(c.is_storage_node(0));
+  EXPECT_FALSE(c.is_compute_node(0));
+  EXPECT_FALSE(c.is_storage_node(5));
+  EXPECT_TRUE(c.is_compute_node(5));
+  EXPECT_EQ(c.alive_storage_nodes().size(), 4u);
+  EXPECT_EQ(c.alive_compute_count(), 4u);
+  c.kill(0);
+  c.kill(7);
+  EXPECT_EQ(c.alive_storage_nodes().size(), 3u);
+  EXPECT_EQ(c.alive_compute_count(), 3u);
+}
+
+TEST(NonCollocated, ChainCompletesWithDataOnStorageNodes) {
+  Scenario s(noncollocated_config());
+  const auto r = s.run(rcmp_split());
+  ASSERT_TRUE(r.completed);
+  // Every DFS block replica lives on a storage node.
+  for (std::uint32_t l = 0; l < 3; ++l) {
+    const auto f = s.middleware().output_file(l);
+    for (std::uint32_t p = 0; p < s.dfs().num_partitions(f); ++p) {
+      for (std::uint64_t b : s.dfs().partition(f, p).blocks) {
+        for (auto rep : s.dfs().block(b).replicas) {
+          EXPECT_TRUE(s.cluster().is_storage_node(rep));
+        }
+      }
+    }
+  }
+  // Every task ran on a compute node.
+  for (const auto& run : r.runs) {
+    for (const auto& t : run.map_timings) {
+      EXPECT_TRUE(s.cluster().is_compute_node(t.node));
+    }
+    for (const auto& t : run.reduce_timings) {
+      EXPECT_TRUE(s.cluster().is_compute_node(t.node));
+    }
+  }
+}
+
+TEST(NonCollocated, PayloadCorrectness) {
+  auto cfg = workloads::payload_config(8, 3);
+  cfg.cluster.storage_nodes = 4;
+  mapred::Checksum ref;
+  {
+    Scenario s(cfg);
+    ASSERT_TRUE(s.run(rcmp_split()).completed);
+    ref = s.final_output_checksum();
+    EXPECT_GT(ref.count, 0u);
+  }
+  {
+    Scenario s(cfg);
+    cluster::FailurePlan plan;
+    plan.at_job_ordinals = {3};
+    const auto r = s.run(rcmp_split(), plan);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(s.final_output_checksum(), ref);
+  }
+}
+
+TEST(NonCollocated, ComputeNodeFailureLosesNoReducerOutputs) {
+  // Kill a compute node directly mid-chain: persisted map outputs on it
+  // are gone, but every DFS partition (on storage nodes) survives.
+  Scenario s(noncollocated_config(4));
+  auto& sim = s.sim();
+  auto& cluster = s.cluster();
+  sim.schedule_at(40.0, [&] {
+    cluster.kill(6);  // compute node
+  });
+  const auto r = s.run(rcmp_split());
+  ASSERT_TRUE(r.completed);
+  for (std::uint32_t l = 0; l < 4; ++l) {
+    EXPECT_TRUE(s.dfs().file_available(s.middleware().output_file(l)));
+  }
+}
+
+TEST(NonCollocated, StorageNodeFailureTriggersRecomputation) {
+  Scenario s(noncollocated_config(4));
+  auto& sim = s.sim();
+  auto& cluster = s.cluster();
+  sim.schedule_at(100.0, [&] {
+    cluster.kill(1);  // storage node holding single-replica outputs
+  });
+  const auto r = s.run(rcmp_split());
+  ASSERT_TRUE(r.completed);
+  bool recomputed = false;
+  for (const auto& run : r.runs) {
+    recomputed |= run.was_recompute &&
+                  run.status == mapred::JobResult::Status::kCompleted;
+  }
+  EXPECT_TRUE(recomputed);
+}
+
+}  // namespace
+}  // namespace rcmp

@@ -1,0 +1,92 @@
+// Unit tests for the recomputation cascade planner.
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+
+namespace rcmp::core {
+namespace {
+
+PlannerJobState done(std::vector<std::uint32_t> damaged = {}) {
+  PlannerJobState s;
+  s.completed_once = true;
+  s.damaged_partitions = std::move(damaged);
+  return s;
+}
+
+PlannerJobState fresh() { return PlannerJobState{}; }
+
+TEST(Planner, EmptyChain) { EXPECT_TRUE(plan_chain({}).empty()); }
+
+TEST(Planner, FreshChainRunsEverything) {
+  const auto plan = plan_chain({fresh(), fresh(), fresh()});
+  ASSERT_EQ(plan.size(), 3u);
+  for (std::uint32_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(plan[j].logical_id, j);
+    EXPECT_FALSE(plan[j].recompute);
+  }
+}
+
+TEST(Planner, IntactCompletedJobsAreSkipped) {
+  const auto plan = plan_chain({done(), done(), fresh()});
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].logical_id, 2u);
+  EXPECT_FALSE(plan[0].recompute);
+}
+
+TEST(Planner, DamagedJobsBecomeRecomputations) {
+  const auto plan = plan_chain({done({3}), done(), done({1, 0}), fresh()});
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].logical_id, 0u);
+  EXPECT_TRUE(plan[0].recompute);
+  EXPECT_EQ(plan[0].damaged_partitions, (std::vector<std::uint32_t>{3}));
+  EXPECT_EQ(plan[1].logical_id, 2u);
+  EXPECT_TRUE(plan[1].recompute);
+  // Damaged partitions are sorted.
+  EXPECT_EQ(plan[1].damaged_partitions,
+            (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(plan[2].logical_id, 3u);
+  EXPECT_FALSE(plan[2].recompute);
+}
+
+TEST(Planner, LateFailurePattern) {
+  // Paper Fig. 7 case (c): all 6 finished jobs damaged, job 7 fresh.
+  std::vector<PlannerJobState> jobs;
+  for (int j = 0; j < 6; ++j) jobs.push_back(done({0}));
+  jobs.push_back(fresh());
+  const auto plan = plan_chain(jobs);
+  ASSERT_EQ(plan.size(), 7u);
+  for (std::uint32_t j = 0; j < 6; ++j) {
+    EXPECT_TRUE(plan[j].recompute);
+    EXPECT_EQ(plan[j].logical_id, j);
+  }
+  EXPECT_FALSE(plan[6].recompute);
+}
+
+TEST(Planner, PlanIsAscending) {
+  const auto plan =
+      plan_chain({done({1}), fresh(), done({2}), fresh(), done()});
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_LT(plan[i - 1].logical_id, plan[i].logical_id);
+  }
+}
+
+TEST(Planner, Idempotent) {
+  // Planning twice from the same state yields the same plan — the
+  // property that makes nested-failure replans safe.
+  const std::vector<PlannerJobState> jobs{done({0, 2}), fresh(), done()};
+  const auto a = plan_chain(jobs);
+  const auto b = plan_chain(jobs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].logical_id, b[i].logical_id);
+    EXPECT_EQ(a[i].recompute, b[i].recompute);
+    EXPECT_EQ(a[i].damaged_partitions, b[i].damaged_partitions);
+  }
+}
+
+TEST(Planner, NothingToDoOnHealthyCompletedChain) {
+  EXPECT_TRUE(plan_chain({done(), done(), done()}).empty());
+}
+
+}  // namespace
+}  // namespace rcmp::core

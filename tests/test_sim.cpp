@@ -1,0 +1,171 @@
+// Unit tests for the discrete-event simulation core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/simulation.hpp"
+
+namespace rcmp::sim {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(Simulation, FiresInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, TieBrokenByInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, ScheduleAfterIsRelative) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_after(5.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(Simulation, CancelUnknownIsNoop) {
+  Simulation sim;
+  sim.cancel(9999);  // must not throw
+  sim.cancel(kInvalidEvent);
+}
+
+TEST(Simulation, CancelFromWithinEvent) {
+  Simulation sim;
+  bool fired = false;
+  const EventId victim = sim.schedule_at(2.0, [&] { fired = true; });
+  sim.schedule_at(1.0, [&] { sim.cancel(victim); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, IsPendingTracksLifecycle) {
+  Simulation sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.is_pending(id));
+  sim.run();
+  EXPECT_FALSE(sim.is_pending(id));
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 1; i <= 5; ++i) {
+    sim.schedule_at(i, [&] { ++count; });
+  }
+  sim.run_until(3.0);
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  sim.run();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(1.0, recurse);
+  };
+  sim.schedule_at(0.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 99.0);
+}
+
+TEST(Simulation, RejectsPastScheduling) {
+  Simulation sim;
+  sim.schedule_at(10.0, [&] {
+    EXPECT_THROW(sim.schedule_at(5.0, [] {}), InvariantError);
+  });
+  sim.run();
+}
+
+TEST(Simulation, ToleratesTinyNegativeDrift) {
+  Simulation sim;
+  bool fired = false;
+  sim.schedule_at(10.0, [&] {
+    // Floating-point rate arithmetic can produce times epsilon in the
+    // past; these are clamped to now.
+    sim.schedule_at(10.0 - 1e-9, [&] { fired = true; });
+  });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, RejectsNonFiniteTime) {
+  Simulation sim;
+  EXPECT_THROW(
+      sim.schedule_at(std::numeric_limits<double>::infinity(), [] {}),
+      InvariantError);
+  EXPECT_THROW(
+      sim.schedule_at(std::numeric_limits<double>::quiet_NaN(), [] {}),
+      InvariantError);
+}
+
+TEST(Simulation, MaxEventsGuard) {
+  Simulation sim;
+  sim.set_max_events(10);
+  std::function<void()> loop = [&] { sim.schedule_after(1.0, loop); };
+  sim.schedule_at(0.0, loop);
+  EXPECT_THROW(sim.run(), InvariantError);
+}
+
+TEST(Simulation, PendingCountTracksQueue) {
+  Simulation sim;
+  EXPECT_EQ(sim.events_pending(), 0u);
+  const EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.events_pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulation, RunReturnsFiredCount) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  EXPECT_EQ(sim.run(), 7u);
+}
+
+TEST(Simulation, ClockDoesNotAdvancePastLastEvent) {
+  Simulation sim;
+  sim.schedule_at(2.5, [] {});
+  sim.run_until(100.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+}  // namespace
+}  // namespace rcmp::sim

@@ -1,0 +1,153 @@
+// Speculative execution under injected stragglers (paper §III-A):
+// duplicates race the original; replication's (narrow) benefit is that
+// a duplicate can read a different input replica.
+#include <gtest/gtest.h>
+
+#include "workloads/scenario.hpp"
+
+namespace rcmp {
+namespace {
+
+using core::Strategy;
+using core::StrategyConfig;
+using workloads::Scenario;
+
+StrategyConfig strat(Strategy s) {
+  StrategyConfig cfg;
+  cfg.strategy = s;
+  return cfg;
+}
+
+std::uint32_t total_launched(const core::ChainResult& r) {
+  std::uint32_t n = 0;
+  for (const auto& run : r.runs) n += run.speculative_launched;
+  return n;
+}
+std::uint32_t total_won(const core::ChainResult& r) {
+  std::uint32_t n = 0;
+  for (const auto& run : r.runs) n += run.speculative_won;
+  return n;
+}
+
+TEST(Speculation, OffByDefault) {
+  Scenario s(workloads::tiny_config(5, 3));
+  const auto r = s.run(strat(Strategy::kRcmpSplit));
+  EXPECT_EQ(total_launched(r), 0u);
+}
+
+TEST(Speculation, RescuesCpuStraggler) {
+  // Compute-dominant workload so the straggling CPU is the bottleneck.
+  auto cfg = workloads::tiny_config(6, 3);
+  cfg.engine.map_cpu_rate = 50e6;
+  double without, with;
+  std::uint32_t won = 0;
+  {
+    Scenario s(cfg);
+    s.cluster().set_cpu_factor(2, 40.0);  // one pathologically slow CPU
+    without = s.run(strat(Strategy::kRcmpSplit)).total_time;
+  }
+  {
+    auto cfg2 = cfg;
+    cfg2.engine.speculative_execution = true;
+    Scenario s(cfg2);
+    s.cluster().set_cpu_factor(2, 40.0);
+    const auto r = s.run(strat(Strategy::kRcmpSplit));
+    with = r.total_time;
+    won = total_won(r);
+  }
+  EXPECT_GT(won, 0u);
+  EXPECT_LT(with, without);
+}
+
+TEST(Speculation, WonNeverExceedsLaunched) {
+  auto cfg = workloads::tiny_config(6, 3);
+  cfg.engine.speculative_execution = true;
+  cfg.engine.speculative_slowness = 1.1;  // aggressive
+  Scenario s(cfg);
+  s.cluster().set_cpu_factor(1, 10.0);
+  const auto r = s.run(strat(Strategy::kRcmpSplit));
+  ASSERT_TRUE(r.completed);
+  EXPECT_LE(total_won(r), total_launched(r));
+}
+
+TEST(Speculation, ReplicatedInputLetsDuplicateDodgeSlowDisk) {
+  // An I/O-bound straggler: with a single input replica the duplicate
+  // must stream from the same slow disk, so speculation cannot shorten
+  // the map phase much; with extra replicas the duplicate dodges the
+  // bad drive. (§III-A: "This benefit only applies when the slowness is
+  // caused by inefficiencies in reading input data.")
+  auto map_phase = [](std::uint32_t input_replication, bool speculate) {
+    auto cfg = workloads::tiny_config(6, 1);  // single job
+    cfg.input_replication = input_replication;
+    cfg.engine.speculative_execution = speculate;
+    cfg.engine.speculative_check_interval = 2.0;
+    Scenario s(cfg);
+    s.cluster().degrade_disk(3, 50.0);  // a truly bad drive
+    const auto r = s.run(strat(Strategy::kRcmpSplit));
+    EXPECT_TRUE(r.completed);
+    const auto& run = r.runs.at(0);
+    return run.map_phase_end - run.start_time;
+  };
+  const double off1 = map_phase(1, false);
+  const double on1 = map_phase(1, true);
+  const double off3 = map_phase(3, false);
+  const double on3 = map_phase(3, true);
+  // Replicated input: speculation rescues the straggler's local task
+  // by reading a healthy replica.
+  EXPECT_LT(on3, off3 * 0.8);
+  // Single replica: the duplicate streams from the same slow disk —
+  // no comparable rescue.
+  EXPECT_GT(on1, off1 * 0.8);
+}
+
+TEST(Speculation, PayloadOutputStaysCorrect) {
+  // Winner-only registration: duplicates must never double-emit.
+  mapred::Checksum ref;
+  {
+    Scenario s(workloads::payload_config(6, 3));
+    ASSERT_TRUE(s.run(strat(Strategy::kRcmpSplit)).completed);
+    ref = s.final_output_checksum();
+  }
+  auto cfg = workloads::payload_config(6, 3);
+  cfg.engine.speculative_execution = true;
+  cfg.engine.speculative_slowness = 1.2;
+  cfg.engine.speculative_check_interval = 0.2;  // payload jobs are short
+  cfg.engine.map_cpu_rate = 2e6;  // compute-dominant at payload scale
+  Scenario s(cfg);
+  s.cluster().set_cpu_factor(0, 300.0);
+  const auto r = s.run(strat(Strategy::kRcmpSplit));
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(total_won(r), 0u);
+  EXPECT_EQ(s.final_output_checksum(), ref);
+}
+
+TEST(Speculation, SurvivesFailuresToo) {
+  mapred::Checksum ref;
+  {
+    Scenario s(workloads::payload_config(6, 4));
+    ASSERT_TRUE(s.run(strat(Strategy::kRcmpSplit)).completed);
+    ref = s.final_output_checksum();
+  }
+  auto cfg = workloads::payload_config(6, 4);
+  cfg.engine.speculative_execution = true;
+  Scenario s(cfg);
+  s.cluster().set_cpu_factor(1, 25.0);
+  cluster::FailurePlan plan;
+  plan.at_job_ordinals = {3};
+  const auto r = s.run(strat(Strategy::kRcmpSplit), plan);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(s.final_output_checksum(), ref);
+}
+
+TEST(Speculation, HealthyClusterLaunchesFewDuplicates) {
+  auto cfg = workloads::tiny_config(6, 3);
+  cfg.engine.speculative_execution = true;
+  Scenario s(cfg);
+  const auto r = s.run(strat(Strategy::kRcmpSplit));
+  ASSERT_TRUE(r.completed);
+  // Homogeneous tasks: nothing is 1.8x slower than average.
+  EXPECT_EQ(total_launched(r), 0u);
+}
+
+}  // namespace
+}  // namespace rcmp
