@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_network.dir/abl_network.cpp.o"
+  "CMakeFiles/abl_network.dir/abl_network.cpp.o.d"
+  "abl_network"
+  "abl_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

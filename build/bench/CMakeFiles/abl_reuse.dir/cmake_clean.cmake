@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reuse.dir/abl_reuse.cpp.o"
+  "CMakeFiles/abl_reuse.dir/abl_reuse.cpp.o.d"
+  "abl_reuse"
+  "abl_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

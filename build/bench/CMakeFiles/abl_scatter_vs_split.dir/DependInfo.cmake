@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_scatter_vs_split.cpp" "bench/CMakeFiles/abl_scatter_vs_split.dir/abl_scatter_vs_split.cpp.o" "gcc" "bench/CMakeFiles/abl_scatter_vs_split.dir/abl_scatter_vs_split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/rcmp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rcmp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rcmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/rcmp_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/rcmp_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rcmp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/rcmp_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rcmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scatter_vs_split.dir/abl_scatter_vs_split.cpp.o"
+  "CMakeFiles/abl_scatter_vs_split.dir/abl_scatter_vs_split.cpp.o.d"
+  "abl_scatter_vs_split"
+  "abl_scatter_vs_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scatter_vs_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

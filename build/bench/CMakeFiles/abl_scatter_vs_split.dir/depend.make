@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_scatter_vs_split.
+# This may be replaced when dependencies are built.

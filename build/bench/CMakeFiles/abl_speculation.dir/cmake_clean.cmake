@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_speculation.dir/abl_speculation.cpp.o"
+  "CMakeFiles/abl_speculation.dir/abl_speculation.cpp.o.d"
+  "abl_speculation"
+  "abl_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

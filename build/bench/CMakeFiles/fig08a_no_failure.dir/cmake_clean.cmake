@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08a_no_failure.dir/fig08a_no_failure.cpp.o"
+  "CMakeFiles/fig08a_no_failure.dir/fig08a_no_failure.cpp.o.d"
+  "fig08a_no_failure"
+  "fig08a_no_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08a_no_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

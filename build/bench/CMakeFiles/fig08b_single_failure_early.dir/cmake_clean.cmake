@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08b_single_failure_early.dir/fig08b_single_failure_early.cpp.o"
+  "CMakeFiles/fig08b_single_failure_early.dir/fig08b_single_failure_early.cpp.o.d"
+  "fig08b_single_failure_early"
+  "fig08b_single_failure_early.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_single_failure_early.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

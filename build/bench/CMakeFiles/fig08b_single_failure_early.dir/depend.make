@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08b_single_failure_early.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08c_single_failure_late.dir/fig08c_single_failure_late.cpp.o"
+  "CMakeFiles/fig08c_single_failure_late.dir/fig08c_single_failure_late.cpp.o.d"
+  "fig08c_single_failure_late"
+  "fig08c_single_failure_late.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08c_single_failure_late.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

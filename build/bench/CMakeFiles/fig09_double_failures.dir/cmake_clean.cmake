@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_double_failures.dir/fig09_double_failures.cpp.o"
+  "CMakeFiles/fig09_double_failures.dir/fig09_double_failures.cpp.o.d"
+  "fig09_double_failures"
+  "fig09_double_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_double_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

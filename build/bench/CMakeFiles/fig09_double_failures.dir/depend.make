@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_double_failures.
+# This may be replaced when dependencies are built.

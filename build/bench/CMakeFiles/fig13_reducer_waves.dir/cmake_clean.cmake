@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_reducer_waves.dir/fig13_reducer_waves.cpp.o"
+  "CMakeFiles/fig13_reducer_waves.dir/fig13_reducer_waves.cpp.o.d"
+  "fig13_reducer_waves"
+  "fig13_reducer_waves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_reducer_waves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_reducer_waves.
+# This may be replaced when dependencies are built.

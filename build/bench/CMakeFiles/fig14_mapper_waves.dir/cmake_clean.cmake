@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_mapper_waves.dir/fig14_mapper_waves.cpp.o"
+  "CMakeFiles/fig14_mapper_waves.dir/fig14_mapper_waves.cpp.o.d"
+  "fig14_mapper_waves"
+  "fig14_mapper_waves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mapper_waves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_analytics.dir/chain_analytics.cpp.o"
+  "CMakeFiles/chain_analytics.dir/chain_analytics.cpp.o.d"
+  "chain_analytics"
+  "chain_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

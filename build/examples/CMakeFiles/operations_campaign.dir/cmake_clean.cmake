@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operations_campaign.dir/operations_campaign.cpp.o"
+  "CMakeFiles/operations_campaign.dir/operations_campaign.cpp.o.d"
+  "operations_campaign"
+  "operations_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operations_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcmp_cli.dir/rcmp_cli.cpp.o"
+  "CMakeFiles/rcmp_cli.dir/rcmp_cli.cpp.o.d"
+  "rcmp_cli"
+  "rcmp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcmp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

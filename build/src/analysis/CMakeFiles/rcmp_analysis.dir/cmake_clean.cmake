@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcmp_analysis.dir/extrapolation.cpp.o"
+  "CMakeFiles/rcmp_analysis.dir/extrapolation.cpp.o.d"
+  "librcmp_analysis.a"
+  "librcmp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcmp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/rcmp_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/rcmp_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/failure_injector.cpp" "src/cluster/CMakeFiles/rcmp_cluster.dir/failure_injector.cpp.o" "gcc" "src/cluster/CMakeFiles/rcmp_cluster.dir/failure_injector.cpp.o.d"
+  "/root/repo/src/cluster/failure_trace.cpp" "src/cluster/CMakeFiles/rcmp_cluster.dir/failure_trace.cpp.o" "gcc" "src/cluster/CMakeFiles/rcmp_cluster.dir/failure_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resources/CMakeFiles/rcmp_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rcmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

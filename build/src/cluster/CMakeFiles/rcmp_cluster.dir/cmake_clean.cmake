@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcmp_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/rcmp_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/rcmp_cluster.dir/failure_injector.cpp.o"
+  "CMakeFiles/rcmp_cluster.dir/failure_injector.cpp.o.d"
+  "CMakeFiles/rcmp_cluster.dir/failure_trace.cpp.o"
+  "CMakeFiles/rcmp_cluster.dir/failure_trace.cpp.o.d"
+  "librcmp_cluster.a"
+  "librcmp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcmp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcmp_common.dir/log.cpp.o"
+  "CMakeFiles/rcmp_common.dir/log.cpp.o.d"
+  "CMakeFiles/rcmp_common.dir/md5.cpp.o"
+  "CMakeFiles/rcmp_common.dir/md5.cpp.o.d"
+  "CMakeFiles/rcmp_common.dir/stats.cpp.o"
+  "CMakeFiles/rcmp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rcmp_common.dir/table.cpp.o"
+  "CMakeFiles/rcmp_common.dir/table.cpp.o.d"
+  "librcmp_common.a"
+  "librcmp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcmp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcmp_core.dir/middleware.cpp.o"
+  "CMakeFiles/rcmp_core.dir/middleware.cpp.o.d"
+  "CMakeFiles/rcmp_core.dir/planner.cpp.o"
+  "CMakeFiles/rcmp_core.dir/planner.cpp.o.d"
+  "librcmp_core.a"
+  "librcmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcmp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

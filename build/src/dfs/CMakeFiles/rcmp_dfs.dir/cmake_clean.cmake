@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcmp_dfs.dir/namenode.cpp.o"
+  "CMakeFiles/rcmp_dfs.dir/namenode.cpp.o.d"
+  "librcmp_dfs.a"
+  "librcmp_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcmp_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

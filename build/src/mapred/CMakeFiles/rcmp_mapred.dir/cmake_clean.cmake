@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcmp_mapred.dir/engine.cpp.o"
+  "CMakeFiles/rcmp_mapred.dir/engine.cpp.o.d"
+  "CMakeFiles/rcmp_mapred.dir/map_output_store.cpp.o"
+  "CMakeFiles/rcmp_mapred.dir/map_output_store.cpp.o.d"
+  "CMakeFiles/rcmp_mapred.dir/payload_store.cpp.o"
+  "CMakeFiles/rcmp_mapred.dir/payload_store.cpp.o.d"
+  "CMakeFiles/rcmp_mapred.dir/record.cpp.o"
+  "CMakeFiles/rcmp_mapred.dir/record.cpp.o.d"
+  "librcmp_mapred.a"
+  "librcmp_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcmp_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

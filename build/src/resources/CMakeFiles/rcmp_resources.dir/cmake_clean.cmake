@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcmp_resources.dir/flow_network.cpp.o"
+  "CMakeFiles/rcmp_resources.dir/flow_network.cpp.o.d"
+  "librcmp_resources.a"
+  "librcmp_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcmp_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

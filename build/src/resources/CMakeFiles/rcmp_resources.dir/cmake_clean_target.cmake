@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librcmp_resources.a"
+)

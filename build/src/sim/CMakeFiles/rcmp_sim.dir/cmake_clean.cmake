@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcmp_sim.dir/simulation.cpp.o"
+  "CMakeFiles/rcmp_sim.dir/simulation.cpp.o.d"
+  "librcmp_sim.a"
+  "librcmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

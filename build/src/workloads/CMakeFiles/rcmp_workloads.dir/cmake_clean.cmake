@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcmp_workloads.dir/presets.cpp.o"
+  "CMakeFiles/rcmp_workloads.dir/presets.cpp.o.d"
+  "CMakeFiles/rcmp_workloads.dir/scenario.cpp.o"
+  "CMakeFiles/rcmp_workloads.dir/scenario.cpp.o.d"
+  "librcmp_workloads.a"
+  "librcmp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcmp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

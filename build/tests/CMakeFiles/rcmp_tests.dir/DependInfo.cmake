@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_dag.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_dag.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_dag.cpp.o.d"
+  "/root/repo/tests/test_dfs.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_dfs.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_dfs.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_flow_network.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_flow_network.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_flow_network.cpp.o.d"
+  "/root/repo/tests/test_integration_smoke.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_integration_smoke.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_integration_smoke.cpp.o.d"
+  "/root/repo/tests/test_interactions.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_interactions.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_interactions.cpp.o.d"
+  "/root/repo/tests/test_mapred_units.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_mapred_units.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_mapred_units.cpp.o.d"
+  "/root/repo/tests/test_middleware.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_middleware.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_middleware.cpp.o.d"
+  "/root/repo/tests/test_noncollocated.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_noncollocated.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_noncollocated.cpp.o.d"
+  "/root/repo/tests/test_planner.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_planner.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_planner.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_recompute.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_recompute.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_recompute.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_speculation.cpp" "tests/CMakeFiles/rcmp_tests.dir/test_speculation.cpp.o" "gcc" "tests/CMakeFiles/rcmp_tests.dir/test_speculation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/rcmp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rcmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/rcmp_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/rcmp_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rcmp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/rcmp_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rcmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rcmp_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
