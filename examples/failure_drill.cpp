@@ -4,29 +4,62 @@
 // failure-free run. This is the example to adapt when qualifying RCMP's
 // recovery behavior for an ops runbook.
 //
+// Three parts:
+//   1. classic ordinal kill drills (the paper's §V-A methodology),
+//   2. typed chaos drills — transient rejoin, disk-only loss,
+//      compute-only loss, rack outage, silent corruption — via the
+//      ChaosEngine on a two-rack 7-job chain,
+//   3. a trace-driven campaign: a STIC-like availability trace
+//      (failure_trace.hpp) compressed into a FaultSchedule and replayed
+//      end to end.
+//
 //   $ ./failure_drill
 #include <cstdio>
 
+#include "cluster/chaos.hpp"
 #include "common/table.hpp"
 #include "workloads/scenario.hpp"
 
-int main() {
-  using namespace rcmp;
+namespace {
 
+using namespace rcmp;
+
+mapred::Checksum reference_for(const workloads::ScenarioConfig& config,
+                               double* clean_time) {
+  workloads::Scenario scenario(config);
+  core::StrategyConfig strategy;
+  strategy.strategy = core::Strategy::kRcmpSplit;
+  *clean_time = scenario.run(strategy).total_time;
+  return scenario.final_output_checksum();
+}
+
+const char* outcome_label(const core::ChainResult& result, bool checksum_ok) {
+  if (!result.completed) {
+    switch (result.fail_reason) {
+      case core::ChainResult::FailReason::kSourceDataLost:
+        return "FAILED(source)";
+      case core::ChainResult::FailReason::kCapacityFloor:
+        return "FAILED(floor)";
+      case core::ChainResult::FailReason::kRetryBudgetExhausted:
+        return "FAILED(budget)";
+      case core::ChainResult::FailReason::kNone:
+        return "FAILED";
+    }
+  }
+  return checksum_ok ? "VERIFIED" : "CORRUPT";
+}
+
+}  // namespace
+
+int main() {
+  bool all_ok = true;
+
+  // -- part 1: the paper's ordinal kill drills ------------------------
   const auto config =
       workloads::payload_config(/*nodes=*/8, /*chain_length=*/5,
                                 /*records_per_node=*/512);
-
-  // Reference: failure-free.
-  mapred::Checksum reference;
   double clean_time = 0.0;
-  {
-    workloads::Scenario scenario(config);
-    core::StrategyConfig strategy;
-    strategy.strategy = core::Strategy::kRcmpSplit;
-    clean_time = scenario.run(strategy).total_time;
-    reference = scenario.final_output_checksum();
-  }
+  const mapred::Checksum reference = reference_for(config, &clean_time);
   std::printf("reference run: %.1f s, %llu records\n\n", clean_time,
               static_cast<unsigned long long>(reference.count));
 
@@ -44,7 +77,6 @@ int main() {
   };
 
   Table t({"drill", "failures", "jobs started", "slowdown", "output"});
-  bool all_ok = true;
   for (const Drill& d : drills) {
     workloads::Scenario scenario(config);
     core::StrategyConfig strategy;
@@ -58,9 +90,113 @@ int main() {
     t.add_row({d.name, std::to_string(result.failures_observed),
                std::to_string(result.jobs_started),
                Table::num(result.total_time / clean_time) + "x",
-               ok ? "VERIFIED" : "CORRUPT"});
+               outcome_label(result, ok)});
   }
   std::fputs(t.to_string().c_str(), stdout);
+
+  // -- part 2: typed chaos drills on a two-rack 7-job chain -----------
+  auto chaos_config =
+      workloads::payload_config(/*nodes=*/10, /*chain_length=*/7,
+                                /*records_per_node=*/512);
+  chaos_config.cluster.racks = 2;
+  // Storage loss is permanent in this simulator (no re-replication), so
+  // the campaign's source-input durability is pure replication headroom:
+  // with replication 4, any three storage-loss events provably cannot
+  // destroy a source partition.
+  chaos_config.input_replication = 4;
+  double chaos_clean = 0.0;
+  const mapred::Checksum chaos_ref =
+      reference_for(chaos_config, &chaos_clean);
+
+  using cluster::FaultEvent;
+  using cluster::FaultMode;
+  struct ChaosDrill {
+    const char* name;
+    cluster::FaultSchedule schedule;
+  };
+  const ChaosDrill chaos_drills[] = {
+      {"transient (kill + rejoin)",
+       {{FaultEvent{FaultMode::kTransient, 2, 15.0, cluster::kInvalidNode,
+                    cluster::kAnyRack, 120.0}}}},
+      {"disk-only loss (node keeps computing)",
+       {{FaultEvent{FaultMode::kDisk, 3, 15.0}}}},
+      {"compute-only loss (data survives)",
+       {{FaultEvent{FaultMode::kCompute, 3, 15.0}}}},
+      {"rack outage",
+       {{FaultEvent{FaultMode::kRack, 2, 15.0, cluster::kInvalidNode, 1}}}},
+      {"silent DFS corruption",
+       {{FaultEvent{FaultMode::kCorruptPartition, 3, 5.0}}}},
+      {"silent map-output corruption",
+       {{FaultEvent{FaultMode::kCorruptMapOutput, 2, 20.0}}}},
+      {"all five modes at once",
+       {{FaultEvent{FaultMode::kTransient, 2, 15.0, cluster::kInvalidNode,
+                    cluster::kAnyRack, 120.0},
+         FaultEvent{FaultMode::kDisk, 3, 10.0},
+         FaultEvent{FaultMode::kCorruptPartition, 4, 5.0},
+         FaultEvent{FaultMode::kCompute, 5, 12.0},
+         FaultEvent{FaultMode::kCorruptMapOutput, 5, 20.0},
+         FaultEvent{FaultMode::kKill, 6, 15.0},
+         FaultEvent{FaultMode::kRack, 7, 15.0, cluster::kInvalidNode, 1}}}},
+  };
+
+  std::printf("\nchaos drills (typed fault injection, 2 racks, 7 jobs):\n");
+  Table ct({"drill", "injected", "recoveries", "replans", "slowdown",
+            "output"});
+  for (const ChaosDrill& d : chaos_drills) {
+    workloads::Scenario scenario(chaos_config);
+    core::StrategyConfig strategy;
+    strategy.strategy = core::Strategy::kRcmpSplit;
+    const auto result = scenario.run_chaos(strategy, d.schedule);
+    const auto& counts = scenario.chaos()->counts();
+    const bool ok =
+        result.completed && scenario.final_output_checksum() == chaos_ref;
+    all_ok &= ok;
+    ct.add_row({d.name, std::to_string(counts.injected()),
+                std::to_string(counts.recoveries),
+                std::to_string(result.replans),
+                Table::num(result.total_time / chaos_clean) + "x",
+                outcome_label(result, ok)});
+  }
+  std::fputs(ct.to_string().c_str(), stdout);
+
+  // -- part 3: trace-driven campaign ----------------------------------
+  // Compress a multi-year availability trace into a chaos schedule.
+  // Every storage-loss event in this simulator is permanent (no
+  // re-replication), so the drill keeps the per-campaign event count
+  // below the input replication headroom — the same calculation an ops
+  // team makes when sizing a real campaign.
+  std::printf("\ntrace-driven campaign (STIC-like availability trace):\n");
+  Table tt({"seed", "events", "injected", "transients", "disk", "compute",
+            "slowdown", "output"});
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto trace =
+        cluster::generate_trace(cluster::stic_trace_model(), seed);
+    cluster::TraceScheduleOptions opt;
+    opt.max_events = 3;
+    opt.p_transient = 0.6;  // most real failures are reboots
+    opt.p_disk = 0.2;
+    opt.p_compute = 0.2;  // no permanent kills in this drill
+    const auto schedule = cluster::schedule_from_trace(trace, opt, seed);
+
+    workloads::Scenario scenario(chaos_config);
+    core::StrategyConfig strategy;
+    strategy.strategy = core::Strategy::kRcmpSplit;
+    const auto result = scenario.run_chaos(strategy, schedule);
+    const auto& counts = scenario.chaos()->counts();
+    const bool ok =
+        result.completed && scenario.final_output_checksum() == chaos_ref;
+    all_ok &= ok;
+    tt.add_row({std::to_string(seed),
+                std::to_string(schedule.events.size()),
+                std::to_string(counts.injected()),
+                std::to_string(counts.transients),
+                std::to_string(counts.disk_failures),
+                std::to_string(counts.compute_failures),
+                Table::num(result.total_time / chaos_clean) + "x",
+                outcome_label(result, ok)});
+  }
+  std::fputs(tt.to_string().c_str(), stdout);
+
   std::printf("\n%s\n", all_ok ? "all drills recovered with identical "
                                  "output."
                                : "DRILL FAILURE — see table.");

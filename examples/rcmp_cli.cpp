@@ -10,8 +10,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "workloads/scenario.hpp"
@@ -159,8 +161,17 @@ int main(int argc, char** argv) {
   }
   if (nodes_set && cfg.cluster.nodes < 2) die("need at least 2 nodes");
 
-  workloads::Scenario scenario(cfg);
-  const core::ChainResult result = scenario.run(strategy, failures);
+  // Infeasible combinations (replication > nodes, impossible failure
+  // plans, ...) are validated by the library; report them like any
+  // other bad flag instead of terminating on the exception.
+  std::optional<workloads::Scenario> scenario;
+  core::ChainResult result;
+  try {
+    scenario.emplace(cfg);
+    result = scenario->run(strategy, failures);
+  } catch (const ConfigError& e) {
+    die(e.what());
+  }
 
   Table t({"#", "job", "kind", "status", "duration (s)", "mappers",
            "(reused)", "reducers"});

@@ -44,7 +44,9 @@ Cluster::Cluster(sim::Simulation& sim, res::FlowNetwork& net,
   RCMP_CHECK_MSG(spec_.storage_nodes < spec_.nodes,
                  "need at least one compute node");
 
-  alive_.assign(spec_.nodes, true);
+  compute_up_.assign(spec_.nodes, true);
+  storage_up_.assign(spec_.nodes, true);
+  failure_epoch_.assign(spec_.nodes, 0);
   cpu_factor_.assign(spec_.nodes, 1.0);
   alive_count_ = spec_.nodes;
 }
@@ -52,7 +54,7 @@ Cluster::Cluster(sim::Simulation& sim, res::FlowNetwork& net,
 std::vector<NodeId> Cluster::alive_storage_nodes() const {
   std::vector<NodeId> out;
   for (NodeId n = 0; n < spec_.nodes; ++n) {
-    if (alive_[n] && is_storage_node(n)) out.push_back(n);
+    if (storage_up_[n] && is_storage_node(n)) out.push_back(n);
   }
   return out;
 }
@@ -60,9 +62,17 @@ std::vector<NodeId> Cluster::alive_storage_nodes() const {
 std::uint32_t Cluster::alive_compute_count() const {
   std::uint32_t count = 0;
   for (NodeId n = 0; n < spec_.nodes; ++n) {
-    count += alive_[n] && is_compute_node(n);
+    count += compute_up_[n] && is_compute_node(n);
   }
   return count;
+}
+
+std::vector<NodeId> Cluster::nodes_in_rack(std::uint32_t rack) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < spec_.nodes; ++n) {
+    if (rack_of(n) == rack) out.push_back(n);
+  }
+  return out;
 }
 
 void Cluster::set_cpu_factor(NodeId n, double factor) {
@@ -81,18 +91,71 @@ std::vector<NodeId> Cluster::alive_nodes() const {
   std::vector<NodeId> out;
   out.reserve(alive_count_);
   for (NodeId n = 0; n < spec_.nodes; ++n)
-    if (alive_[n]) out.push_back(n);
+    if (alive(n)) out.push_back(n);
   return out;
+}
+
+void Cluster::recount_alive() {
+  alive_count_ = 0;
+  for (NodeId n = 0; n < spec_.nodes; ++n) alive_count_ += alive(n);
+}
+
+void Cluster::dispatch_failure(const FailureEvent& ev) {
+  ++failure_epoch_[ev.node];
+  recount_alive();
+  for (auto& h : failure_handlers_) h(ev);
+  if (ev.whole_node()) {
+    for (auto& h : kill_handlers_) h(ev.node);
+  }
 }
 
 void Cluster::kill(NodeId n) {
   RCMP_CHECK(n < spec_.nodes);
-  RCMP_CHECK_MSG(alive_[n], "node killed twice: " << n);
-  alive_[n] = false;
-  --alive_count_;
+  RCMP_CHECK_MSG(compute_up_[n] || storage_up_[n],
+                 "node killed twice: " << n);
+  FailureEvent ev{n, compute_up_[n], storage_up_[n]};
+  compute_up_[n] = false;
+  storage_up_[n] = false;
+  recount_alive();
   RCMP_INFO() << "t=" << sim_.now() << " cluster: node " << n
               << " failed (" << alive_count_ << " alive)";
-  for (auto& h : kill_handlers_) h(n);
+  dispatch_failure(ev);
+}
+
+void Cluster::fail_compute(NodeId n) {
+  RCMP_CHECK(n < spec_.nodes);
+  RCMP_CHECK_MSG(compute_up_[n], "compute failed twice: " << n);
+  compute_up_[n] = false;
+  RCMP_INFO() << "t=" << sim_.now() << " cluster: node " << n
+              << " lost compute (storage intact)";
+  dispatch_failure(FailureEvent{n, /*lost_compute=*/true,
+                                /*lost_storage=*/false});
+}
+
+void Cluster::fail_disk(NodeId n) {
+  RCMP_CHECK(n < spec_.nodes);
+  RCMP_CHECK_MSG(storage_up_[n], "disk failed while node down: " << n);
+  // The drive is replaced by an empty one: contents are gone, but the
+  // node stays a valid write target, so storage_up_ does not flip.
+  RCMP_INFO() << "t=" << sim_.now() << " cluster: node " << n
+              << " lost its disk (keeps computing, disk now empty)";
+  dispatch_failure(FailureEvent{n, /*lost_compute=*/false,
+                                /*lost_storage=*/true});
+}
+
+void Cluster::recover(NodeId n) {
+  RCMP_CHECK(n < spec_.nodes);
+  RCMP_CHECK_MSG(!compute_up_[n] || !storage_up_[n],
+                 "recover of a healthy node: " << n);
+  compute_up_[n] = true;
+  storage_up_[n] = true;
+  cpu_factor_[n] = 1.0;
+  net_.set_link_capacity(disk_[n], spec_.disk_bw);
+  recount_alive();
+  RCMP_INFO() << "t=" << sim_.now() << " cluster: node " << n
+              << " recovered with an empty disk (" << alive_count_
+              << " alive)";
+  for (auto& h : recover_handlers_) h(n);
 }
 
 Cluster::Path Cluster::path_disk_read(NodeId n) const {

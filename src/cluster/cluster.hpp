@@ -1,11 +1,22 @@
 // Cluster topology: nodes with disks, NICs, slots; an oversubscribable
-// fabric; and node-kill semantics.
+// fabric; and decoupled failure semantics.
 //
 // The reproduction targets the paper's collocated setting: every node is
 // both a compute node (map/reduce slots) and a storage node (its disk
 // holds DFS blocks and persisted map outputs). Killing a node therefore
 // destroys computation and storage at once — the property that makes
 // recomputation cascades necessary (paper §II).
+//
+// Beyond the paper's whole-node kill, the chaos engine needs the two
+// failure dimensions separately:
+//  - compute failure: the TaskTracker dies, running tasks are lost, but
+//    the DataNode (and every persisted byte) survives;
+//  - disk failure: the drive is swapped for an empty one — all persisted
+//    state is lost, but the node keeps computing and the fresh disk
+//    immediately accepts new writes;
+//  - kill: both at once (the paper's model);
+//  - recover: a fully-killed node rejoins with an empty disk and its
+//    slots become usable again.
 //
 // Links are registered in a shared FlowNetwork; path_* helpers build the
 // link paths used by the engine for each kind of transfer.
@@ -58,6 +69,17 @@ struct ClusterSpec {
   std::uint32_t storage_nodes = 0;
 };
 
+/// What a single failure event took away. Disk-only failures report
+/// lost_storage without flipping storage_alive(): the drive is replaced
+/// by an empty one, so the contents are gone but the node keeps
+/// accepting writes.
+struct FailureEvent {
+  NodeId node = kInvalidNode;
+  bool lost_compute = false;
+  bool lost_storage = false;
+  bool whole_node() const { return lost_compute && lost_storage; }
+};
+
 class Cluster {
  public:
   Cluster(sim::Simulation& sim, res::FlowNetwork& net, ClusterSpec spec);
@@ -66,11 +88,22 @@ class Cluster {
 
   const ClusterSpec& spec() const { return spec_; }
   std::uint32_t size() const { return spec_.nodes; }
+  /// Fully-healthy nodes (compute and storage both up).
   std::uint32_t alive_count() const { return alive_count_; }
-  bool alive(NodeId n) const { return alive_[n]; }
+  bool alive(NodeId n) const { return compute_up_[n] && storage_up_[n]; }
+  /// Can this node run tasks right now?
+  bool compute_alive(NodeId n) const { return compute_up_[n]; }
+  /// Can this node's disk serve and accept data right now?
+  bool storage_alive(NodeId n) const { return storage_up_[n]; }
   std::uint32_t rack_of(NodeId n) const { return n % spec_.racks; }
+  /// All nodes in `rack`, ascending.
+  std::vector<NodeId> nodes_in_rack(std::uint32_t rack) const;
 
-  /// All currently alive node ids, ascending.
+  /// Bumped every time `n` suffers any failure; lets delayed recovery
+  /// callbacks detect that the node failed again in the meantime.
+  std::uint64_t failure_epoch(NodeId n) const { return failure_epoch_[n]; }
+
+  /// All currently fully-alive node ids, ascending.
   std::vector<NodeId> alive_nodes() const;
 
   bool collocated() const { return spec_.storage_nodes == 0; }
@@ -97,13 +130,42 @@ class Cluster {
 
   /// Kill a node: storage and compute are lost simultaneously (the paper
   /// kills TaskTracker + DataNode together). Subscribers registered via
-  /// on_kill() are notified immediately, in registration order — storage
-  /// layers subscribe before the engine so loss reports are ready when
-  /// the engine reacts.
+  /// on_kill()/on_failure() are notified immediately, in registration
+  /// order — storage layers subscribe before the engine so loss reports
+  /// are ready when the engine reacts.
   void kill(NodeId n);
 
+  /// Compute-only failure: the node's tasks die but every persisted byte
+  /// (DFS replicas, map outputs) stays readable. alive(n) turns false;
+  /// storage_alive(n) stays true.
+  void fail_compute(NodeId n);
+
+  /// Disk-only failure: the drive is swapped for an empty one. All data
+  /// on it is lost (subscribers see lost_storage and must invalidate
+  /// replicas / map outputs), but the node keeps computing and the fresh
+  /// disk accepts new writes — storage_alive(n) stays true.
+  void fail_disk(NodeId n);
+
+  /// Rejoin after a failure: compute and storage come back up with an
+  /// empty disk and nominal cpu/disk performance. The caller (middleware
+  /// via on_recover) is responsible for re-registering slots; the DFS
+  /// holds no replicas on it until new writes land.
+  void recover(NodeId n);
+
   using KillHandler = std::function<void(NodeId)>;
+  /// Legacy whole-node-kill notification; fires only for kill().
   void on_kill(KillHandler h) { kill_handlers_.push_back(std::move(h)); }
+
+  using FailureHandler = std::function<void(const FailureEvent&)>;
+  /// Fires for every failure flavor (kill, compute-only, disk-only).
+  void on_failure(FailureHandler h) {
+    failure_handlers_.push_back(std::move(h));
+  }
+
+  using RecoverHandler = std::function<void(NodeId)>;
+  void on_recover(RecoverHandler h) {
+    recover_handlers_.push_back(std::move(h));
+  }
 
   res::LinkId disk(NodeId n) const { return disk_[n]; }
   res::LinkId nic_up(NodeId n) const { return up_[n]; }
@@ -135,16 +197,22 @@ class Cluster {
   res::FlowNetwork& net() { return net_; }
 
  private:
+  void dispatch_failure(const FailureEvent& ev);
+  void recount_alive();
+
   sim::Simulation& sim_;
   res::FlowNetwork& net_;
   ClusterSpec spec_;
   std::vector<res::LinkId> disk_, up_, down_;
   std::vector<res::LinkId> rack_up_, rack_down_;  // per rack (if > 1)
   res::LinkId fabric_ = 0;
-  std::vector<bool> alive_;
+  std::vector<bool> compute_up_, storage_up_;
+  std::vector<std::uint64_t> failure_epoch_;
   std::vector<double> cpu_factor_;
   std::uint32_t alive_count_ = 0;
   std::vector<KillHandler> kill_handlers_;
+  std::vector<FailureHandler> failure_handlers_;
+  std::vector<RecoverHandler> recover_handlers_;
 };
 
 }  // namespace rcmp::cluster

@@ -1,6 +1,7 @@
 #include "cluster/failure_injector.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -9,7 +10,21 @@ namespace rcmp::cluster {
 
 FailureInjector::FailureInjector(Cluster& cluster, FailurePlan plan,
                                  std::uint64_t seed)
-    : cluster_(cluster), plan_(std::move(plan)), rng_(seed) {}
+    : cluster_(cluster), plan_(std::move(plan)), rng_(seed) {
+  // Reject impossible plans up front instead of asserting mid-run.
+  for (std::uint32_t ordinal : plan_.at_job_ordinals) {
+    if (ordinal == 0) {
+      throw ConfigError(
+          "FailurePlan: job ordinals are 1-based; ordinal 0 never fires");
+    }
+  }
+  if (plan_.at_job_ordinals.size() > cluster_.size()) {
+    throw ConfigError("FailurePlan: " +
+                      std::to_string(plan_.at_job_ordinals.size()) +
+                      " kills requested but the cluster has only " +
+                      std::to_string(cluster_.size()) + " nodes");
+  }
+}
 
 void FailureInjector::notify_job_start(std::uint32_t ordinal) {
   const auto hits = static_cast<std::uint32_t>(
@@ -25,7 +40,13 @@ void FailureInjector::notify_job_start(std::uint32_t ordinal) {
 void FailureInjector::schedule_kill(SimTime delay) {
   cluster_.sim().schedule_after(delay, [this] {
     auto victims = cluster_.alive_nodes();
-    RCMP_CHECK_MSG(!victims.empty(), "no node left to kill");
+    if (victims.empty()) {
+      // Every node is already down; injecting another failure is
+      // meaningless but must not crash a chaos campaign.
+      RCMP_WARN() << "t=" << cluster_.sim().now()
+                  << " injector: no node left to kill; skipping injection";
+      return;
+    }
     const NodeId victim =
         victims[rng_.below(static_cast<std::uint64_t>(victims.size()))];
     killed_.push_back(victim);

@@ -65,7 +65,9 @@ Middleware::Middleware(mapred::Env env, ChainSpec chain,
   completed_once_.assign(chain_.jobs.size(), false);
   attempt_count_.assign(chain_.jobs.size(), 0);
 
-  env_.cluster.on_kill([this](cluster::NodeId n) { on_kill(n); });
+  env_.cluster.on_failure(
+      [this](const cluster::FailureEvent& ev) { on_failure(ev); });
+  env_.cluster.on_recover([this](cluster::NodeId n) { on_recover(n); });
 }
 
 std::uint32_t Middleware::file_replication(std::uint32_t logical) const {
@@ -226,22 +228,40 @@ void Middleware::on_run_done(mapred::JobRun& run) {
   replan();
 }
 
-void Middleware::on_kill(cluster::NodeId n) {
+void Middleware::on_failure(const cluster::FailureEvent& ev) {
   ++result_.failures_observed;
   // Physical effects are immediate: metadata reflects the lost replicas
   // and persisted outputs, and in-flight transfers touching the node
   // stop. The Master only *acts* after the detection timeout.
-  const auto reports = env_.dfs.on_node_failure(n);
-  for (const auto& r : reports) {
-    RCMP_INFO() << "middleware: file " << r.file_name << " lost "
-                << r.lost_partitions.size() << " partition(s)";
+  if (ev.lost_storage) {
+    const auto reports = env_.dfs.on_node_failure(ev.node);
+    for (const auto& r : reports) {
+      RCMP_INFO() << "middleware: file " << r.file_name << " lost "
+                  << r.lost_partitions.size() << " partition(s)";
+    }
+    env_.map_outputs.on_node_failure(ev.node);
   }
-  env_.map_outputs.on_node_failure(n);
   if (current_ != nullptr && current_->running()) {
-    current_->on_node_killed(n);
+    if (ev.whole_node()) {
+      current_->on_node_killed(ev.node);
+    } else if (ev.lost_compute) {
+      current_->on_compute_failed(ev.node);
+    } else {
+      current_->on_disk_failed(ev.node);
+    }
   }
+  const cluster::NodeId n = ev.node;
   env_.sim.schedule_after(engine_cfg_.detect_timeout,
                           [this, n] { handle_detection(n); });
+}
+
+void Middleware::on_recover(cluster::NodeId n) {
+  ++result_.nodes_recovered;
+  RCMP_INFO() << "t=" << env_.sim.now() << " middleware: node " << n
+              << " rejoined (empty disk, full slots)";
+  if (current_ != nullptr && current_->running()) {
+    current_->on_node_recovered(n);
+  }
 }
 
 bool Middleware::has_unresolved_damage() const {
@@ -256,10 +276,36 @@ bool Middleware::has_unresolved_damage() const {
   return false;
 }
 
+bool Middleware::enforce_capacity_floor() {
+  const std::uint32_t alive_compute = env_.cluster.alive_compute_count();
+  const bool storage_gone = env_.cluster.alive_storage_nodes().empty();
+  if (alive_compute >= strategy_.min_compute_floor && !storage_gone)
+    return false;
+  if (current_ != nullptr && current_->running()) {
+    current_->cancel();
+    current_ = nullptr;
+  }
+  std::string detail =
+      storage_gone
+          ? "no storage node left alive"
+          : std::to_string(alive_compute) + " compute node(s) alive, floor " +
+                std::to_string(strategy_.min_compute_floor);
+  RCMP_WARN() << "t=" << env_.sim.now()
+              << " middleware: capacity floor breached — " << detail;
+  fail_chain(ChainResult::FailReason::kCapacityFloor, std::move(detail));
+  return true;
+}
+
 void Middleware::handle_detection(cluster::NodeId n) {
   if (chain_done_) return;
+  // A transient failure may already have healed by detection time; the
+  // epoch-free check here is simply "is the node fully alive now".
+  if (env_.cluster.alive(n) && !has_unresolved_damage()) {
+    if (current_ == nullptr || !current_->running()) return;
+  }
   RCMP_INFO() << "t=" << env_.sim.now()
               << " middleware: failure of node " << n << " detected";
+  if (enforce_capacity_floor()) return;
   if (current_ != nullptr && current_->running()) {
     const auto outcome = current_->on_detected_failure(n);
     if (outcome == mapred::JobRun::FailureOutcome::kRecovered &&
@@ -282,6 +328,19 @@ void Middleware::replan() {
   if (current_ != nullptr && current_->running()) {
     current_->cancel();  // its result stays in the graveyard for stats
     current_ = nullptr;
+  }
+
+  ++result_.replans;
+  if (strategy_.max_replans > 0 &&
+      result_.replans > strategy_.max_replans) {
+    std::string detail = "replan " + std::to_string(result_.replans) +
+                         " exceeds budget of " +
+                         std::to_string(strategy_.max_replans);
+    RCMP_WARN() << "t=" << env_.sim.now()
+                << " middleware: retry budget exhausted — " << detail;
+    fail_chain(ChainResult::FailReason::kRetryBudgetExhausted,
+               std::move(detail));
+    return;
   }
 
   if (!strategy_.is_rcmp()) {
@@ -360,7 +419,8 @@ void Middleware::wipe_and_restart() {
     // recomputation or replication — can recover this computation.
     RCMP_ERROR() << "middleware: source input lost — computation "
                     "cannot be recovered";
-    fail_chain();
+    fail_chain(ChainResult::FailReason::kSourceDataLost,
+               "source input has partitions with no surviving replica");
     return;
   }
   queue_.clear();
@@ -433,9 +493,12 @@ void Middleware::sample_storage() {
   result_.peak_storage = std::max(result_.peak_storage, used);
 }
 
-void Middleware::fail_chain() {
+void Middleware::fail_chain(ChainResult::FailReason reason,
+                            std::string detail) {
   chain_done_ = true;
   result_.completed = false;
+  result_.fail_reason = reason;
+  result_.fail_detail = std::move(detail);
   result_.total_time = env_.sim.now();
   result_.jobs_started = next_ordinal_ - 1;
   result_.runs.clear();

@@ -56,13 +56,35 @@ struct ChainSpec {
 using DagSpec = ChainSpec;
 
 struct ChainResult {
+  /// Why an uncompleted chain gave up (kNone while completed or still
+  /// running). Structured so drivers/tests can react without parsing
+  /// log text.
+  enum class FailReason {
+    kNone,
+    /// The externally generated source input lost its last replica:
+    /// nothing can regenerate it.
+    kSourceDataLost,
+    /// Alive capacity fell below StrategyConfig::min_compute_floor (or
+    /// no storage node survives).
+    kCapacityFloor,
+    /// StrategyConfig::max_replans recomputation replans were spent.
+    kRetryBudgetExhausted,
+  };
+
   bool completed = false;
+  FailReason fail_reason = FailReason::kNone;
+  /// Human-readable context for fail_reason.
+  std::string fail_detail;
   SimTime total_time = 0.0;
   /// Global job-start count — the paper's job numbering: recomputation
   /// runs inflate it (e.g. a failure at job 7 of a 7-job chain yields
   /// 14 started jobs under RCMP).
   std::uint32_t jobs_started = 0;
   std::uint32_t failures_observed = 0;
+  /// Nodes that rejoined the cluster while the chain was running.
+  std::uint32_t nodes_recovered = 0;
+  /// Recomputation replans triggered by detected data loss.
+  std::uint32_t replans = 0;
   /// Full-computation restarts (OPTIMISTIC / replication overflow).
   std::uint32_t restarts = 0;
   /// Jobs whose outputs were made replication points by the dynamic
@@ -106,8 +128,12 @@ class Middleware {
   }
 
  private:
-  void on_kill(cluster::NodeId n);
+  void on_failure(const cluster::FailureEvent& ev);
+  void on_recover(cluster::NodeId n);
   void handle_detection(cluster::NodeId n);
+  /// Give up when surviving capacity cannot run the chain; true when
+  /// the floor was breached and the chain was failed.
+  bool enforce_capacity_floor();
   /// Some completed job's output has partitions with no surviving copy.
   bool has_unresolved_damage() const;
   void submit_next();
@@ -129,8 +155,8 @@ class Middleware {
   std::vector<dfs::FileId> input_files(std::uint32_t logical) const;
   bool input_available(std::uint32_t logical) const;
   void finish_chain();
-  /// Unrecoverable data loss: report failure and stop.
-  void fail_chain();
+  /// Unrecoverable situation: record the structured reason and stop.
+  void fail_chain(ChainResult::FailReason reason, std::string detail);
 
   mapred::Env env_;
   ChainSpec chain_;

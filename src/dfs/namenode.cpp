@@ -78,9 +78,16 @@ std::vector<cluster::NodeId> NameNode::pick_replicas(
     cluster::NodeId writer, std::uint32_t replication,
     PlacementPolicy policy) {
   const auto alive = cluster_.alive_storage_nodes();
-  RCMP_CHECK_MSG(alive.size() >= replication,
-                 "not enough alive nodes for replication "
-                     << replication);
+  RCMP_CHECK_MSG(!alive.empty(), "no alive storage node to write to");
+  if (alive.size() < replication) {
+    // Degraded write: fewer replicas than requested is survivable (the
+    // blocks are under-replicated); refusing the write would stall the
+    // chain under heavy chaos.
+    RCMP_WARN() << "dfs: only " << alive.size()
+                << " alive storage nodes for replication " << replication
+                << "; writing under-replicated";
+    replication = static_cast<std::uint32_t>(alive.size());
+  }
   std::vector<cluster::NodeId> replicas;
   replicas.reserve(replication);
 
@@ -97,7 +104,7 @@ std::vector<cluster::NodeId> NameNode::pick_replicas(
 
   // kLocalFirst: writer first (if it is an alive storage node — in the
   // non-collocated case a compute node's writes always go remote).
-  if (cluster_.alive(writer) && cluster_.is_storage_node(writer)) {
+  if (cluster_.storage_alive(writer) && cluster_.is_storage_node(writer)) {
     replicas.push_back(writer);
   } else {
     replicas.push_back(alive[rng_.below(alive.size())]);
@@ -118,6 +125,21 @@ std::vector<cluster::NodeId> NameNode::pick_replicas(
     }
     if (cluster_.rack_of(pick) != writer_rack) have_offrack = true;
     replicas.push_back(pick);
+  }
+  if (!have_offrack && replication >= 2) {
+    // The bias above is probabilistic; a replicated block with every
+    // copy in one rack would make a single rack outage unrecoverable.
+    // Guarantee the HDFS invariant: if any alive off-rack node exists,
+    // force the last replica onto one.
+    std::vector<cluster::NodeId> offrack;
+    for (cluster::NodeId n : alive) {
+      if (cluster_.rack_of(n) != writer_rack &&
+          std::find(replicas.begin(), replicas.end(), n) == replicas.end())
+        offrack.push_back(n);
+    }
+    if (!offrack.empty()) {
+      replicas.back() = offrack[rng_.below(offrack.size())];
+    }
   }
   return replicas;
 }
@@ -164,7 +186,7 @@ void NameNode::clear_partition(FileId f, PartitionIndex p,
   PartitionInfo& part = files_[f].partitions[p];
   for (std::uint64_t b : part.blocks) {
     for (cluster::NodeId n : blocks_[b].replicas) {
-      if (cluster_.alive(n)) {
+      if (cluster_.storage_alive(n)) {
         RCMP_CHECK(used_per_node_[n] >= blocks_[b].size);
         used_per_node_[n] -= blocks_[b].size;
       }
@@ -175,6 +197,7 @@ void NameNode::clear_partition(FileId f, PartitionIndex p,
   part.blocks.clear();
   part.size = 0;
   part.written = false;
+  part.corrupt = false;
   if (!preserve_layout) ++part.layout_version;
 }
 
@@ -194,9 +217,19 @@ std::vector<cluster::NodeId> NameNode::alive_locations(
   RCMP_CHECK(block_id < blocks_.size());
   std::vector<cluster::NodeId> out;
   for (cluster::NodeId n : blocks_[block_id].replicas) {
-    if (cluster_.alive(n)) out.push_back(n);
+    if (cluster_.storage_alive(n)) out.push_back(n);
   }
   return out;
+}
+
+void NameNode::mark_corrupt(FileId f, PartitionIndex p) {
+  RCMP_CHECK(file_exists(f));
+  RCMP_CHECK(p < files_[f].partitions.size());
+  files_[f].partitions[p].corrupt = true;
+}
+
+bool NameNode::partition_corrupt(FileId f, PartitionIndex p) const {
+  return partition(f, p).corrupt;
 }
 
 bool NameNode::partition_available(FileId f, PartitionIndex p) const {
@@ -220,27 +253,42 @@ std::vector<LossReport> NameNode::on_node_failure(cluster::NodeId dead) {
   // Account the dead node's stored bytes as gone.
   used_per_node_[dead] = 0;
 
-  std::vector<LossReport> reports;
+  // First pass: which written partitions had a replica on the lost disk
+  // (i.e. the loss is attributable to this failure event)?
+  std::vector<std::vector<PartitionIndex>> touched(files_.size());
   for (FileId f = 0; f < files_.size(); ++f) {
     if (files_[f].deleted) continue;
-    LossReport report;
     for (PartitionIndex p = 0;
          p < static_cast<PartitionIndex>(files_[f].partitions.size()); ++p) {
       const PartitionInfo& part = files_[f].partitions[p];
       if (!part.written) continue;
-      // Lost now, and the dead node held a replica of one of its blocks
-      // (i.e. the loss is attributable to this failure event).
-      bool touches_dead = false;
       for (std::uint64_t b : part.blocks) {
         const auto& reps = blocks_[b].replicas;
         if (std::find(reps.begin(), reps.end(), dead) != reps.end()) {
-          touches_dead = true;
+          touched[f].push_back(p);
           break;
         }
       }
-      if (touches_dead && !partition_available(f, p)) {
-        report.lost_partitions.push_back(p);
-      }
+    }
+  }
+
+  // The bytes on the lost disk are gone for good: drop its replicas from
+  // the metadata. This matters for disk-only failures (the node is still
+  // a valid write target, so liveness filtering alone would hide the
+  // loss) and for transient rejoins (a node returning with an empty disk
+  // must not resurrect stale replicas).
+  for (BlockInfo& bi : blocks_) {
+    bi.replicas.erase(std::remove(bi.replicas.begin(), bi.replicas.end(),
+                                  dead),
+                      bi.replicas.end());
+  }
+
+  // Second pass: report the touched partitions that are now unavailable.
+  std::vector<LossReport> reports;
+  for (FileId f = 0; f < files_.size(); ++f) {
+    LossReport report;
+    for (PartitionIndex p : touched[f]) {
+      if (!partition_available(f, p)) report.lost_partitions.push_back(p);
     }
     if (!report.lost_partitions.empty()) {
       report.file = f;

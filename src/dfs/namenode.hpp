@@ -57,6 +57,11 @@ struct PartitionInfo {
   /// (reducer splitting) therefore invalidates downstream map outputs
   /// keyed to the old version — the generalized Fig. 5 rule.
   std::uint64_t layout_version = 0;
+  /// Silent corruption marker used by the chaos engine in virtual-size
+  /// mode (payload mode flips real record bytes instead). Deliberately
+  /// NOT part of partition_available(): nothing notices until a reader
+  /// verifies checksums on the read path. Cleared on rewrite.
+  bool corrupt = false;
 };
 
 struct LossReport {
@@ -119,8 +124,15 @@ class NameNode {
   bool partition_available(FileId f, PartitionIndex p) const;
   bool file_available(FileId f) const;
 
-  /// Alive replica locations of a block (may be empty = lost).
+  /// Alive replica locations of a block (may be empty = lost). A node
+  /// counts while its storage is up, even if its compute has failed.
   std::vector<cluster::NodeId> alive_locations(std::uint64_t block_id) const;
+
+  /// Chaos support: silently mark a partition corrupt (virtual-size
+  /// mode). Readers that verify checksums detect it; availability
+  /// checks do not.
+  void mark_corrupt(FileId f, PartitionIndex p);
+  bool partition_corrupt(FileId f, PartitionIndex p) const;
 
   /// Partitions per file that became unavailable because of this node's
   /// death. Subscribed to Cluster::on_kill by the owner; also callable

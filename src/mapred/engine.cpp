@@ -69,7 +69,7 @@ void JobRun::start() {
   free_map_slots_.assign(env_.cluster.size(), 0);
   free_reduce_slots_.assign(env_.cluster.size(), 0);
   for (cluster::NodeId n = 0; n < env_.cluster.size(); ++n) {
-    if (!env_.cluster.alive(n) || !env_.cluster.is_compute_node(n))
+    if (!env_.cluster.compute_alive(n) || !env_.cluster.is_compute_node(n))
       continue;
     free_map_slots_[n] = env_.cluster.spec().map_slots;
     free_reduce_slots_[n] = env_.cluster.spec().reduce_slots;
@@ -112,7 +112,7 @@ void JobRun::bootstrap() {
   if (directive_.active && cfg_.recompute_map_node_limit > 0) {
     std::uint32_t allowed = cfg_.recompute_map_node_limit;
     for (cluster::NodeId n = 0; n < env_.cluster.size(); ++n) {
-      if (!env_.cluster.alive(n)) continue;
+      if (!env_.cluster.compute_alive(n)) continue;
       if (allowed > 0) {
         --allowed;
       } else {
@@ -181,7 +181,8 @@ bool JobRun::map_output_reusable(const MapOutputKey& key,
   // Rule disabled (demonstration of the Fig. 5 hazard): accept any
   // surviving output regardless of input-layout compatibility.
   const MapOutput* out = env_.map_outputs.find(key);
-  return out != nullptr && !out->lost && env_.cluster.alive(out->node);
+  return out != nullptr && !out->lost &&
+         env_.cluster.storage_alive(out->node);
 }
 
 void JobRun::build_reduce_tasks() {
@@ -231,7 +232,7 @@ void JobRun::schedule_maps() {
   // data-local, as the paper notes for collocated clusters).
   for (cluster::NodeId n = 0;
        !cfg_.ignore_locality && n < env_.cluster.size(); ++n) {
-    if (!env_.cluster.alive(n)) continue;
+    if (!env_.cluster.compute_alive(n)) continue;
     for (std::size_t i = 0;
          i < pending_maps_.size() && free_map_slots_[n] > 0;) {
       const std::uint32_t m = pending_maps_[i];
@@ -255,7 +256,7 @@ void JobRun::schedule_maps() {
     for (std::uint32_t step = 0; step < env_.cluster.size(); ++step) {
       const cluster::NodeId n =
           (rr_cursor_ + step) % env_.cluster.size();
-      if (env_.cluster.alive(n) && free_map_slots_[n] > 0) {
+      if (env_.cluster.compute_alive(n) && free_map_slots_[n] > 0) {
         target = n;
         rr_cursor_ = n + 1;
         break;
@@ -275,7 +276,7 @@ void JobRun::schedule_reduces() {
     for (std::uint32_t step = 0; step < env_.cluster.size(); ++step) {
       const cluster::NodeId n =
           (rr_cursor_ + step) % env_.cluster.size();
-      if (env_.cluster.alive(n) && free_reduce_slots_[n] > 0) {
+      if (env_.cluster.compute_alive(n) && free_reduce_slots_[n] > 0) {
         target = n;
         rr_cursor_ = n + 1;
         break;
@@ -375,6 +376,10 @@ void JobRun::map_read_done(std::uint32_t m, std::uint32_t epoch) {
   if (state_ != RunState::kRunning || t.epoch != epoch) return;
   RCMP_CHECK(t.state == MapState::kReading);
   t.flow = res::kInvalidFlow;
+  if (cfg_.verify_on_read && map_input_corrupt(m)) {
+    handle_corrupt_input(m);
+    return;
+  }
   t.state = MapState::kComputing;
   const SimTime dt = static_cast<double>(t.input_bytes) /
                      cfg_.map_cpu_rate *
@@ -448,7 +453,7 @@ void JobRun::complete_map_task(std::uint32_t m) {
   RCMP_CHECK(maps_remaining_ > 0);
   --maps_remaining_;
   ++result_.mappers_executed;
-  if (env_.cluster.alive(t.node)) ++free_map_slots_[t.node];
+  if (env_.cluster.compute_alive(t.node)) ++free_map_slots_[t.node];
   on_mapper_available(m);
   schedule_tasks();
   on_map_phase_maybe_done();
@@ -539,7 +544,8 @@ void JobRun::speculation_check() {
     cluster::NodeId target = cluster::kInvalidNode;
     for (std::uint32_t step = 0; step < env_.cluster.size(); ++step) {
       const cluster::NodeId n = (rr_cursor_ + step) % env_.cluster.size();
-      if (n != t.node && env_.cluster.alive(n) && free_map_slots_[n] > 0) {
+      if (n != t.node && env_.cluster.compute_alive(n) &&
+          free_map_slots_[n] > 0) {
         target = n;
         rr_cursor_ = n + 1;
         break;
@@ -604,6 +610,10 @@ void JobRun::dup_read_done(std::uint32_t m, std::uint64_t token) {
   Duplicate* dup = find_dup(m, token);
   if (dup == nullptr || state_ != RunState::kRunning) return;
   dup->flow = res::kInvalidFlow;
+  if (cfg_.verify_on_read && map_input_corrupt(m)) {
+    handle_corrupt_input(m);
+    return;
+  }
   dup->state = MapState::kComputing;
   const SimTime dt = static_cast<double>(maps_[m].input_bytes) /
                      cfg_.map_cpu_rate *
@@ -652,7 +662,7 @@ void JobRun::dup_write_done(std::uint32_t m, std::uint64_t token) {
              t.state == MapState::kComputing ||
              t.state == MapState::kWriting);
   cancel_task_work(t);
-  if (env_.cluster.alive(t.node)) ++free_map_slots_[t.node];
+  if (env_.cluster.compute_alive(t.node)) ++free_map_slots_[t.node];
   t.node = dup->node;
   t.out_bytes = dup->out_bytes;
   if (payload_mode_) {
@@ -673,7 +683,7 @@ void JobRun::cancel_duplicate(std::uint32_t m) {
   Duplicate& dup = it->second;
   if (dup.ev != sim::kInvalidEvent) env_.sim.cancel(dup.ev);
   if (dup.flow != res::kInvalidFlow) env_.net.cancel_flow(dup.flow);
-  if (env_.cluster.alive(dup.node)) ++free_map_slots_[dup.node];
+  if (env_.cluster.compute_alive(dup.node)) ++free_map_slots_[dup.node];
   duplicates_.erase(it);
 }
 
@@ -703,7 +713,8 @@ void JobRun::mark_contrib_ready(std::uint32_t r, std::uint32_t m) {
   RCMP_CHECK(rt.contrib[m] == ContribState::kWaiting);
   const MapOutput* out =
       env_.map_outputs.find(maps_[m].key(spec_.logical_id));
-  if (out == nullptr || out->lost || !env_.cluster.alive(out->node)) {
+  if (out == nullptr || out->lost ||
+      !env_.cluster.storage_alive(out->node)) {
     return;  // stays kWaiting; a rerun will make it ready again
   }
   rt.contrib[m] = ContribState::kReady;
@@ -719,7 +730,7 @@ void JobRun::flush_ready(std::uint32_t r, bool force) {
     // (zero-byte) fetch so the reducer's unfetched count drains.
     if (rt.ready[src].empty()) continue;
     if (!force && rt.ready_bytes[src] < flush_threshold_) continue;
-    if (!env_.cluster.alive(src)) continue;  // rewound at detection
+    if (!env_.cluster.storage_alive(src)) continue;  // rewound at detection
 
     FetchFlow ff;
     ff.reducer = r;
@@ -729,9 +740,11 @@ void JobRun::flush_ready(std::uint32_t r, bool force) {
     ff.bytes = rt.ready_bytes[src];
     rt.ready[src].clear();
     rt.ready_bytes[src] = 0.0;
+    ff.mapper_bytes.reserve(ff.mappers.size());
     for (std::uint32_t m : ff.mappers) {
       RCMP_CHECK(rt.contrib[m] == ContribState::kReady);
       rt.contrib[m] = ContribState::kInflight;
+      ff.mapper_bytes.push_back(contrib_bytes(r, m));
     }
 
     const std::uint64_t token = next_fetch_token_++;
@@ -766,15 +779,39 @@ void JobRun::fetch_done(std::uint64_t token) {
   if (rt.epoch != ff.reducer_epoch) return;
   RCMP_CHECK(rt.state == ReduceState::kFetching);
 
-  for (std::uint32_t m : ff.mappers) {
+  // Each mapper's segment is accepted independently: a segment whose
+  // output vanished mid-flight (corruption handled elsewhere dropped
+  // it) rewinds to kWaiting, a segment failing its checksum triggers
+  // mapper re-execution, the rest land normally.
+  std::vector<std::uint32_t> corrupt;
+  for (std::size_t i = 0; i < ff.mappers.size(); ++i) {
+    const std::uint32_t m = ff.mappers[i];
     RCMP_CHECK(rt.contrib[m] == ContribState::kInflight);
+    const auto key = maps_[m].key(spec_.logical_id);
+    const MapOutput* out = env_.map_outputs.find(key);
+    if (out == nullptr) {
+      rt.contrib[m] = ContribState::kWaiting;
+      continue;
+    }
+    if (cfg_.verify_on_read &&
+        !env_.map_outputs.bucket_intact(key, rt.partition)) {
+      rt.contrib[m] = ContribState::kWaiting;
+      corrupt.push_back(m);
+      continue;
+    }
     rt.contrib[m] = ContribState::kFetched;
     RCMP_CHECK(rt.unfetched > 0);
     --rt.unfetched;
+    const double seg_bytes =
+        i < ff.mapper_bytes.size() ? ff.mapper_bytes[i] : 0.0;
+    rt.fetched_bytes += seg_bytes;
+    result_.shuffle_bytes += seg_bytes;
+    // Each mapper's output is a separate transfer; per-transfer latency
+    // serializes over the reducer's parallel copiers and is paid before
+    // the reduce phase (what makes the paper's SLOW SHUFFLE slow).
+    rt.tail_debt += cfg_.shuffle_tail_latency /
+                    std::max(1u, cfg_.shuffle_fetch_parallelism);
     if (payload_mode_) {
-      const MapOutput* out =
-          env_.map_outputs.find(maps_[m].key(spec_.logical_id));
-      RCMP_CHECK(out != nullptr);
       const std::uint32_t split =
           directive_.active ? directive_.split_factor : 1;
       for (const Record& rec : out->buckets[rt.partition]) {
@@ -787,14 +824,7 @@ void JobRun::fetch_done(std::uint64_t token) {
       }
     }
   }
-  rt.fetched_bytes += ff.bytes;
-  // Each mapper's output is a separate transfer; per-transfer latency
-  // serializes over the reducer's parallel copiers and is paid before
-  // the reduce phase (this is what makes the paper's SLOW SHUFFLE slow).
-  rt.tail_debt += static_cast<double>(ff.mappers.size()) *
-                  cfg_.shuffle_tail_latency /
-                  std::max(1u, cfg_.shuffle_fetch_parallelism);
-  result_.shuffle_bytes += ff.bytes;
+  for (std::uint32_t m : corrupt) handle_corrupt_map_output(m);
   maybe_start_reduce_compute(ff.reducer);
 }
 
@@ -875,6 +905,12 @@ void JobRun::reduce_compute_done(std::uint32_t r, std::uint32_t epoch) {
 void JobRun::start_reduce_write(std::uint32_t r) {
   ReduceTask& rt = reduces_[r];
   rt.state = ReduceState::kWriting;
+  if (env_.cluster.alive_storage_nodes().empty()) {
+    // Nowhere to put the output. Stall instead of asserting inside
+    // plan_write; failure detection (or a rejoin) unblocks or aborts.
+    rt.write_blocked = true;
+    return;
+  }
   rt.planned = env_.dfs.plan_write(spec_.output, rt.node,
                                    round_bytes(rt.out_bytes),
                                    spec_.output_placement);
@@ -945,7 +981,7 @@ void JobRun::reduce_done(std::uint32_t r) {
   ++result_.reducers_executed;
   RCMP_CHECK(reduces_remaining_ > 0);
   --reduces_remaining_;
-  if (env_.cluster.alive(rt.node)) ++free_reduce_slots_[rt.node];
+  if (env_.cluster.compute_alive(rt.node)) ++free_reduce_slots_[rt.node];
   schedule_tasks();
   maybe_finish();
 }
@@ -985,6 +1021,14 @@ void JobRun::reset_reduce_task(std::uint32_t r) {
 // ---------------------------------------------------------------------
 
 void JobRun::on_node_killed(cluster::NodeId n) {
+  // A whole-node kill is both failure flavors at once; the order matters
+  // only in that compute teardown must not observe half-rewound shuffle
+  // state, which matches the original single-pass ordering.
+  on_compute_failed(n);
+  on_disk_failed(n);
+}
+
+void JobRun::on_compute_failed(cluster::NodeId n) {
   if (state_ != RunState::kRunning) return;
   free_map_slots_[n] = 0;
   free_reduce_slots_[n] = 0;
@@ -1016,8 +1060,14 @@ void JobRun::on_node_killed(cluster::NodeId n) {
       rt.state = ReduceState::kFrozen;
     }
   }
+}
 
-  // Shuffle transfers sourced at the dead node stop flowing.
+void JobRun::on_disk_failed(cluster::NodeId n) {
+  if (state_ != RunState::kRunning) return;
+
+  // Shuffle transfers sourced at the dead disk stop flowing. Tasks
+  // running on the node are untouched: a disk-only failure leaves the
+  // node computing (its inputs/outputs stream over the network).
   for (auto it = active_fetches_.begin(); it != active_fetches_.end();) {
     if (it->second.src == n) {
       env_.net.cancel_flow(it->second.flow);
@@ -1060,6 +1110,25 @@ void JobRun::on_node_killed(cluster::NodeId n) {
   }
 }
 
+void JobRun::on_node_recovered(cluster::NodeId n) {
+  if (state_ != RunState::kRunning) return;
+  if (!env_.cluster.is_compute_node(n)) return;
+  // The node rejoins with an empty disk and full slots; pending work can
+  // land on it immediately, and its disk becomes a write target again.
+  free_map_slots_[n] = env_.cluster.spec().map_slots;
+  free_reduce_slots_[n] = env_.cluster.spec().reduce_slots;
+  // Writes that stalled because no storage target survived can resume
+  // against the rejoined disk.
+  for (std::uint32_t r = 0; r < reduces_.size(); ++r) {
+    ReduceTask& rt = reduces_[r];
+    if (rt.write_blocked && rt.state == ReduceState::kWriting) {
+      rt.write_blocked = false;
+      start_reduce_write(r);
+    }
+  }
+  schedule_tasks();
+}
+
 JobRun::FailureOutcome JobRun::on_detected_failure(cluster::NodeId n) {
   (void)n;  // all state was tagged at kill time; n is informational
   if (state_ != RunState::kRunning) return FailureOutcome::kRecovered;
@@ -1086,8 +1155,8 @@ JobRun::FailureOutcome JobRun::on_detected_failure(cluster::NodeId n) {
     if (t.state != MapState::kDone && t.state != MapState::kReused)
       continue;
     const MapOutput* out = env_.map_outputs.find(t.key(spec_.logical_id));
-    const bool output_ok =
-        out != nullptr && !out->lost && env_.cluster.alive(out->node);
+    const bool output_ok = out != nullptr && !out->lost &&
+                           env_.cluster.storage_alive(out->node);
     if (output_ok) continue;
     bool needed = false;
     for (const auto& rt : reduces_) {
@@ -1132,6 +1201,78 @@ JobRun::FailureOutcome JobRun::on_detected_failure(cluster::NodeId n) {
 }
 
 // ---------------------------------------------------------------------
+// read-path integrity
+// ---------------------------------------------------------------------
+
+bool JobRun::map_input_corrupt(std::uint32_t m) const {
+  const MapTask& t = maps_[m];
+  if (env_.dfs.partition_corrupt(t.input_file, t.input_partition))
+    return true;
+  // Payload mode: recompute the block checksum against the one recorded
+  // when the partition was written (no-op for virtual-size inputs).
+  return !env_.payloads.verify_block(t.input_file, t.input_partition,
+                                     t.block_index);
+}
+
+void JobRun::handle_corrupt_input(std::uint32_t m) {
+  const MapTask& t = maps_[m];
+  ++result_.corrupt_blocks_detected;
+  RCMP_WARN() << "t=" << env_.sim.now() << " job " << spec_.name
+              << ": mapper " << m << " read corrupt data from "
+              << env_.dfs.file_name(t.input_file) << " partition "
+              << t.input_partition
+              << " — dropping partition, aborting for recomputation";
+  // The partition's surviving replicas are untrustworthy; drop them so
+  // the middleware's replan regenerates the partition from upstream.
+  // A corrupt-and-dropped partition keeps its layout: a NO-SPLIT
+  // regeneration reproduces it bit-identically, so surviving downstream
+  // map outputs stay valid under the Fig. 5 rule.
+  env_.dfs.clear_partition(t.input_file, t.input_partition,
+                           /*preserve_layout=*/true);
+  env_.payloads.clear(t.input_file, t.input_partition);
+  abort_data_loss();
+}
+
+void JobRun::handle_corrupt_map_output(std::uint32_t m) {
+  MapTask& t = maps_[m];
+  ++result_.corrupt_map_outputs_detected;
+  RCMP_WARN() << "t=" << env_.sim.now() << " job " << spec_.name
+              << ": map output of mapper " << m << " (node " << t.node
+              << ") failed shuffle checksum — re-executing mapper";
+  // Quarantine the output (in-flight fetches of clean buckets still
+  // read it; nothing new trusts it) and rewind every reducer that
+  // buffered-but-not-fetched from it.
+  env_.map_outputs.mark_lost(t.key(spec_.logical_id));
+  scrub_ready_contribs(m);
+  // Two reducers can detect the same corrupt output; only the first
+  // detection resets the mapper.
+  if (t.state == MapState::kDone || t.state == MapState::kReused) {
+    reset_map_task(m);
+  }
+  schedule_tasks();
+}
+
+void JobRun::scrub_ready_contribs(std::uint32_t m) {
+  for (auto& rt : reduces_) {
+    if (rt.state == ReduceState::kDone) continue;
+    if (rt.contrib[m] != ContribState::kReady) continue;
+    for (cluster::NodeId src = 0; src < env_.cluster.size(); ++src) {
+      auto& list = rt.ready[src];
+      auto it = std::find(list.begin(), list.end(), m);
+      if (it == list.end()) continue;
+      list.erase(it);
+      rt.ready_bytes[src] =
+          std::max(0.0, rt.ready_bytes[src] -
+                            contrib_bytes(static_cast<std::uint32_t>(
+                                              &rt - reduces_.data()),
+                                          m));
+      break;
+    }
+    rt.contrib[m] = ContribState::kWaiting;
+  }
+}
+
+// ---------------------------------------------------------------------
 // lifecycle
 // ---------------------------------------------------------------------
 
@@ -1156,12 +1297,7 @@ void JobRun::cancel_task_work(ReduceTask& t) {
   t.write_flows.clear();
 }
 
-void JobRun::cancel() {
-  if (state_ != RunState::kRunning) return;
-  state_ = RunState::kCancelled;
-  result_.status = JobResult::Status::kCancelled;
-  result_.end_time = env_.sim.now();
-
+void JobRun::teardown_all_work() {
   if (bootstrap_ev_ != sim::kInvalidEvent) {
     env_.sim.cancel(bootstrap_ev_);
     bootstrap_ev_ = sim::kInvalidEvent;
@@ -1179,7 +1315,9 @@ void JobRun::cancel() {
   }
   for (auto& [token, ff] : active_fetches_) env_.net.cancel_flow(ff.flow);
   active_fetches_.clear();
+}
 
+void JobRun::discard_partial_results() {
   // Discard this attempt's partial results (paper §V-A: "RCMP currently
   // discards the partial results computed before the failure").
   for (const MapOutputKey& key : outputs_registered_) {
@@ -1191,8 +1329,24 @@ void JobRun::cancel() {
     env_.dfs.clear_partition(spec_.output, p, preserve);
     env_.payloads.clear(spec_.output, p);
   }
+}
+
+void JobRun::cancel() {
+  if (state_ != RunState::kRunning) return;
+  state_ = RunState::kCancelled;
+  result_.status = JobResult::Status::kCancelled;
+  result_.end_time = env_.sim.now();
+  teardown_all_work();
+  discard_partial_results();
   RCMP_INFO() << "t=" << env_.sim.now() << " job " << spec_.name
               << " (ordinal " << ordinal_ << ") cancelled";
+}
+
+void JobRun::abort_data_loss() {
+  RCMP_CHECK(state_ == RunState::kRunning);
+  teardown_all_work();
+  discard_partial_results();
+  finish(JobResult::Status::kAbortedDataLoss);
 }
 
 void JobRun::maybe_finish() {

@@ -66,6 +66,20 @@ class JobRun {
   /// all work touching the node but defers decisions to detection.
   void on_node_killed(cluster::NodeId n);
 
+  /// Compute-only failure: tasks on `n` freeze, but its DataNode keeps
+  /// serving persisted data — fetches from it continue, its map outputs
+  /// stay reusable, and writes targeting it proceed.
+  void on_compute_failed(cluster::NodeId n);
+
+  /// Disk-only failure: everything persisted on `n` is gone (fetches
+  /// sourced there stop, writes targeting it stall until detection), but
+  /// tasks on `n` keep running and its slots stay usable.
+  void on_disk_failed(cluster::NodeId n);
+
+  /// A previously failed node rejoined with an empty disk: its slot
+  /// complement becomes available to subsequent waves immediately.
+  void on_node_recovered(cluster::NodeId n);
+
   enum class FailureOutcome { kRecovered, kNeedsAbort };
   /// Master detected the failure (kill + detection timeout). Either
   /// recovers via task re-execution (inputs still available: the
@@ -193,6 +207,9 @@ class JobRun {
     std::uint32_t reducer_epoch = 0;
     cluster::NodeId src = cluster::kInvalidNode;
     std::vector<std::uint32_t> mappers;
+    /// Per-mapper share of `bytes`, parallel to `mappers` — needed when
+    /// one mapper of a coalesced fetch is invalidated mid-flight.
+    std::vector<double> mapper_bytes;
     double bytes = 0.0;
     res::FlowId flow = res::kInvalidFlow;
   };
@@ -253,10 +270,30 @@ class JobRun {
   void reduce_done(std::uint32_t r);
   void reset_reduce_task(std::uint32_t r);
 
+  // --- read-path integrity ---------------------------------------------
+  /// Checksum check of a map task's input block (payload recompute or
+  /// the DFS corruption marker in virtual mode).
+  bool map_input_corrupt(std::uint32_t m) const;
+  /// A reader caught silent corruption in a DFS partition: scrub the
+  /// partition from ground truth and abort so the middleware replans a
+  /// recomputation cascade for it — a late data-loss event.
+  void handle_corrupt_input(std::uint32_t m);
+  /// A reducer caught silent corruption in a mapper's bucket: quarantine
+  /// the output and re-execute the mapper within this job.
+  void handle_corrupt_map_output(std::uint32_t m);
+  /// Return every still-buffered (kReady) contribution of mapper `m` to
+  /// kWaiting, unwinding the ready-buffer accounting.
+  void scrub_ready_contribs(std::uint32_t m);
+
   // --- lifecycle -------------------------------------------------------
   void on_map_phase_maybe_done();
   void maybe_finish();
   void finish(JobResult::Status status);
+  /// Cancel-style teardown + partial-result discard, then finish with
+  /// kAbortedDataLoss so the middleware replans from ground truth.
+  void abort_data_loss();
+  void teardown_all_work();
+  void discard_partial_results();
   void cancel_task_work(MapTask& t);
   void cancel_task_work(ReduceTask& t);
   void run_map_udf(std::uint32_t m, MapOutput& out) const;

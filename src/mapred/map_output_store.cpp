@@ -7,6 +7,16 @@
 namespace rcmp::mapred {
 
 void MapOutputStore::put(const MapOutputKey& key, MapOutput output) {
+  // Capture per-bucket checksums so shuffle fetches can verify what they
+  // read against what the mapper produced.
+  if (!output.buckets.empty() && output.bucket_sums.empty()) {
+    output.bucket_sums.reserve(output.buckets.size());
+    for (const auto& bucket : output.buckets) {
+      Checksum sum;
+      for (const Record& r : bucket) sum.add(r);
+      output.bucket_sums.push_back(sum);
+    }
+  }
   outputs_[key] = std::move(output);
 }
 
@@ -24,11 +34,57 @@ bool MapOutputStore::usable(const MapOutputKey& key,
                             const cluster::Cluster& cluster) const {
   const MapOutput* out = find(key);
   if (out == nullptr || out->lost) return false;
-  if (!cluster.alive(out->node)) return false;
+  // Persisted data survives a compute-only failure of its node; only the
+  // storage side matters here.
+  if (!cluster.storage_alive(out->node)) return false;
   return out->input_layout_version == input_layout_version;
 }
 
 void MapOutputStore::drop(const MapOutputKey& key) { outputs_.erase(key); }
+
+void MapOutputStore::mark_lost(const MapOutputKey& key) {
+  auto it = outputs_.find(key);
+  if (it != outputs_.end()) it->second.lost = true;
+}
+
+bool MapOutputStore::bucket_intact(const MapOutputKey& key,
+                                   std::uint32_t partition) const {
+  const MapOutput* out = find(key);
+  if (out == nullptr) return true;  // nothing stored, nothing corrupt
+  if (out->corrupt) return false;
+  if (out->buckets.empty() || partition >= out->bucket_sums.size())
+    return true;
+  Checksum sum;
+  for (const Record& r : out->buckets[partition]) sum.add(r);
+  return sum == out->bucket_sums[partition];
+}
+
+bool MapOutputStore::corrupt_one(Rng& rng) {
+  // Deterministic victim choice: unordered_map order is not portable, so
+  // sort candidate keys before drawing.
+  std::vector<MapOutputKey> keys;
+  for (const auto& [key, out] : outputs_) {
+    if (!out.lost) keys.push_back(key);
+  }
+  if (keys.empty()) return false;
+  std::sort(keys.begin(), keys.end(),
+            [](const MapOutputKey& a, const MapOutputKey& b) {
+              return a.packed() < b.packed();
+            });
+  MapOutput& out = outputs_.at(keys[rng.below(keys.size())]);
+  std::vector<std::size_t> nonempty;
+  for (std::size_t b = 0; b < out.buckets.size(); ++b) {
+    if (!out.buckets[b].empty()) nonempty.push_back(b);
+  }
+  if (nonempty.empty()) {
+    // Virtual-size mode (or an empty payload): flag-based corruption.
+    out.corrupt = true;
+    return true;
+  }
+  auto& bucket = out.buckets[nonempty[rng.below(nonempty.size())]];
+  bucket[bucket.size() / 2].value ^= 0xdeadbeefULL;
+  return true;
+}
 
 void MapOutputStore::drop_job(std::uint32_t logical_job) {
   for (auto it = outputs_.begin(); it != outputs_.end();) {

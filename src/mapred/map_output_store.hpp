@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "common/rng.hpp"
 #include "common/units.hpp"
 #include "mapred/record.hpp"
 
@@ -49,7 +50,14 @@ struct MapOutput {
   std::vector<double> per_reducer_bytes;
   /// Payload mode: records bucketed per initial reducer partition.
   std::vector<std::vector<Record>> buckets;
+  /// Per-bucket checksums captured at registration; verified by reducers
+  /// at shuffle-fetch time (payload mode only).
+  std::vector<Checksum> bucket_sums;
   bool lost = false;
+  /// Silent corruption marker for virtual-size mode (payload mode flips
+  /// real record bytes instead). Invisible to usable(); only the
+  /// shuffle-time verifier reacts.
+  bool corrupt = false;
 };
 
 class MapOutputStore {
@@ -67,6 +75,21 @@ class MapOutputStore {
   /// Drop every output of a logical job (storage reclamation, and
   /// discarding a cancelled attempt's partial outputs).
   void drop_job(std::uint32_t logical_job);
+
+  /// Quarantine an output detected as corrupt: it stays readable for
+  /// still-in-flight fetches of clean buckets but is refused for any
+  /// new reuse or shuffle readiness.
+  void mark_lost(const MapOutputKey& key);
+
+  /// Shuffle-time integrity check of one bucket: recompute its checksum
+  /// against the one captured at registration (payload mode), or consult
+  /// the corruption marker (virtual mode). True = intact.
+  bool bucket_intact(const MapOutputKey& key, std::uint32_t partition) const;
+
+  /// Chaos support: silently corrupt one bucket of one stored output,
+  /// chosen deterministically from `rng`. Returns false if nothing is
+  /// stored.
+  bool corrupt_one(Rng& rng);
 
   /// Evict outputs of one job until at least `bytes` are freed or the
   /// job has none left; returns the bytes actually freed. Eviction

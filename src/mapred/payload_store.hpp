@@ -55,12 +55,24 @@ class PayloadStore {
   /// Order-independent checksum over every record in the file.
   Checksum file_checksum(dfs::FileId f, std::uint32_t num_partitions) const;
 
+  /// Recompute the block's checksum and compare against the one recorded
+  /// at append time — the read-path integrity check. True = intact.
+  bool verify_block(dfs::FileId f, dfs::PartitionIndex p,
+                    std::uint32_t block_index) const;
+
+  /// Chaos support: silently flip bits in one stored record of the
+  /// partition (the block checksum recorded at append time no longer
+  /// matches). Returns false if the partition holds no records.
+  bool corrupt_record(dfs::FileId f, dfs::PartitionIndex p);
+
  private:
   struct PartitionPayload {
     std::vector<Record> records;
     /// records index where each block starts; blocks are
     /// [starts[i], starts[i+1]) with a final sentinel = records.size().
     std::vector<std::size_t> block_starts;
+    /// Checksum of each block's records, captured at append time.
+    std::vector<Checksum> block_sums;
   };
   using Key = std::uint64_t;
   static Key key(dfs::FileId f, dfs::PartitionIndex p) {

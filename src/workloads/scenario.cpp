@@ -69,6 +69,30 @@ core::ChainResult Scenario::run(core::StrategyConfig strategy,
         [this](std::uint32_t ordinal) { injector_->notify_job_start(ordinal); });
   }
 
+  return drive_to_completion();
+}
+
+core::ChainResult Scenario::run_chaos(core::StrategyConfig strategy,
+                                      cluster::FaultSchedule schedule) {
+  RCMP_CHECK_MSG(!ran_, "Scenario is one-shot; construct a fresh one");
+  ran_ = true;
+
+  middleware_ = std::make_unique<core::Middleware>(
+      env(), chain_, input_, strategy, cfg_.engine, rng_.fork_seed());
+
+  chaos_ = std::make_unique<cluster::ChaosEngine>(
+      cluster_, std::move(schedule), rng_.fork_seed());
+  chaos_->set_partition_corrupter(
+      [this](Rng& rng) { return corrupt_random_partition(rng); });
+  chaos_->set_map_output_corrupter(
+      [this](Rng& rng) { return map_outputs_.corrupt_one(rng); });
+  middleware_->on_job_start(
+      [this](std::uint32_t ordinal) { chaos_->notify_job_start(ordinal); });
+
+  return drive_to_completion();
+}
+
+core::ChainResult Scenario::drive_to_completion() {
   core::ChainResult result;
   middleware_->run([&result](const core::ChainResult& r) { result = r; });
   sim_.run();
@@ -76,6 +100,31 @@ core::ChainResult Scenario::run(core::StrategyConfig strategy,
                  "simulation drained before the chain completed "
                  "(engine deadlock)");
   return result;
+}
+
+bool Scenario::corrupt_random_partition(Rng& rng) {
+  // Candidates: written, still-available partitions of the chain's
+  // *intermediate* outputs. The final output is excluded — nothing
+  // re-reads it, so read-path verification could never catch the flip
+  // and the campaign's final checksum would be silently wrong.
+  std::vector<std::pair<dfs::FileId, dfs::PartitionIndex>> candidates;
+  const auto njobs = static_cast<std::uint32_t>(chain_.jobs.size());
+  for (std::uint32_t l = 0; l + 1 < njobs; ++l) {
+    const dfs::FileId f = middleware_->output_file(l);
+    if (!dfs_.file_exists(f)) continue;
+    for (dfs::PartitionIndex p = 0; p < dfs_.num_partitions(f); ++p) {
+      if (!dfs_.partition(f, p).written) continue;
+      if (!dfs_.partition_available(f, p)) continue;
+      candidates.emplace_back(f, p);
+    }
+  }
+  if (candidates.empty()) return false;
+  const auto [f, p] = candidates[rng.below(candidates.size())];
+  if (cfg_.payload && payloads_.has(f, p)) {
+    return payloads_.corrupt_record(f, p);
+  }
+  dfs_.mark_corrupt(f, p);
+  return true;
 }
 
 dfs::FileId Scenario::final_output_file() const {

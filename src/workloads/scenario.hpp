@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 
+#include "cluster/chaos.hpp"
 #include "cluster/failure_injector.hpp"
 #include "core/middleware.hpp"
 #include "workloads/presets.hpp"
@@ -27,6 +28,15 @@ class Scenario {
   core::ChainResult run(core::StrategyConfig strategy,
                         cluster::FailurePlan failures = {});
 
+  /// Run under a typed FaultSchedule (the chaos engine) instead of the
+  /// paper's ordinal kill plan. Corruption events are wired to the
+  /// scenario's stores: kCorruptPartition flips data in a random
+  /// *intermediate* chain output (never the final one — nothing re-reads
+  /// it, so corruption there is undetectable by read-path verification),
+  /// kCorruptMapOutput flips a persisted map-output bucket.
+  core::ChainResult run_chaos(core::StrategyConfig strategy,
+                              cluster::FaultSchedule schedule);
+
   // --- introspection for tests and benches ---------------------------
   mapred::Env env() {
     return mapred::Env{sim_, net_, cluster_, dfs_, map_outputs_, payloads_};
@@ -40,6 +50,7 @@ class Scenario {
   const ScenarioConfig& config() const { return cfg_; }
   core::Middleware& middleware() { return *middleware_; }
   cluster::FailureInjector* injector() { return injector_.get(); }
+  cluster::ChaosEngine* chaos() { return chaos_.get(); }
 
   /// Payload mode: checksum of the final job's output records.
   mapred::Checksum final_output_checksum();
@@ -52,6 +63,8 @@ class Scenario {
 
  private:
   void generate_input();
+  core::ChainResult drive_to_completion();
+  bool corrupt_random_partition(Rng& rng);
 
   ScenarioConfig cfg_;
   sim::Simulation sim_;
@@ -69,6 +82,7 @@ class Scenario {
 
   std::unique_ptr<core::Middleware> middleware_;
   std::unique_ptr<cluster::FailureInjector> injector_;
+  std::unique_ptr<cluster::ChaosEngine> chaos_;
   bool ran_ = false;
 };
 
