@@ -6,8 +6,14 @@
 // (slowdown factors, speed-ups) — see EXPERIMENTS.md.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "analysis/extrapolation.hpp"
@@ -19,17 +25,116 @@ namespace rcmp::bench {
 
 /// Run a scenario `repeats` times with distinct seeds; returns the mean
 /// total chain time. (The paper averages 5 runs on STIC, 3 on DCO.)
+///
+/// Repeats are independent simulations (each run owns its Simulation,
+/// cluster, and RNG), so they are spread across a small thread pool.
+/// Results land in a per-repeat slot and are reduced in repeat order,
+/// so the mean is bit-identical to a serial run regardless of thread
+/// scheduling.
 inline double mean_total_time(const workloads::ScenarioConfig& base,
                               const core::StrategyConfig& strategy,
                               const cluster::FailurePlan& failures,
                               int repeats, std::uint64_t seed0 = 1000) {
-  Samples t;
-  for (int i = 0; i < repeats; ++i) {
-    workloads::ScenarioConfig cfg = base;
-    cfg.seed = seed0 + static_cast<std::uint64_t>(i) * 7919;
-    t.add(workloads::run_scenario(cfg, strategy, failures).total_time);
+  std::vector<double> totals(static_cast<std::size_t>(repeats), 0.0);
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    for (int i = next.fetch_add(1); i < repeats; i = next.fetch_add(1)) {
+      workloads::ScenarioConfig cfg = base;
+      cfg.seed = seed0 + static_cast<std::uint64_t>(i) * 7919;
+      totals[static_cast<std::size_t>(i)] =
+          workloads::run_scenario(cfg, strategy, failures).total_time;
+    }
+  };
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned pool = std::min<unsigned>(
+      hw == 0 ? 1 : hw, static_cast<unsigned>(repeats > 0 ? repeats : 1));
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (unsigned p = 0; p < pool; ++p) threads.emplace_back(worker);
+    for (auto& th : threads) th.join();
   }
+  Samples t;
+  for (double v : totals) t.add(v);
   return t.mean();
+}
+
+// --- machine-readable micro-bench output (BENCH_simcore.json) ----------
+
+/// One measured benchmark: wall time per iteration plus user counters
+/// (e.g. ns_per_item, reallocs). Written one record per line, so the
+/// baseline check can parse it without a JSON library.
+struct BenchRecord {
+  std::string name;
+  double real_time_ns = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+inline bool write_bench_json(const std::string& path,
+                             const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"real_time_ns\": %.3f",
+                 r.name.c_str(), r.real_time_ns);
+    for (const auto& [k, v] : r.counters) {
+      std::fprintf(f, ", \"%s\": %.6f", k.c_str(), v);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+/// Parse (name, real_time_ns) pairs back out of a file written by
+/// write_bench_json. Tolerates missing files (returns empty).
+inline std::vector<std::pair<std::string, double>> read_bench_json(
+    const std::string& path) {
+  std::vector<std::pair<std::string, double>> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto name_key = line.find("\"name\": \"");
+    const auto time_key = line.find("\"real_time_ns\": ");
+    if (name_key == std::string::npos || time_key == std::string::npos) {
+      continue;
+    }
+    const auto name_begin = name_key + 9;
+    const auto name_end = line.find('"', name_begin);
+    if (name_end == std::string::npos) continue;
+    out.emplace_back(line.substr(name_begin, name_end - name_begin),
+                     std::strtod(line.c_str() + time_key + 16, nullptr));
+  }
+  return out;
+}
+
+/// Count benchmarks slower than `factor` times their baseline entry
+/// (names present only on one side are ignored); prints one line per
+/// regression so CI logs show the offender.
+inline int count_regressions(
+    const std::vector<BenchRecord>& current,
+    const std::vector<std::pair<std::string, double>>& baseline,
+    double factor) {
+  int regressions = 0;
+  for (const BenchRecord& r : current) {
+    for (const auto& [name, base_ns] : baseline) {
+      if (name != r.name || base_ns <= 0.0) continue;
+      if (r.real_time_ns > factor * base_ns) {
+        std::fprintf(stderr,
+                     "REGRESSION %s: %.0f ns/iter vs baseline %.0f "
+                     "(>%.1fx)\n",
+                     r.name.c_str(), r.real_time_ns, base_ns, factor);
+        ++regressions;
+      }
+      break;
+    }
+  }
+  return regressions;
 }
 
 /// Collect all runs of one scenario execution (for profiles/speed-ups).

@@ -2,8 +2,18 @@
 // event-queue throughput, flow reallocation cost, and an end-to-end
 // chain simulation — the knobs that bound how large a cluster the
 // reproduction can sweep.
+//
+// Beyond the console table, the binary emits a machine-readable summary
+// (--json_out=BENCH_simcore.json) and can gate on a checked-in baseline
+// (--baseline=..., exit 1 when any benchmark runs >2x slower); CI runs
+// it as a smoke job on every push. See EXPERIMENTS.md.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "resources/flow_network.hpp"
 #include "sim/simulation.hpp"
 #include "workloads/scenario.hpp"
@@ -26,6 +36,36 @@ void BM_EventQueue(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(100000);
+
+// Cancel-heavy workload: the flow network retargets its completion
+// timer on every reallocation, so half of all scheduled events being
+// cancelled is representative. Physical cancellation must keep the
+// queue free of dead entries.
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<sim::EventId> ids;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    ids.clear();
+    ids.reserve(static_cast<std::size_t>(batch));
+    int fired = 0;
+    for (int i = 0; i < batch; ++i) {
+      ids.push_back(
+          sim.schedule_after(static_cast<double>(i % 211), [&fired] {
+            ++fired;
+          }));
+    }
+    for (int i = 0; i < batch; i += 2) sim.cancel(ids[i]);
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+    state.counters["cancelled"] =
+        static_cast<double>(sim.events_cancelled());
+    state.counters["peak_pending"] =
+        static_cast<double>(sim.peak_pending());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(100000);
 
 // N flows sharing a star topology: every flow start/finish triggers a
 // max-min reallocation across all links.
@@ -59,6 +99,45 @@ void BM_FlowReallocation(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowReallocation)->Arg(10)->Arg(30);
 
+// R disjoint rack-local stars with in-rack flows only: the link-sharing
+// graph has R connected components, so each start/finish must
+// reallocate one rack and leave the other R-1 untouched. The
+// flows_touched counter makes the incrementality visible (compare
+// against reallocs * total flows for a full-recompute implementation).
+void BM_FlowReallocationMultiComponent(benchmark::State& state) {
+  const int racks = static_cast<int>(state.range(0));
+  constexpr int kNodesPerRack = 8;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    res::FlowNetwork net(sim);
+    int done = 0;
+    for (int r = 0; r < racks; ++r) {
+      std::vector<res::LinkId> up, down;
+      for (int n = 0; n < kNodesPerRack; ++n) {
+        up.push_back(net.add_link({"u", 1e9, 0.0}));
+        down.push_back(net.add_link({"d", 1e9, 0.0}));
+      }
+      const auto tor = net.add_link({"t", 1e9 * kNodesPerRack / 2.0, 0.0});
+      for (int s = 0; s < kNodesPerRack; ++s) {
+        for (int d = 0; d < kNodesPerRack; ++d) {
+          if (s == d) continue;
+          res::FlowSpec fs;
+          fs.path = {up[s], tor, down[d]};
+          fs.bytes = 10'000'000;
+          fs.on_complete = [&done] { ++done; };
+          net.start_flow(std::move(fs));
+        }
+      }
+    }
+    sim.run();
+    benchmark::DoNotOptimize(done);
+    state.counters["reallocs"] = static_cast<double>(net.reallocations());
+    state.counters["flows_touched"] =
+        static_cast<double>(net.flows_reallocated());
+  }
+}
+BENCHMARK(BM_FlowReallocationMultiComponent)->Arg(8);
+
 void BM_SticChain(benchmark::State& state) {
   for (auto _ : state) {
     auto cfg = workloads::stic_config(1, 1);
@@ -70,6 +149,82 @@ void BM_SticChain(benchmark::State& state) {
 }
 BENCHMARK(BM_SticChain)->Unit(benchmark::kMillisecond);
 
+// Console output as usual, plus a capture of every run so main() can
+// emit the JSON summary and apply the baseline gate.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      rcmp::bench::BenchRecord rec;
+      rec.name = run.benchmark_name();
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      rec.real_time_ns = run.real_accumulated_time / iters * 1e9;
+      // Counters reach reporters already finalized (rates divided by
+      // time, averages by iterations) — record them as presented.
+      for (const auto& [name, counter] : run.counters) {
+        rec.counters.emplace_back(name, counter.value);
+      }
+      if (rec.real_time_ns > 0.0) {
+        rec.counters.emplace_back("ns_per_op", rec.real_time_ns);
+      }
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<rcmp::bench::BenchRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<rcmp::bench::BenchRecord> records_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_out;
+  std::string baseline;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
+      json_out = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline = argv[i] + 11;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_out.empty() &&
+      !rcmp::bench::write_bench_json(json_out, reporter.records())) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  if (!baseline.empty()) {
+    const auto base = rcmp::bench::read_bench_json(baseline);
+    if (base.empty()) {
+      std::fprintf(stderr, "baseline %s missing or empty\n",
+                   baseline.c_str());
+      return 1;
+    }
+    if (rcmp::bench::count_regressions(reporter.records(), base, 2.0) >
+        0) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -14,6 +14,15 @@ Cluster::Cluster(sim::Simulation& sim, res::FlowNetwork& net,
   RCMP_CHECK_MSG(spec_.racks >= 1, "cluster needs at least one rack");
   RCMP_CHECK(spec_.map_slots >= 1 && spec_.reduce_slots >= 1);
 
+  // Pre-size the flow network: 3 links per node plus the fabric and the
+  // per-rack uplink/downlink pair; the steady-state flow population is
+  // bounded by a few transfers per node (map read, spill, shuffle, DFS
+  // pipeline).
+  const std::size_t nlinks =
+      3u * spec_.nodes + 1u + (spec_.racks > 1 ? 2u * spec_.racks : 0u);
+  net_.reserve(nlinks, 8u * spec_.nodes);
+  sim_.reserve_events(8u * spec_.nodes + 64u);
+
   disk_.reserve(spec_.nodes);
   up_.reserve(spec_.nodes);
   down_.reserve(spec_.nodes);

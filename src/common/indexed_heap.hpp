@@ -1,0 +1,126 @@
+// Indexed d-ary min-heap.
+//
+// A drop-in replacement for std::priority_queue when entries must be
+// removable or re-keyable from the middle of the heap: every time an
+// entry changes array position the heap invokes a user-supplied
+// position callback, letting the owner keep a back-pointer (slot ->
+// heap index) and get true O(log n) cancel/update instead of lazy
+// deletion and dead-entry pileup.
+//
+// The default arity of 4 trades slightly more comparisons per level for
+// half the levels and better cache behaviour than a binary heap — the
+// usual win for small POD entries like the simulator's (time, seq,
+// slot) triples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rcmp {
+
+/// Sentinel for "not currently in the heap".
+inline constexpr std::uint32_t kNoHeapPos = 0xffffffffu;
+
+template <class Entry, class Less, class SetPos, unsigned Arity = 4>
+class IndexedHeap {
+  static_assert(Arity >= 2, "heap arity must be at least 2");
+
+ public:
+  explicit IndexedHeap(Less less = Less{}, SetPos set_pos = SetPos{})
+      : less_(less), set_pos_(set_pos) {}
+
+  bool empty() const { return v_.empty(); }
+  std::size_t size() const { return v_.size(); }
+  void reserve(std::size_t n) { v_.reserve(n); }
+  void clear() { v_.clear(); }
+
+  /// Smallest entry. Precondition: !empty().
+  const Entry& top() const { return v_.front(); }
+
+  /// Entry at heap index `pos` (heap order, not sorted order); lets the
+  /// owner enumerate all live entries. Precondition: pos < size().
+  const Entry& at(std::size_t pos) const { return v_[pos]; }
+
+  void push(Entry e) {
+    v_.push_back(std::move(e));
+    sift_up(v_.size() - 1);
+  }
+
+  /// Remove and return the smallest entry. Precondition: !empty().
+  Entry pop() { return remove(0); }
+
+  /// Remove and return the entry at heap index `pos` (as reported via
+  /// SetPos). The caller is responsible for invalidating its own
+  /// back-pointer for the removed entry.
+  Entry remove(std::size_t pos) {
+    Entry out = std::move(v_[pos]);
+    const std::size_t last = v_.size() - 1;
+    if (pos != last) {
+      v_[pos] = std::move(v_[last]);
+      v_.pop_back();
+      if (pos > 0 && less_(v_[pos], v_[parent(pos)])) {
+        sift_up(pos);
+      } else {
+        sift_down(pos);
+      }
+    } else {
+      v_.pop_back();
+    }
+    return out;
+  }
+
+  /// Replace the entry at heap index `pos` with `e` and restore order.
+  void update(std::size_t pos, Entry e) {
+    v_[pos] = std::move(e);
+    if (pos > 0 && less_(v_[pos], v_[parent(pos)])) {
+      sift_up(pos);
+    } else {
+      sift_down(pos);
+    }
+  }
+
+ private:
+  static std::size_t parent(std::size_t i) { return (i - 1) / Arity; }
+
+  void place(std::size_t i, Entry e) {
+    v_[i] = std::move(e);
+    set_pos_(v_[i], static_cast<std::uint32_t>(i));
+  }
+
+  void sift_up(std::size_t i) {
+    Entry e = std::move(v_[i]);
+    while (i > 0) {
+      const std::size_t p = parent(i);
+      if (!less_(e, v_[p])) break;
+      place(i, std::move(v_[p]));
+      i = p;
+    }
+    place(i, std::move(e));
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = v_.size();
+    Entry e = std::move(v_[i]);
+    for (;;) {
+      const std::size_t first = i * Arity + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = first + Arity < n ? first + Arity : n;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (less_(v_[c], v_[best])) best = c;
+      }
+      if (!less_(v_[best], e)) break;
+      place(i, std::move(v_[best]));
+      i = best;
+    }
+    place(i, std::move(e));
+  }
+
+  std::vector<Entry> v_;
+  Less less_;
+  SetPos set_pos_;
+};
+
+}  // namespace rcmp

@@ -1,0 +1,141 @@
+// Small-buffer-optimized move-only callable for simulation events.
+//
+// Nearly every event callback in the reproduction is a lambda capturing
+// a `this` pointer plus a couple of ids, or a moved-in
+// std::function<void()> (a flow's on_complete) — 8 to 40 bytes. With
+// std::function's ~16-byte inline buffer those larger captures cost one
+// heap allocation per scheduled event, which dominates event-queue
+// throughput in large sweeps. EventFn widens the inline buffer so the
+// hot path never allocates, drops copyability (events fire once;
+// nothing copies them), and exposes emplace() so the queue can
+// construct the callable directly in its slot storage with no
+// type-erased relocation on the schedule path.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rcmp::sim {
+
+class EventFn {
+ public:
+  /// Inline capacity: fits a capture of `this` + a std::function member
+  /// + a couple of ids without touching the heap.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() = default;
+  EventFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    construct(std::forward<F>(f));
+  }
+
+  EventFn(EventFn&& o) noexcept { move_from(o); }
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  /// Destroy any held callable, then store `f` in place (no temporary
+  /// EventFn, no type-erased relocation).
+  template <class F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    reset();
+    if constexpr (std::is_same_v<D, EventFn>) {
+      move_from(f);
+    } else {
+      construct(std::forward<F>(f));
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct the callable at dst from src, destroying src.
+    void (*relocate)(void* dst, void* src);
+    /// Null for trivially destructible inline callables (the common
+    /// case: lambdas over pointers and ids) — reset() skips the call.
+    void (*destroy)(void*);
+  };
+
+  template <class D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <class F, class D = std::decay_t<F>>
+  void construct(F&& f) {
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>();
+    } else {
+      *static_cast<void**>(static_cast<void*>(buf_)) =
+          new D(std::forward<F>(f));
+      ops_ = &heap_ops<D>();
+    }
+  }
+
+  template <class D>
+  static const Ops& inline_ops() {
+    static const Ops ops{
+        [](void* p) { (*static_cast<D*>(p))(); },
+        [](void* dst, void* src) {
+          D* s = static_cast<D*>(src);
+          ::new (dst) D(std::move(*s));
+          s->~D();
+        },
+        std::is_trivially_destructible_v<D>
+            ? nullptr
+            : +[](void* p) { static_cast<D*>(p)->~D(); }};
+    return ops;
+  }
+
+  template <class D>
+  static const Ops& heap_ops() {
+    static const Ops ops{
+        [](void* p) { (*static_cast<D*>(*static_cast<void**>(p)))(); },
+        [](void* dst, void* src) {
+          *static_cast<void**>(dst) = *static_cast<void**>(src);
+        },
+        [](void* p) { delete static_cast<D*>(*static_cast<void**>(p)); }};
+    return ops;
+  }
+
+  void move_from(EventFn& o) noexcept {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace rcmp::sim

@@ -1,43 +1,132 @@
 #include "sim/simulation.hpp"
 
-#include <cmath>
-
 namespace rcmp::sim {
 
-EventId Simulation::schedule_at(SimTime t, std::function<void()> fn) {
-  RCMP_CHECK_MSG(std::isfinite(t), "event time must be finite");
-  // Tolerate tiny negative drift from floating-point rate arithmetic.
-  if (t < now_) {
-    RCMP_CHECK_MSG(now_ - t < 1e-6, "event scheduled in the past: t="
-                                        << t << " now=" << now_);
-    t = now_;
+std::uint32_t Simulation::find_or_create_bucket(SimTime t) {
+  // Keep load below 3/4 counting the bucket we may be about to insert.
+  if ((bheap_.size() + 1) * 4 > table_cap_ * 3) {
+    rehash(table_cap_ == 0 ? kMinTableCap : table_cap_ * 2);
   }
-  const EventId id = next_id_++;
-  pending_.emplace(id, std::move(fn));
-  heap_.push(HeapEntry{t, next_seq_++, id});
-  return id;
+  const std::size_t mask = table_cap_ - 1;
+  std::size_t i = hash_time(t) & mask;
+  while (table_[i] != kNoSlot) {
+    const std::uint32_t bs = table_[i];
+    if (buckets_[bs].time == t) return bs;
+    i = (i + 1) & mask;
+  }
+
+  std::uint32_t bs;
+  if (bucket_free_ != kNoSlot) {
+    bs = bucket_free_;
+    bucket_free_ = buckets_[bs].tail;
+  } else {
+    bs = static_cast<std::uint32_t>(buckets_.size());
+    buckets_.emplace_back();
+  }
+  Bucket& b = buckets_[bs];
+  b.time = t;
+  b.head = kNoSlot;
+  b.tail = kNoSlot;
+  b.tab = static_cast<std::uint32_t>(i);
+  table_[i] = bs;
+  bheap_.push(BEntry{t, bs});
+  return bs;
 }
+
+void Simulation::retire_bucket(std::uint32_t bs) {
+  Bucket& b = buckets_[bs];
+  bheap_.remove(b.heap_pos);
+  erase_table(b.tab);
+  b.tail = bucket_free_;
+  bucket_free_ = bs;
+}
+
+void Simulation::erase_table(std::size_t i) {
+  // Backward-shift deletion for linear probing: re-seat any displaced
+  // entries in the cluster after `i` so lookups never cross a hole.
+  const std::size_t mask = table_cap_ - 1;
+  std::size_t j = i;
+  for (;;) {
+    table_[i] = kNoSlot;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (table_[j] == kNoSlot) return;
+      const std::size_t home = hash_time(buckets_[table_[j]].time) & mask;
+      // Move table_[j] into the hole iff its home position does not lie
+      // in the (cyclic) range (i, j] — i.e. it probed past i.
+      if (i <= j ? (home <= i || home > j) : (home <= i && home > j)) {
+        break;
+      }
+    }
+    table_[i] = table_[j];
+    buckets_[table_[i]].tab = static_cast<std::uint32_t>(i);
+    i = j;
+  }
+}
+
+void Simulation::rehash(std::size_t cap) {
+  table_.assign(cap, kNoSlot);
+  table_cap_ = cap;
+  const std::size_t mask = cap - 1;
+  // Reinsert every live bucket (they are exactly the heap entries; walk
+  // the bucket slab via the heap's view by probing all buckets in it).
+  for (std::size_t pos = 0; pos < bheap_.size(); ++pos) {
+    const std::uint32_t bs = bheap_.at(pos).bucket;
+    std::size_t i = hash_time(buckets_[bs].time) & mask;
+    while (table_[i] != kNoSlot) i = (i + 1) & mask;
+    table_[i] = bs;
+    buckets_[bs].tab = static_cast<std::uint32_t>(i);
+  }
+}
+
+/// Destroys the fired callback and recycles its slot, even if the
+/// callback throws (RCMP_CHECK failures propagate through run()). The
+/// slot joins the free list only after the call returns or unwinds, so
+/// a reentrant schedule_at from inside the callback cannot overwrite
+/// the running callable.
+struct Simulation::FireScope {
+  Simulation* sim;
+  std::uint32_t slot;
+  ~FireScope() {
+    sim->fn_at(slot).reset();
+    // Re-index meta_ here: the callback may have grown the slab.
+    Meta& m = sim->meta_[slot];
+    m.prev = sim->free_head_;
+    sim->free_head_ = slot;
+  }
+};
 
 std::uint64_t Simulation::run_until(SimTime t) {
   std::uint64_t fired = 0;
-  while (!heap_.empty()) {
-    const HeapEntry top = heap_.top();
-    auto it = pending_.find(top.id);
-    if (it == pending_.end()) {  // cancelled: discard lazily
-      heap_.pop();
-      continue;
-    }
+  while (!bheap_.empty()) {
+    const BEntry top = bheap_.top();
     if (top.time > t) break;
-    heap_.pop();
     RCMP_CHECK_MSG(processed_ < max_events_,
                    "simulation exceeded max_events");
+    Bucket& b = buckets_[top.bucket];
+    const std::uint32_t slot = b.head;
+    Meta& m = meta_[slot];
+    // Unlink the FIFO head; same-time events fire in insertion order.
+    b.head = m.next;
+    if (b.head == kNoSlot) {
+      retire_bucket(top.bucket);
+    } else {
+      meta_[b.head].prev = kNoSlot;
+    }
     now_ = top.time;
-    // Move the callback out before firing: it may schedule/cancel events.
-    std::function<void()> fn = std::move(it->second);
-    pending_.erase(it);
-    fn();
+    // Invalidate the id before the callback runs: a handler that
+    // queries or cancels its own event must already see it as
+    // not-pending.
+    ++m.gen;
+    --pending_;
     ++processed_;
     ++fired;
+    // Invoke in place (chunk addresses are stable across growth). Note
+    // `m` and `b` must not be used past this point: the callback may
+    // grow either slab.
+    EventFn& fn = fn_at(slot);
+    FireScope scope{this, slot};
+    if (fn) fn();
   }
   return fired;
 }

@@ -7,20 +7,48 @@
 // (time, insertion-sequence) order, so a (seed, config) pair reproduces a
 // run bit-for-bit.
 //
+// The queue exploits how simulated time actually behaves: events cluster
+// on few distinct instants (a completion wave, a failure time, a common
+// timeout delay). Pending events are grouped into one *bucket per
+// distinct time*, found by an open-addressed hash table over the time's
+// bit pattern; each bucket chains its events in an intrusive FIFO, which
+// is exactly insertion-sequence order; and an indexed min-heap orders the
+// buckets by time (keys are unique, so no tie-breaking is ever needed).
+// Scheduling into an existing instant and firing from a non-empty bucket
+// are O(1) — no heap sift at all; the O(log B) heap work happens once per
+// distinct time, where B (distinct pending times) is typically far
+// smaller than the number of pending events. Cancelling unlinks the
+// event from its bucket in O(1), physically, so cancel-heavy callers
+// (the flow network retargets its completion timer on every
+// reallocation) never accumulate dead entries.
+//
+// Per-event state is split by access pattern: a dense 16-byte Meta array
+// (generation, FIFO links, owning bucket), and a chunked slab of EventFn
+// callbacks (addresses stable across growth) that is touched once at
+// schedule and once at fire. schedule_at() constructs the callback in
+// place in its slot — no allocation, no type-erased relocation — and
+// run_until() invokes it in place. EventIds embed the slot's generation;
+// the generation is odd exactly while the slot is pending, so stale
+// handles to fired or cancelled events are recognised and ignored with
+// one compare.
+//
 // A Simulation is single-threaded by design (CP.1/CP.3: no shared mutable
 // state across threads). Parallelism in benches comes from running
 // independent Simulation instances on separate threads.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
-#include <functional>
+#include <cstring>
 #include <limits>
-#include <queue>
-#include <unordered_map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/indexed_heap.hpp"
 #include "common/units.hpp"
+#include "sim/event_fn.hpp"
 
 namespace rcmp::sim {
 
@@ -36,52 +64,226 @@ class Simulation {
 
   SimTime now() const { return now_; }
 
-  /// Schedule `fn` to run at absolute simulated time `t` (>= now).
-  EventId schedule_at(SimTime t, std::function<void()> fn);
-
-  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
-  EventId schedule_after(SimTime delay, std::function<void()> fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  /// Schedule a callable to run at absolute simulated time `t` (>= now).
+  /// The callable is constructed directly in queue storage.
+  template <class F>
+  EventId schedule_at(SimTime t, F&& fn) {
+    RCMP_CHECK_MSG(std::isfinite(t), "event time must be finite");
+    // Tolerate tiny negative drift from floating-point rate arithmetic.
+    if (t < now_) {
+      RCMP_CHECK_MSG(now_ - t < 1e-6, "event scheduled in the past: t="
+                                          << t << " now=" << now_);
+      t = now_;
+    }
+    if (t == 0.0) t = 0.0;  // canonicalise -0.0: one bucket per instant
+    const std::uint32_t slot = acquire_slot();
+    fn_at(slot).emplace(std::forward<F>(fn));
+    const std::uint32_t bs = find_or_create_bucket(t);
+    Bucket& b = buckets_[bs];
+    Meta& m = meta_[slot];
+    m.next = kNoSlot;
+    m.prev = b.tail;
+    m.bucket = bs;
+    if (b.tail == kNoSlot) {
+      b.head = slot;
+    } else {
+      meta_[b.tail].next = slot;
+    }
+    b.tail = slot;
+    ++scheduled_;
+    if (++pending_ > peak_pending_) peak_pending_ = pending_;
+    return make_id(slot, m.gen);
   }
 
-  /// Cancel a pending event. Cancelling an already-fired or invalid id is
-  /// a no-op (lazy deletion keeps this O(1)).
-  void cancel(EventId id) { pending_.erase(id); }
+  /// Schedule a callable to run `delay` seconds from now (delay >= 0).
+  template <class F>
+  EventId schedule_after(SimTime delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
-  bool is_pending(EventId id) const { return pending_.count(id) > 0; }
+  /// Cancel a pending event: O(1) unlink (O(log B) when it was the last
+  /// event at its instant), physically removed. Cancelling an
+  /// already-fired or invalid id is a no-op.
+  void cancel(EventId id) {
+    const std::uint32_t slot = decode(id);
+    if (slot == kNoSlot) return;
+    Meta& m = meta_[slot];
+    Bucket& b = buckets_[m.bucket];
+    if (m.prev != kNoSlot) {
+      meta_[m.prev].next = m.next;
+    } else {
+      b.head = m.next;
+    }
+    if (m.next != kNoSlot) {
+      meta_[m.next].prev = m.prev;
+    } else {
+      b.tail = m.prev;
+    }
+    if (b.head == kNoSlot) retire_bucket(m.bucket);
+    fn_at(slot).reset();
+    ++m.gen;  // even: stale
+    m.prev = free_head_;
+    free_head_ = slot;
+    --pending_;
+    ++cancelled_;
+  }
+
+  bool is_pending(EventId id) const { return decode(id) != kNoSlot; }
 
   /// Run until the queue drains. Returns the number of events processed.
-  std::uint64_t run() { return run_until(std::numeric_limits<SimTime>::max()); }
+  std::uint64_t run() {
+    return run_until(std::numeric_limits<SimTime>::max());
+  }
 
   /// Run events with time <= t; the clock is left at the last fired
   /// event's time (not advanced to t if the queue drains earlier).
   std::uint64_t run_until(SimTime t);
 
   std::uint64_t events_processed() const { return processed_; }
-  std::size_t events_pending() const { return pending_.size(); }
+  std::size_t events_pending() const { return pending_; }
+
+  // --- queue statistics (for benches and capacity planning) -----------
+  std::uint64_t events_scheduled() const { return scheduled_; }
+  std::uint64_t events_cancelled() const { return cancelled_; }
+  std::size_t peak_pending() const { return peak_pending_; }
+
+  /// Pre-size the bucket heap/table, metadata, and callback slabs for an
+  /// expected number of simultaneously pending events (avoids growth
+  /// reallocations in large sweeps).
+  void reserve_events(std::size_t n) {
+    meta_.reserve(n);
+    while (chunks_.size() * kChunkSize < n) {
+      chunks_.emplace_back(new EventFn[kChunkSize]);
+    }
+    buckets_.reserve(n);
+    bheap_.reserve(n);
+    std::size_t cap = kMinTableCap;
+    while (cap * 3 < n * 4) cap <<= 1;
+    if (cap > table_cap_) rehash(cap);
+  }
 
   /// Safety valve against runaway simulations (default: effectively off).
   void set_max_events(std::uint64_t n) { max_events_ = n; }
 
  private:
-  struct HeapEntry {
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr unsigned kChunkShift = 9;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kMinTableCap = 64;
+
+  /// Dense per-event metadata.
+  struct Meta {
+    /// Odd exactly while the slot is pending; ids store the odd value,
+    /// so one compare rejects fired, cancelled, and reused slots alike.
+    std::uint32_t gen;
+    std::uint32_t next;    // FIFO successor within the bucket
+    /// FIFO predecessor while pending; next free slot while free (the
+    /// generation check makes the aliasing safe).
+    std::uint32_t prev;
+    std::uint32_t bucket;  // owning bucket slot while pending
+  };
+
+  /// One bucket per distinct pending time.
+  struct Bucket {
     SimTime time;
-    std::uint64_t seq;
-    EventId id;
-    bool operator>(const HeapEntry& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
+    std::uint32_t head;
+    std::uint32_t tail;  // doubles as the bucket free-list link
+    std::uint32_t heap_pos;
+    std::uint32_t tab;  // index of this bucket's hash-table cell
+  };
+  struct BEntry {
+    SimTime time;
+    std::uint32_t bucket;
+  };
+  struct BLess {
+    bool operator()(const BEntry& a, const BEntry& b) const {
+      return a.time < b.time;  // times are unique across live buckets
+    }
+  };
+  struct BPos {
+    Simulation* sim;
+    void operator()(const BEntry& e, std::uint32_t pos) const {
+      sim->buckets_[e.bucket].heap_pos = pos;
     }
   };
 
+  struct FireScope;  // recycles a slot after (or despite) its callback
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+
+  /// Slot index if `id` names a pending event, kNoSlot otherwise.
+  std::uint32_t decode(EventId id) const {
+    // id 0 wraps to slot 0xffffffff, which fails the bounds check.
+    const std::uint32_t slot = static_cast<std::uint32_t>(id) - 1;
+    if (slot >= meta_.size() ||
+        meta_[slot].gen != static_cast<std::uint32_t>(id >> 32)) {
+      return kNoSlot;
+    }
+    return slot;
+  }
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t slot = free_head_;
+      Meta& m = meta_[slot];
+      free_head_ = m.prev;
+      ++m.gen;  // odd: pending
+      return slot;
+    }
+    const auto slot = static_cast<std::uint32_t>(meta_.size());
+    meta_.push_back(Meta{1, kNoSlot, kNoSlot, kNoSlot});
+    if ((static_cast<std::size_t>(slot) >> kChunkShift) == chunks_.size()) {
+      chunks_.emplace_back(new EventFn[kChunkSize]);
+    }
+    return slot;
+  }
+
+  /// Callback storage is chunked so addresses stay stable as the slab
+  /// grows: callbacks are invoked in place, and a callback that
+  /// schedules events must not relocate itself.
+  EventFn& fn_at(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+
+  static std::size_t hash_time(SimTime t) {
+    std::uint64_t x;
+    std::memcpy(&x, &t, sizeof(x));
+    // splitmix64 finalizer: full avalanche over the time's bit pattern.
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+
+  std::uint32_t find_or_create_bucket(SimTime t);
+  void retire_bucket(std::uint32_t bs);
+  void erase_table(std::size_t i);
+  void rehash(std::size_t cap);
+
   SimTime now_ = 0.0;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::size_t pending_ = 0;
+  std::size_t peak_pending_ = 0;
   std::uint64_t max_events_ = std::numeric_limits<std::uint64_t>::max();
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
-      heap_;
-  std::unordered_map<EventId, std::function<void()>> pending_;
+
+  std::vector<Meta> meta_;
+  std::vector<std::unique_ptr<EventFn[]>> chunks_;
+  std::uint32_t free_head_ = kNoSlot;
+
+  std::vector<Bucket> buckets_;
+  std::uint32_t bucket_free_ = kNoSlot;
+  /// Open-addressed (linear probing, backward-shift deletion) map from
+  /// time bit pattern to live bucket slot; cells hold kNoSlot when empty.
+  std::vector<std::uint32_t> table_;
+  std::size_t table_cap_ = 0;  // always a power of two (or 0)
+  IndexedHeap<BEntry, BLess, BPos> bheap_{BLess{}, BPos{this}};
 };
 
 }  // namespace rcmp::sim

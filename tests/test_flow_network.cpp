@@ -313,3 +313,87 @@ TEST(FlowNetwork, PressureCountsWeightedStreams) {
 
 }  // namespace
 }  // namespace rcmp::res
+
+// Appended coverage for lazy progress tracking and incremental
+// (component-restricted, instant-batched) reallocation.
+namespace rcmp::res {
+namespace {
+
+TEST(FlowNetwork, FlowRemainingExactMidIntervalWithoutReallocation) {
+  Net n;
+  const auto l = n.net.add_link({"l", 100.0, 0.0});
+  const auto f = n.net.start_flow(flow({l}, 1000));
+  double observed = -1.0;
+  // A plain simulation event — nothing touches the network between the
+  // start and this read, so the value must come from the lazy
+  // remaining(t) projection, not from a reallocation side effect.
+  n.sim.schedule_at(4.0, [&] { observed = n.net.flow_remaining(f); });
+  n.sim.run_until(4.0);
+  EXPECT_NEAR(observed, 600.0, 1e-9);
+  EXPECT_NEAR(n.net.flow_rate(f), 100.0, 1e-9);
+}
+
+TEST(FlowNetwork, DisjointComponentsReallocateIndependently) {
+  Net n;
+  const auto a = n.net.add_link({"a", 100.0, 0.0});
+  const auto b = n.net.add_link({"b", 100.0, 0.0});
+  const auto fa = n.net.start_flow(flow({a}, 100000));
+  const auto fb1 = n.net.start_flow(flow({b}, 100000));
+  const auto fb2 = n.net.start_flow(flow({b}, 200000));
+  ASSERT_NEAR(n.net.flow_rate(fa), 100.0, 1e-9);  // forces the flush
+  const std::uint64_t touched_before = n.net.flows_reallocated();
+  // Starting another flow on component {a} must not touch {b}'s flows.
+  n.sim.schedule_at(1.0, [&] { n.net.start_flow(flow({a}, 100000)); });
+  double rb1 = -1.0, rb2 = -1.0;
+  n.sim.schedule_at(2.0, [&] {
+    rb1 = n.net.flow_rate(fb1);
+    rb2 = n.net.flow_rate(fb2);
+  });
+  n.sim.run_until(2.0);
+  EXPECT_NEAR(n.net.flow_rate(fa), 50.0, 1e-9);
+  EXPECT_NEAR(rb1, 50.0, 1e-9);
+  EXPECT_NEAR(rb2, 50.0, 1e-9);
+  // The second {a} start reallocated component {a} only: 2 flows.
+  EXPECT_EQ(n.net.flows_reallocated() - touched_before, 2u);
+}
+
+TEST(FlowNetwork, SameInstantStartsBatchIntoOneReallocation) {
+  Net n;
+  const auto l = n.net.add_link({"l", 100.0, 0.0});
+  for (int i = 0; i < 100; ++i) n.net.start_flow(flow({l}, 1000));
+  n.sim.run_until(0.0);  // the instant's flush runs exactly once
+  EXPECT_EQ(n.net.reallocations(), 1u);
+  EXPECT_EQ(n.net.flows_reallocated(), 100u);
+}
+
+TEST(FlowNetwork, CancelChurnKeepsNetworkConsistent) {
+  Net n;
+  std::vector<LinkId> links;
+  for (int i = 0; i < 8; ++i) {
+    links.push_back(n.net.add_link({"l", 100.0, 0.0}));
+  }
+  Rng rng(7);
+  int done = 0;
+  int cancelled = 0;
+  std::vector<FlowId> ids;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<LinkId> path{links[rng.below(8)], links[rng.below(8)]};
+    ids.push_back(n.net.start_flow(
+        flow(std::move(path), 1000 + rng.below(5000), [&] { ++done; })));
+  }
+  // Cancel half mid-flight, some of them twice (second must be a no-op).
+  for (int i = 0; i < 200; i += 2) {
+    n.sim.schedule_at(1.0 + rng.below(5), [&n, &cancelled, f = ids[i]] {
+      if (n.net.flow_active(f)) ++cancelled;
+      n.net.cancel_flow(f);
+      n.net.cancel_flow(f);
+    });
+  }
+  n.sim.run();
+  EXPECT_EQ(n.net.active_flows(), 0u);
+  EXPECT_EQ(done + cancelled, 200);
+  EXPECT_GE(done, 100);  // the uncancelled half always completes
+}
+
+}  // namespace
+}  // namespace rcmp::res

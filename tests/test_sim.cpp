@@ -1,6 +1,8 @@
 // Unit tests for the discrete-event simulation core.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "common/error.hpp"
@@ -165,6 +167,103 @@ TEST(Simulation, ClockDoesNotAdvancePastLastEvent) {
   sim.schedule_at(2.5, [] {});
   sim.run_until(100.0);
   EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulation, CountersTrackScheduleCancelPeak) {
+  Simulation sim;
+  const EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  sim.schedule_at(3.0, [] {});
+  EXPECT_EQ(sim.events_scheduled(), 3u);
+  EXPECT_EQ(sim.peak_pending(), 3u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.events_cancelled(), 1u);
+  sim.cancel(a);  // double-cancel must not count twice
+  EXPECT_EQ(sim.events_cancelled(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 2u);
+  EXPECT_EQ(sim.peak_pending(), 3u);  // high-water mark survives the run
+}
+
+TEST(Simulation, StaleIdAfterSlotReuseIsIgnored) {
+  Simulation sim;
+  bool survivor_fired = false;
+  const EventId old_id = sim.schedule_at(1.0, [] {});
+  sim.cancel(old_id);
+  // The freed slot is reused; the stale handle must not reach the new
+  // occupant.
+  const EventId new_id = sim.schedule_at(2.0, [&] { survivor_fired = true; });
+  EXPECT_FALSE(sim.is_pending(old_id));
+  EXPECT_TRUE(sim.is_pending(new_id));
+  sim.cancel(old_id);  // no-op
+  EXPECT_TRUE(sim.is_pending(new_id));
+  sim.run();
+  EXPECT_TRUE(survivor_fired);
+}
+
+TEST(Simulation, ReserveDoesNotDisturbPendingEvents) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(static_cast<double>(i % 7), [&order, i] {
+      order.push_back(i);
+    });
+  }
+  sim.reserve_events(4096);  // grows slabs + rehashes the bucket table
+  sim.run();
+  ASSERT_EQ(order.size(), 50u);
+  // Same (time, insertion-seq) order as without the reserve.
+  std::vector<int> expect;
+  for (int t = 0; t < 7; ++t) {
+    for (int i = 0; i < 50; ++i) {
+      if (i % 7 == t) expect.push_back(i);
+    }
+  }
+  EXPECT_EQ(order, expect);
+}
+
+// Randomized schedule/cancel churn checked against a reference model:
+// the queue must fire exactly the uncancelled events, in
+// (time, insertion-sequence) order, regardless of slot reuse.
+TEST(Simulation, RandomizedChurnMatchesReferenceModel) {
+  std::uint64_t state = 12345;
+  auto rnd = [&state](std::uint64_t bound) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (state >> 33) % bound;
+  };
+  Simulation sim;
+  struct Ref {
+    double time;
+    int seq;
+  };
+  std::vector<Ref> expect;
+  std::vector<int> fired;
+  std::vector<EventId> live;
+  std::vector<Ref> live_ref;
+  for (int seq = 0; seq < 2000; ++seq) {
+    const double t = static_cast<double>(rnd(50));
+    live.push_back(sim.schedule_at(t, [&fired, seq] {
+      fired.push_back(seq);
+    }));
+    live_ref.push_back(Ref{t, seq});
+    if (rnd(3) == 0 && !live.empty()) {
+      const std::size_t victim = rnd(live.size());
+      sim.cancel(live[victim]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      live_ref.erase(live_ref.begin() +
+                     static_cast<std::ptrdiff_t>(victim));
+    }
+  }
+  expect = live_ref;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const Ref& a, const Ref& b) { return a.time < b.time; });
+  sim.run();
+  ASSERT_EQ(fired.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(fired[i], expect[i].seq) << "position " << i;
+  }
+  EXPECT_EQ(sim.events_scheduled(), 2000u);
+  EXPECT_EQ(sim.events_processed() + sim.events_cancelled(), 2000u);
 }
 
 }  // namespace
