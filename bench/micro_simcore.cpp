@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/trace.hpp"
 #include "resources/flow_network.hpp"
 #include "sim/simulation.hpp"
 #include "workloads/scenario.hpp"
@@ -137,6 +138,29 @@ void BM_FlowReallocationMultiComponent(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlowReallocationMultiComponent)->Arg(8);
+
+// The tracer's emit() is inlined into every hot emission site in the
+// engine and middleware; when tracing is off it must cost one branch.
+// Arg(0) = disabled, Arg(1) = enabled with a warm ring (steady-state
+// overwrite path, no allocation).
+void BM_TracerEmit(benchmark::State& state) {
+  obs::Tracer tracer;
+  if (state.range(0) != 0) tracer.enable(1 << 12);
+  constexpr int kBatch = 1024;
+  double t = 0.0;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      t += 0.25;
+      tracer.emit(t, obs::EventType::kTaskFinish, obs::kKindMap,
+                  static_cast<std::uint32_t>(i & 7), 3,
+                  static_cast<std::uint32_t>(i), 0.25);
+    }
+    benchmark::DoNotOptimize(tracer.size());
+  }
+  state.counters["dropped"] = static_cast<double>(tracer.dropped());
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_TracerEmit)->Arg(0)->Arg(1);
 
 void BM_SticChain(benchmark::State& state) {
   for (auto _ : state) {

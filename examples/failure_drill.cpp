@@ -14,7 +14,16 @@
 //      end to end.
 //
 //   $ ./failure_drill
+//   $ ./failure_drill --trace drill.jsonl --metrics drill-metrics.json
+//
+// --trace/--metrics apply to the "all five modes at once" chaos drill
+// (the richest one); --trace also writes PATH.chrome.json for
+// chrome://tracing. Same build + same (default) seeds => byte-identical
+// exports.
 #include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <string>
 
 #include "cluster/chaos.hpp"
 #include "common/table.hpp"
@@ -49,9 +58,35 @@ const char* outcome_label(const core::ChainResult& result, bool checksum_ok) {
   return checksum_ok ? "VERIFIED" : "CORRUPT";
 }
 
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "failure_drill: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--trace" && has_value) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics" && has_value) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: failure_drill [--trace PATH] [--metrics PATH]\n");
+      return 2;
+    }
+  }
+
   bool all_ok = true;
 
   // -- part 1: the paper's ordinal kill drills ------------------------
@@ -142,8 +177,15 @@ int main() {
   std::printf("\nchaos drills (typed fault injection, 2 racks, 7 jobs):\n");
   Table ct({"drill", "injected", "recoveries", "replans", "slowdown",
             "output"});
-  for (const ChaosDrill& d : chaos_drills) {
-    workloads::Scenario scenario(chaos_config);
+  for (std::size_t di = 0; di < std::size(chaos_drills); ++di) {
+    const ChaosDrill& d = chaos_drills[di];
+    // The last (richest) drill is the one --trace/--metrics capture.
+    const bool exported = di + 1 == std::size(chaos_drills);
+    auto drill_config = chaos_config;
+    if (exported && !trace_path.empty()) {
+      drill_config.trace_capacity = 1 << 20;
+    }
+    workloads::Scenario scenario(drill_config);
     core::StrategyConfig strategy;
     strategy.strategy = core::Strategy::kRcmpSplit;
     const auto result = scenario.run_chaos(strategy, d.schedule);
@@ -156,6 +198,16 @@ int main() {
                 std::to_string(result.replans),
                 Table::num(result.total_time / chaos_clean) + "x",
                 outcome_label(result, ok)});
+    if (exported) {
+      if (!trace_path.empty()) {
+        write_file(trace_path, scenario.obs().tracer.export_jsonl());
+        write_file(trace_path + ".chrome.json",
+                   scenario.obs().tracer.export_chrome());
+      }
+      if (!metrics_path.empty()) {
+        write_file(metrics_path, scenario.obs().metrics.dump_json());
+      }
+    }
   }
   std::fputs(ct.to_string().c_str(), stdout);
 

@@ -53,12 +53,24 @@ void usage() {
       "  --seed N                     RNG seed\n"
       "misc:\n"
       "  --speculation                enable speculative execution\n"
+      "  --trace PATH                 write a JSONL event trace to PATH\n"
+      "                               (and Chrome trace_event JSON to\n"
+      "                               PATH.chrome.json)\n"
+      "  --metrics PATH               write the metrics registry JSON\n"
+      "  --no-audit                   disable the invariant auditor\n"
       "  --verbose                    narrate job lifecycle events\n");
 }
 
 [[noreturn]] void die(const std::string& msg) {
   std::fprintf(stderr, "rcmp_sim: %s (try --help)\n", msg.c_str());
   std::exit(2);
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) die("cannot write " + path);
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
 }
 
 }  // namespace
@@ -69,6 +81,8 @@ int main(int argc, char** argv) {
   strategy.strategy = core::Strategy::kRcmpSplit;
   cluster::FailurePlan failures;
   bool nodes_set = false;
+  std::string trace_path;
+  std::string metrics_path;
 
   auto next_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) die(std::string("missing value for ") + argv[i]);
@@ -153,6 +167,13 @@ int main(int argc, char** argv) {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(next_value(i)));
     } else if (arg == "--speculation") {
       cfg.engine.speculative_execution = true;
+    } else if (arg == "--trace") {
+      trace_path = next_value(i);
+      cfg.trace_capacity = 1 << 20;
+    } else if (arg == "--metrics") {
+      metrics_path = next_value(i);
+    } else if (arg == "--no-audit") {
+      cfg.audit = false;
     } else if (arg == "--verbose") {
       Log::set_level(LogLevel::kInfo);
     } else {
@@ -171,6 +192,15 @@ int main(int argc, char** argv) {
     result = scenario->run(strategy, failures);
   } catch (const ConfigError& e) {
     die(e.what());
+  }
+
+  if (!trace_path.empty()) {
+    write_file(trace_path, scenario->obs().tracer.export_jsonl());
+    write_file(trace_path + ".chrome.json",
+               scenario->obs().tracer.export_chrome());
+  }
+  if (!metrics_path.empty()) {
+    write_file(metrics_path, scenario->obs().metrics.dump_json());
   }
 
   Table t({"#", "job", "kind", "status", "duration (s)", "mappers",

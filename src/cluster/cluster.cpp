@@ -112,6 +112,13 @@ void Cluster::recount_alive() {
 void Cluster::dispatch_failure(const FailureEvent& ev) {
   ++failure_epoch_[ev.node];
   recount_alive();
+  if (tracer_ != nullptr) {
+    const std::uint8_t kind = ev.whole_node()  ? obs::kKindKill
+                              : ev.lost_compute ? obs::kKindCompute
+                                                : obs::kKindDisk;
+    tracer_->emit(sim_.now(), obs::EventType::kFailure, kind, ev.node,
+                  obs::kNoField, obs::kNoField, 0.0);
+  }
   for (auto& h : failure_handlers_) h(ev);
   if (ev.whole_node()) {
     for (auto& h : kill_handlers_) h(ev.node);
@@ -164,6 +171,10 @@ void Cluster::recover(NodeId n) {
   RCMP_INFO() << "t=" << sim_.now() << " cluster: node " << n
               << " recovered with an empty disk (" << alive_count_
               << " alive)";
+  if (tracer_ != nullptr) {
+    tracer_->emit(sim_.now(), obs::EventType::kRecovery, 0, n,
+                  obs::kNoField, obs::kNoField, 0.0);
+  }
   for (auto& h : recover_handlers_) h(n);
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/trace.hpp"
 #include "resources/flow_network.hpp"
 #include "sim/simulation.hpp"
 
@@ -196,6 +197,10 @@ class Cluster {
   sim::Simulation& sim() { return sim_; }
   res::FlowNetwork& net() { return net_; }
 
+  /// Attach a tracer: every failure and recovery is emitted into it.
+  /// Null (the default) detaches; the cost is one pointer compare.
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
+
  private:
   void dispatch_failure(const FailureEvent& ev);
   void recount_alive();
@@ -213,6 +218,7 @@ class Cluster {
   std::vector<KillHandler> kill_handlers_;
   std::vector<FailureHandler> failure_handlers_;
   std::vector<RecoverHandler> recover_handlers_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace rcmp::cluster

@@ -68,6 +68,12 @@ Middleware::Middleware(mapred::Env env, ChainSpec chain,
   env_.cluster.on_failure(
       [this](const cluster::FailureEvent& ev) { on_failure(ev); });
   env_.cluster.on_recover([this](cluster::NodeId n) { on_recover(n); });
+
+  // Let lower layers (the engine at shuffle completion) trigger a
+  // storage sample without depending on core.
+  if (env_.obs != nullptr) {
+    env_.obs->storage_sample_hook = [this] { sample_storage(); };
+  }
 }
 
 std::uint32_t Middleware::file_replication(std::uint32_t logical) const {
@@ -151,6 +157,12 @@ void Middleware::submit_next() {
     env_.dfs.set_replication(files_[sub.logical_id],
                              strategy_.hybrid_replication);
     ++result_.replication_points;
+    if (env_.obs != nullptr) {
+      env_.obs->tracer.emit(env_.sim.now(),
+                            obs::EventType::kReplicationPoint, 0,
+                            obs::kNoField, sub.logical_id, obs::kNoField,
+                            0.0);
+    }
     RCMP_INFO() << "t=" << env_.sim.now()
                 << " middleware: dynamic hybrid replicates output of job "
                 << sub.logical_id;
@@ -183,6 +195,13 @@ void Middleware::submit_next() {
   }
 
   const std::uint32_t ordinal = next_ordinal_++;
+  if (env_.obs != nullptr) {
+    env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kJobSubmit,
+                          sub.recompute ? 1 : 0, obs::kNoField,
+                          sub.logical_id, ordinal, 0.0);
+    sample_storage();
+    env_.obs->audit(obs::AuditPoint::kJobStart);
+  }
   auto run = std::make_unique<mapred::JobRun>(
       env_, std::move(spec), std::move(dir), engine_cfg_, ordinal,
       rng_.fork_seed(),
@@ -220,6 +239,12 @@ void Middleware::on_run_done(mapred::JobRun& run) {
         repl > 1) {
       reclaim_storage(res.logical_id);
     }
+    // Job boundary: re-sample (eviction/reclamation may have moved
+    // usage) so the auditor's gauge cross-check sees current state.
+    if (env_.obs != nullptr) {
+      sample_storage();
+      env_.obs->audit(obs::AuditPoint::kJobBoundary);
+    }
     submit_next();
     return;
   }
@@ -253,6 +278,12 @@ void Middleware::on_failure(const cluster::FailureEvent& ev) {
   const cluster::NodeId n = ev.node;
   env_.sim.schedule_after(engine_cfg_.detect_timeout,
                           [this, n] { handle_detection(n); });
+  // A storage failure moves usage off-ledger instantly; sample here so
+  // peak_storage sees pre-detection state, then audit the books.
+  if (env_.obs != nullptr) {
+    sample_storage();
+    env_.obs->audit(obs::AuditPoint::kFailure);
+  }
 }
 
 void Middleware::on_recover(cluster::NodeId n) {
@@ -331,6 +362,11 @@ void Middleware::replan() {
   }
 
   ++result_.replans;
+  if (env_.obs != nullptr) {
+    env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kReplan,
+                          obs::kKindReplan, obs::kNoField, obs::kNoField,
+                          result_.replans, 0.0);
+  }
   if (strategy_.max_replans > 0 &&
       result_.replans > strategy_.max_replans) {
     std::string detail = "replan " + std::to_string(result_.replans) +
@@ -396,6 +432,11 @@ void Middleware::replan() {
 
 void Middleware::wipe_and_restart() {
   ++result_.restarts;
+  if (env_.obs != nullptr) {
+    env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kReplan,
+                          obs::kKindRestart, obs::kNoField, obs::kNoField,
+                          result_.restarts, 0.0);
+  }
   for (std::uint32_t l = 0; l < chain_.jobs.size(); ++l) {
     if (env_.dfs.file_exists(files_[l])) {
       for (std::uint32_t p = 0; p < env_.dfs.num_partitions(files_[l]);
@@ -455,6 +496,12 @@ void Middleware::reclaim_storage(std::uint32_t replication_point) {
 bool Middleware::should_replicate_now() const {
   if (job_time_count_ == 0) return false;  // no cost estimate yet
   const double avg_job = job_time_sum_ / job_time_count_;
+  if (!(avg_job > 0.0)) return false;  // degenerate cost estimate
+  // A zero (or negative/NaN) failure rate means an infinite MTBF:
+  // checkpointing never pays off. Guarding here also keeps the interval
+  // math below out of 0 * inf = NaN territory, where the comparison
+  // would silently answer "no" for the wrong reason.
+  if (!(strategy_.node_failure_rate_per_day > 0.0)) return false;
   // Replication cost C: the extra time replicating one job's output
   // adds. Cluster MTBF from the per-node daily failure rate.
   const double c = avg_job * strategy_.hybrid_replication_overhead;
@@ -462,6 +509,7 @@ bool Middleware::should_replicate_now() const {
       86400.0 / (strategy_.node_failure_rate_per_day *
                  std::max(1u, env_.cluster.alive_count()));
   const double interval = std::sqrt(2.0 * c * mtbf_seconds);
+  if (!std::isfinite(interval)) return false;  // overhead 0 or overflow
   return time_since_repl_point_ + avg_job >= interval;
 }
 
@@ -480,6 +528,12 @@ void Middleware::enforce_storage_budget() {
         l, used - strategy_.storage_budget);
     if (freed > 0) {
       ++result_.evicted_jobs;
+      if (env_.obs != nullptr) {
+        env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kEviction, 0,
+                              obs::kNoField, l, obs::kNoField,
+                              static_cast<double>(freed));
+        env_.obs->metrics.add("storage.evicted_bytes", freed);
+      }
       RCMP_INFO() << "middleware: evicted " << freed
                   << " bytes of persisted map outputs of job " << l
                   << " (storage budget)";
@@ -491,6 +545,47 @@ void Middleware::sample_storage() {
   const Bytes used =
       env_.dfs.total_used() + env_.map_outputs.total_used();
   result_.peak_storage = std::max(result_.peak_storage, used);
+  if (env_.obs != nullptr) {
+    env_.obs->metrics.add("storage.samples");
+    env_.obs->metrics.set_gauge("storage.current_bytes",
+                                static_cast<double>(used));
+    env_.obs->metrics.set_gauge(
+        "storage.peak_bytes", static_cast<double>(result_.peak_storage));
+  }
+}
+
+void Middleware::publish_metrics() {
+  if (env_.obs == nullptr) return;
+  auto& m = env_.obs->metrics;
+  m.set_gauge("chain.completed", result_.completed ? 1.0 : 0.0);
+  m.set_gauge("chain.fail_reason",
+              static_cast<double>(static_cast<int>(result_.fail_reason)));
+  m.set_gauge("chain.total_time_seconds", result_.total_time);
+  m.set_gauge("chain.jobs_started",
+              static_cast<double>(result_.jobs_started));
+  m.set_gauge("chain.failures_observed",
+              static_cast<double>(result_.failures_observed));
+  m.set_gauge("chain.nodes_recovered",
+              static_cast<double>(result_.nodes_recovered));
+  m.set_gauge("chain.replans", static_cast<double>(result_.replans));
+  m.set_gauge("chain.restarts", static_cast<double>(result_.restarts));
+  m.set_gauge("chain.replication_points",
+              static_cast<double>(result_.replication_points));
+  m.set_gauge("chain.evicted_jobs",
+              static_cast<double>(result_.evicted_jobs));
+  m.set_gauge("chain.peak_storage_bytes",
+              static_cast<double>(result_.peak_storage));
+  for (const auto& r : result_.runs) {
+    m.add("jobs.mappers_executed", r.mappers_executed);
+    m.add("jobs.mappers_reused", r.mappers_reused);
+    m.add("jobs.reducers_executed", r.reducers_executed);
+    m.add("jobs.corrupt_blocks_detected", r.corrupt_blocks_detected);
+    m.add("jobs.corrupt_map_outputs_detected",
+          r.corrupt_map_outputs_detected);
+    if (r.status == mapred::JobResult::Status::kCompleted) {
+      m.observe("jobs.duration_seconds", r.duration());
+    }
+  }
 }
 
 void Middleware::fail_chain(ChainResult::FailReason reason,
@@ -503,6 +598,11 @@ void Middleware::fail_chain(ChainResult::FailReason reason,
   result_.jobs_started = next_ordinal_ - 1;
   result_.runs.clear();
   for (const auto& run : runs_) result_.runs.push_back(run->result());
+  publish_metrics();
+  if (env_.obs != nullptr) {
+    sample_storage();
+    env_.obs->audit(obs::AuditPoint::kFinal);
+  }
   if (on_complete_) on_complete_(result_);
 }
 
@@ -520,6 +620,11 @@ void Middleware::finish_chain() {
   RCMP_INFO() << "t=" << env_.sim.now() << " middleware: chain complete ("
               << result_.jobs_started << " jobs started, "
               << result_.failures_observed << " failures)";
+  publish_metrics();
+  if (env_.obs != nullptr) {
+    sample_storage();
+    env_.obs->audit(obs::AuditPoint::kFinal);
+  }
   if (on_complete_) on_complete_(result_);
 }
 

@@ -142,6 +142,8 @@ class Middleware {
   void wipe_and_restart();
   void reclaim_storage(std::uint32_t replication_point);
   void sample_storage();
+  /// Mirror ChainResult into the metrics registry (chain completion).
+  void publish_metrics();
   void enforce_storage_budget();
   /// Dynamic hybrid: is it time for the next replication point
   /// (Young's optimal checkpoint interval)?

@@ -1,6 +1,7 @@
 #include "dfs/namenode.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -312,6 +313,35 @@ Bytes NameNode::total_used() const {
   Bytes total = 0;
   for (Bytes b : used_per_node_) total += b;
   return total;
+}
+
+std::vector<std::string> NameNode::audit_ledger() const {
+  // Ground truth: walk the block table. Replicas on storage-dead nodes
+  // are skipped, mirroring the liveness guard in clear_partition (and
+  // on_node_failure strips them anyway).
+  std::vector<Bytes> recount(used_per_node_.size(), 0);
+  for (const BlockInfo& bi : blocks_) {
+    for (cluster::NodeId n : bi.replicas) {
+      if (cluster_.storage_alive(n)) recount[n] += bi.size;
+    }
+  }
+  std::vector<std::string> out;
+  for (cluster::NodeId n = 0; n < recount.size(); ++n) {
+    if (recount[n] != used_per_node_[n]) {
+      std::ostringstream os;
+      os << "dfs storage ledger drifted on node " << n << ": ledger="
+         << used_per_node_[n] << " B, block-table recount=" << recount[n]
+         << " B";
+      out.push_back(os.str());
+    }
+  }
+  return out;
+}
+
+void NameNode::debug_corrupt_ledger(cluster::NodeId n,
+                                    std::int64_t delta) {
+  RCMP_CHECK(n < used_per_node_.size());
+  used_per_node_[n] += static_cast<Bytes>(delta);  // wraps when negative
 }
 
 }  // namespace rcmp::dfs

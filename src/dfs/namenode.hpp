@@ -144,6 +144,17 @@ class NameNode {
   Bytes used_on_node(cluster::NodeId n) const;
   Bytes total_used() const;
 
+  /// Invariant audit: recount per-node usage from the block table (the
+  /// ground truth) and compare with the incrementally maintained
+  /// ledger. One message per mismatching node; empty = consistent.
+  /// Used by obs::Auditor.
+  std::vector<std::string> audit_ledger() const;
+
+  /// Test hook: corrupt the incremental ledger by `delta` bytes on one
+  /// node, so tests can prove the auditor catches drift. Never called
+  /// outside tests.
+  void debug_corrupt_ledger(cluster::NodeId n, std::int64_t delta);
+
  private:
   struct File {
     std::string name;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -43,6 +44,12 @@ void JobRun::start() {
   result_.ordinal = ordinal_;
   result_.was_recompute = directive_.active;
   result_.start_time = env_.sim.now();
+
+  if (env_.obs != nullptr) {
+    env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kJobStart,
+                          directive_.active ? 1 : 0, obs::kNoField,
+                          spec_.logical_id, ordinal_, 0.0);
+  }
 
   payload_mode_ = false;
   if (spec_.mapper != nullptr && spec_.reducer != nullptr) {
@@ -159,6 +166,12 @@ void JobRun::build_map_tasks() {
           t.state = MapState::kReused;
           t.node = out->node;
           t.out_bytes = out->total_bytes;
+          if (env_.obs != nullptr) {
+            env_.obs->check_reuse(obs::ReuseCheck{
+                spec_.logical_id, t.input_partition, t.block_index,
+                out->input_layout_version, t.input_layout_version,
+                directive_.enforce_fig5_rule});
+          }
         } else {
           ++maps_remaining_;
         }
@@ -299,6 +312,10 @@ void JobRun::assign_map(std::uint32_t m, cluster::NodeId n) {
   t.node = n;
   t.state = MapState::kStarting;
   t.start_time = env_.sim.now();
+  if (env_.obs != nullptr) {
+    env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kTaskStart,
+                          obs::kKindMap, n, spec_.logical_id, m, 0.0);
+  }
   const std::uint32_t epoch = t.epoch;
   t.ev = env_.sim.schedule_after(
       cfg_.startup_cost(), [this, m, epoch] { map_startup_done(m, epoch); });
@@ -312,6 +329,10 @@ void JobRun::assign_reduce(std::uint32_t r, cluster::NodeId n) {
   rt.node = n;
   rt.state = ReduceState::kStarting;
   rt.start_time = env_.sim.now();
+  if (env_.obs != nullptr) {
+    env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kTaskStart,
+                          obs::kKindReduce, n, spec_.logical_id, r, 0.0);
+  }
   const std::uint32_t epoch = rt.epoch;
   rt.ev = env_.sim.schedule_after(cfg_.startup_cost(), [this, r, epoch] {
     reduce_startup_done(r, epoch);
@@ -448,6 +469,11 @@ void JobRun::complete_map_task(std::uint32_t m) {
   t.state = MapState::kDone;
   t.end_time = env_.sim.now();
   t.executed = true;
+  if (env_.obs != nullptr) {
+    env_.obs->tracer.emit(t.end_time, obs::EventType::kTaskFinish,
+                          obs::kKindMap, t.node, spec_.logical_id, m,
+                          t.end_time - t.start_time);
+  }
   completed_map_time_sum_ += t.end_time - t.start_time;
   ++completed_map_count_;
   RCMP_CHECK(maps_remaining_ > 0);
@@ -498,6 +524,10 @@ void JobRun::on_mapper_available(std::uint32_t m) {
 void JobRun::reset_map_task(std::uint32_t m) {
   cancel_duplicate(m);
   MapTask& t = maps_[m];
+  if (env_.obs != nullptr) {
+    env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kTaskReexec,
+                          obs::kKindMap, t.node, spec_.logical_id, m, 0.0);
+  }
   const bool was_available =
       t.state == MapState::kDone || t.state == MapState::kReused;
   cancel_task_work(t);
@@ -779,6 +809,11 @@ void JobRun::fetch_done(std::uint64_t token) {
   if (rt.epoch != ff.reducer_epoch) return;
   RCMP_CHECK(rt.state == ReduceState::kFetching);
 
+  if (env_.obs != nullptr) {
+    env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kShuffleFetch, 0,
+                          ff.src, spec_.logical_id, ff.reducer, ff.bytes);
+  }
+
   // Each mapper's segment is accepted independently: a segment whose
   // output vanished mid-flight (corruption handled elsewhere dropped
   // it) rewinds to kWaiting, a segment failing its checksum triggers
@@ -793,11 +828,22 @@ void JobRun::fetch_done(std::uint64_t token) {
       rt.contrib[m] = ContribState::kWaiting;
       continue;
     }
-    if (cfg_.verify_on_read &&
-        !env_.map_outputs.bucket_intact(key, rt.partition)) {
-      rt.contrib[m] = ContribState::kWaiting;
-      corrupt.push_back(m);
-      continue;
+    if (cfg_.verify_on_read) {
+      const BucketState bs = env_.map_outputs.bucket_state(key, rt.partition);
+      if (bs != BucketState::kIntact) {
+        if (bs == BucketState::kMissingSum && env_.obs != nullptr) {
+          // An unverifiable bucket must never pass silently: surface it
+          // to the auditor (aborts under audit), then fall through to
+          // the corrupt-output recovery path.
+          env_.obs->report_violation(
+              "shuffle fetch of mapper " + std::to_string(m) +
+              " bucket " + std::to_string(rt.partition) +
+              " has payload but no captured checksum (unverifiable read)");
+        }
+        rt.contrib[m] = ContribState::kWaiting;
+        corrupt.push_back(m);
+        continue;
+      }
     }
     rt.contrib[m] = ContribState::kFetched;
     RCMP_CHECK(rt.unfetched > 0);
@@ -858,6 +904,9 @@ void JobRun::maybe_start_reduce_compute(std::uint32_t r) {
   ReduceTask& rt = reduces_[r];
   if (rt.state != ReduceState::kFetching || rt.unfetched != 0) return;
   rt.state = ReduceState::kComputing;
+  // Shuffle is complete for this reducer: map-output + DFS usage is at a
+  // local peak, which boundary-only sampling used to miss (§IV-C).
+  if (env_.obs != nullptr) env_.obs->sample_storage();
   const SimTime dt = rt.fetched_bytes / cfg_.reduce_cpu_rate *
                          env_.cluster.cpu_factor(rt.node) +
                      rt.tail_debt;
@@ -978,6 +1027,11 @@ void JobRun::reduce_done(std::uint32_t r) {
   ReduceTask& rt = reduces_[r];
   rt.state = ReduceState::kDone;
   rt.end_time = env_.sim.now();
+  if (env_.obs != nullptr) {
+    env_.obs->tracer.emit(rt.end_time, obs::EventType::kTaskFinish,
+                          obs::kKindReduce, rt.node, spec_.logical_id, r,
+                          rt.end_time - rt.start_time);
+  }
   ++result_.reducers_executed;
   RCMP_CHECK(reduces_remaining_ > 0);
   --reduces_remaining_;
@@ -989,6 +1043,11 @@ void JobRun::reduce_done(std::uint32_t r) {
 void JobRun::reset_reduce_task(std::uint32_t r) {
   ReduceTask& rt = reduces_[r];
   RCMP_CHECK(rt.state != ReduceState::kDone);
+  if (env_.obs != nullptr) {
+    env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kTaskReexec,
+                          obs::kKindReduce, rt.node, spec_.logical_id, r,
+                          0.0);
+  }
   cancel_task_work(rt);
   cancel_fetches_of_reducer(r);
   ++rt.epoch;
@@ -1336,6 +1395,10 @@ void JobRun::cancel() {
   state_ = RunState::kCancelled;
   result_.status = JobResult::Status::kCancelled;
   result_.end_time = env_.sim.now();
+  if (env_.obs != nullptr) {
+    env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kJobCancel, 0,
+                          obs::kNoField, spec_.logical_id, ordinal_, 0.0);
+  }
   teardown_all_work();
   discard_partial_results();
   RCMP_INFO() << "t=" << env_.sim.now() << " job " << spec_.name
@@ -1363,6 +1426,11 @@ void JobRun::finish(JobResult::Status status) {
   }
   result_.status = status;
   result_.end_time = env_.sim.now();
+  if (env_.obs != nullptr) {
+    env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kJobFinish,
+                          static_cast<std::uint8_t>(status), obs::kNoField,
+                          spec_.logical_id, ordinal_, result_.duration());
+  }
   result_.mappers_reused = 0;
   for (std::uint32_t m = 0; m < maps_.size(); ++m) {
     const MapTask& t = maps_[m];

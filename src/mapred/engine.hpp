@@ -31,6 +31,7 @@
 #include "mapred/job.hpp"
 #include "mapred/map_output_store.hpp"
 #include "mapred/payload_store.hpp"
+#include "obs/obs.hpp"
 #include "resources/flow_network.hpp"
 #include "sim/simulation.hpp"
 
@@ -44,6 +45,10 @@ struct Env {
   dfs::NameNode& dfs;
   MapOutputStore& map_outputs;
   PayloadStore& payloads;
+  /// Optional observability sink (tracer + metrics + audit hooks);
+  /// nullptr disables all emission at the cost of one pointer compare
+  /// per site.
+  obs::Observability* obs = nullptr;
 };
 
 class JobRun {

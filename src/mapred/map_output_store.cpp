@@ -1,10 +1,40 @@
 #include "mapred/map_output_store.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 
 #include "common/error.hpp"
 
 namespace rcmp::mapred {
+
+Bytes MapOutputStore::charged_bytes(const MapOutput& out) {
+  if (!(out.total_bytes > 0.0)) return 0;
+  return static_cast<Bytes>(std::llround(out.total_bytes));
+}
+
+void MapOutputStore::ledger_add(const MapOutputKey& key,
+                                const MapOutput& out) {
+  const Bytes b = charged_bytes(out);
+  if (b == 0) return;
+  total_used_ += b;
+  job_used_[key.logical_job] += b;
+  node_used_[out.node] += b;
+}
+
+void MapOutputStore::ledger_remove(const MapOutputKey& key,
+                                   const MapOutput& out) {
+  const Bytes b = charged_bytes(out);
+  if (b == 0) return;
+  RCMP_CHECK(total_used_ >= b);
+  total_used_ -= b;
+  auto j = job_used_.find(key.logical_job);
+  RCMP_CHECK(j != job_used_.end() && j->second >= b);
+  if ((j->second -= b) == 0) job_used_.erase(j);
+  auto n = node_used_.find(out.node);
+  RCMP_CHECK(n != node_used_.end() && n->second >= b);
+  if ((n->second -= b) == 0) node_used_.erase(n);
+}
 
 void MapOutputStore::put(const MapOutputKey& key, MapOutput output) {
   // Capture per-bucket checksums so shuffle fetches can verify what they
@@ -17,7 +47,10 @@ void MapOutputStore::put(const MapOutputKey& key, MapOutput output) {
       output.bucket_sums.push_back(sum);
     }
   }
-  outputs_[key] = std::move(output);
+  auto [it, inserted] = outputs_.try_emplace(key);
+  if (!inserted && !it->second.lost) ledger_remove(key, it->second);
+  if (!output.lost) ledger_add(key, output);
+  it->second = std::move(output);
 }
 
 bool MapOutputStore::contains(const MapOutputKey& key) const {
@@ -40,23 +73,38 @@ bool MapOutputStore::usable(const MapOutputKey& key,
   return out->input_layout_version == input_layout_version;
 }
 
-void MapOutputStore::drop(const MapOutputKey& key) { outputs_.erase(key); }
+void MapOutputStore::drop(const MapOutputKey& key) {
+  auto it = outputs_.find(key);
+  if (it == outputs_.end()) return;
+  if (!it->second.lost) ledger_remove(key, it->second);
+  outputs_.erase(it);
+}
 
 void MapOutputStore::mark_lost(const MapOutputKey& key) {
   auto it = outputs_.find(key);
-  if (it != outputs_.end()) it->second.lost = true;
+  if (it == outputs_.end() || it->second.lost) return;
+  ledger_remove(key, it->second);
+  it->second.lost = true;
 }
 
-bool MapOutputStore::bucket_intact(const MapOutputKey& key,
-                                   std::uint32_t partition) const {
+BucketState MapOutputStore::bucket_state(const MapOutputKey& key,
+                                         std::uint32_t partition) const {
   const MapOutput* out = find(key);
-  if (out == nullptr) return true;  // nothing stored, nothing corrupt
-  if (out->corrupt) return false;
-  if (out->buckets.empty() || partition >= out->bucket_sums.size())
-    return true;
+  if (out == nullptr) return BucketState::kIntact;  // nothing stored
+  if (out->corrupt) return BucketState::kCorrupt;
+  // Virtual-size mode carries no payload; the corruption marker above
+  // is the whole integrity story.
+  if (out->buckets.empty()) return BucketState::kIntact;
+  // Payload present but the requested bucket was never checksummed:
+  // the read cannot be verified, so it must not pass as intact.
+  if (partition >= out->buckets.size() ||
+      partition >= out->bucket_sums.size()) {
+    return BucketState::kMissingSum;
+  }
   Checksum sum;
   for (const Record& r : out->buckets[partition]) sum.add(r);
-  return sum == out->bucket_sums[partition];
+  return sum == out->bucket_sums[partition] ? BucketState::kIntact
+                                            : BucketState::kCorrupt;
 }
 
 bool MapOutputStore::corrupt_one(Rng& rng) {
@@ -89,6 +137,7 @@ bool MapOutputStore::corrupt_one(Rng& rng) {
 void MapOutputStore::drop_job(std::uint32_t logical_job) {
   for (auto it = outputs_.begin(); it != outputs_.end();) {
     if (it->first.logical_job == logical_job) {
+      if (!it->second.lost) ledger_remove(it->first, it->second);
       it = outputs_.erase(it);
     } else {
       ++it;
@@ -105,44 +154,81 @@ Bytes MapOutputStore::evict_upto(std::uint32_t logical_job, Bytes bytes) {
             [](const MapOutputKey& a, const MapOutputKey& b) {
               return a.packed() > b.packed();
             });
-  double freed = 0.0;
+  Bytes freed = 0;
   for (const MapOutputKey& key : keys) {
-    if (freed >= static_cast<double>(bytes)) break;
-    freed += outputs_.at(key).total_bytes;
-    outputs_.erase(key);
+    if (freed >= bytes) break;
+    auto it = outputs_.find(key);
+    freed += charged_bytes(it->second);
+    ledger_remove(key, it->second);
+    outputs_.erase(it);
   }
-  return static_cast<Bytes>(freed);
+  return freed;
 }
 
 void MapOutputStore::on_node_failure(cluster::NodeId dead) {
   for (auto& [key, out] : outputs_) {
-    if (out.node == dead) out.lost = true;
+    if (out.node == dead && !out.lost) {
+      ledger_remove(key, out);
+      out.lost = true;
+    }
   }
 }
 
 Bytes MapOutputStore::used_on_node(cluster::NodeId n) const {
-  double total = 0.0;
-  for (const auto& [key, out] : outputs_) {
-    if (out.node == n && !out.lost) total += out.total_bytes;
-  }
-  return static_cast<Bytes>(total);
+  auto it = node_used_.find(n);
+  return it == node_used_.end() ? 0 : it->second;
 }
 
 Bytes MapOutputStore::used_for_job(std::uint32_t logical_job) const {
-  double total = 0.0;
-  for (const auto& [key, out] : outputs_) {
-    if (key.logical_job == logical_job && !out.lost)
-      total += out.total_bytes;
-  }
-  return static_cast<Bytes>(total);
+  auto it = job_used_.find(logical_job);
+  return it == job_used_.end() ? 0 : it->second;
 }
 
-Bytes MapOutputStore::total_used() const {
-  double total = 0.0;
+std::vector<std::string> MapOutputStore::audit_ledger() const {
+  // Ground truth: rescan every stored, not-lost output.
+  Bytes total = 0;
+  std::unordered_map<std::uint32_t, Bytes> per_job;
+  std::unordered_map<cluster::NodeId, Bytes> per_node;
   for (const auto& [key, out] : outputs_) {
-    if (!out.lost) total += out.total_bytes;
+    if (out.lost) continue;
+    const Bytes b = charged_bytes(out);
+    total += b;
+    if (b != 0) {
+      per_job[key.logical_job] += b;
+      per_node[out.node] += b;
+    }
   }
-  return static_cast<Bytes>(total);
+  std::vector<std::string> out;
+  if (total != total_used_) {
+    std::ostringstream os;
+    os << "map-output ledger drifted: total ledger=" << total_used_
+       << " B, recount=" << total << " B";
+    out.push_back(os.str());
+  }
+  auto compare = [&out](const char* what, const auto& ledger,
+                        const auto& recount) {
+    for (const auto& [id, b] : recount) {
+      auto it = ledger.find(id);
+      const Bytes have = it == ledger.end() ? 0 : it->second;
+      if (have != b) {
+        std::ostringstream os;
+        os << "map-output ledger drifted for " << what << " " << id
+           << ": ledger=" << have << " B, recount=" << b << " B";
+        out.push_back(os.str());
+      }
+    }
+    for (const auto& [id, b] : ledger) {
+      if (b != 0 && recount.find(id) == recount.end()) {
+        std::ostringstream os;
+        os << "map-output ledger charges " << what << " " << id << " "
+           << b << " B but no live output matches";
+        out.push_back(os.str());
+      }
+    }
+  };
+  compare("job", job_used_, per_job);
+  compare("node", node_used_, per_node);
+  return out;
 }
 
 }  // namespace rcmp::mapred

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -60,6 +61,17 @@ struct MapOutput {
   bool corrupt = false;
 };
 
+/// Verdict of a shuffle-time bucket integrity check. kMissingSum means
+/// the output carries payload but no checksum was ever captured for the
+/// requested bucket: the read is unverifiable, which the engine treats
+/// as corrupt and the auditor treats as a violation (a silently-passing
+/// unverifiable fetch was the bug this state replaces).
+enum class BucketState : std::uint8_t {
+  kIntact,
+  kCorrupt,
+  kMissingSum,
+};
+
 class MapOutputStore {
  public:
   void put(const MapOutputKey& key, MapOutput output);
@@ -83,8 +95,14 @@ class MapOutputStore {
 
   /// Shuffle-time integrity check of one bucket: recompute its checksum
   /// against the one captured at registration (payload mode), or consult
-  /// the corruption marker (virtual mode). True = intact.
-  bool bucket_intact(const MapOutputKey& key, std::uint32_t partition) const;
+  /// the corruption marker (virtual mode). A payload bucket with no
+  /// captured checksum is kMissingSum — never silently intact.
+  BucketState bucket_state(const MapOutputKey& key,
+                           std::uint32_t partition) const;
+  /// True iff bucket_state is kIntact.
+  bool bucket_intact(const MapOutputKey& key, std::uint32_t partition) const {
+    return bucket_state(key, partition) == BucketState::kIntact;
+  }
 
   /// Chaos support: silently corrupt one bucket of one stored output,
   /// chosen deterministically from `rng`. Returns false if nothing is
@@ -92,21 +110,37 @@ class MapOutputStore {
   bool corrupt_one(Rng& rng);
 
   /// Evict outputs of one job until at least `bytes` are freed or the
-  /// job has none left; returns the bytes actually freed. Eviction
-  /// order is deterministic (descending key), i.e. roughly wave by
-  /// wave from the latest mappers backwards — the paper's proposed
-  /// "deleting persisted outputs at the granularity of waves".
+  /// job has none left; returns the exact bytes actually freed (integer
+  /// arithmetic — a double accumulator loses precision beyond 2^53 and
+  /// over/under-evicts large stores). Eviction order is deterministic
+  /// (descending key), i.e. roughly wave by wave from the latest
+  /// mappers backwards — the paper's proposed "deleting persisted
+  /// outputs at the granularity of waves".
   Bytes evict_upto(std::uint32_t logical_job, Bytes bytes);
 
   /// Mark outputs stored on a dead node as lost (physical truth; the
   /// engine learns about it only after the detection timeout).
   void on_node_failure(cluster::NodeId dead);
 
+  // O(1) reads off the incrementally maintained integer ledger; each
+  // output is charged llround(total_bytes) while present and not lost.
   Bytes used_on_node(cluster::NodeId n) const;
-  Bytes total_used() const;
+  Bytes total_used() const { return total_used_; }
   /// Bytes persisted for one logical job (eviction accounting).
   Bytes used_for_job(std::uint32_t logical_job) const;
   std::size_t size() const { return outputs_.size(); }
+
+  /// Invariant audit: recount total / per-job / per-node usage from the
+  /// stored outputs (the ground truth) and compare with the ledger.
+  /// One message per mismatch; empty = consistent. Used by
+  /// obs::Auditor.
+  std::vector<std::string> audit_ledger() const;
+
+  /// Test hook: corrupt the total-used ledger by `delta` bytes so tests
+  /// can prove the auditor catches drift. Never called outside tests.
+  void debug_corrupt_ledger(std::int64_t delta) {
+    total_used_ += static_cast<Bytes>(delta);  // wraps when negative
+  }
 
  private:
   struct KeyHash {
@@ -114,7 +148,16 @@ class MapOutputStore {
       return static_cast<std::size_t>(k.packed() * 0x9e3779b97f4a7c15ULL);
     }
   };
+
+  /// Integer bytes an output occupies in the ledger.
+  static Bytes charged_bytes(const MapOutput& out);
+  void ledger_add(const MapOutputKey& key, const MapOutput& out);
+  void ledger_remove(const MapOutputKey& key, const MapOutput& out);
+
   std::unordered_map<MapOutputKey, MapOutput, KeyHash> outputs_;
+  Bytes total_used_ = 0;
+  std::unordered_map<std::uint32_t, Bytes> job_used_;
+  std::unordered_map<cluster::NodeId, Bytes> node_used_;
 };
 
 }  // namespace rcmp::mapred

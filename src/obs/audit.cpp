@@ -1,0 +1,141 @@
+#include "obs/audit.hpp"
+
+#include <sstream>
+
+namespace rcmp::obs {
+
+namespace {
+
+const char* point_name(AuditPoint p) {
+  switch (p) {
+    case AuditPoint::kJobStart: return "job_start";
+    case AuditPoint::kJobBoundary: return "job_boundary";
+    case AuditPoint::kFailure: return "failure";
+    case AuditPoint::kFinal: return "final";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Auditor::Auditor(const Refs& refs, Observability& obs)
+    : refs_(refs), obs_(obs) {
+  obs_.audit_hook = [this](AuditPoint p) { run_checks(p); };
+  obs_.violation_hook = [this](const std::string& what) {
+    obs_.metrics.add("audit.violations");
+    throw AuditError("invariant audit failed (reported violation):\n  - " +
+                     what);
+  };
+  obs_.reuse_hook = [this](const ReuseCheck& rc) {
+    ++reuse_checks_;
+    obs_.metrics.add("audit.reuse_checks");
+    if (rc.fig5_enforced &&
+        rc.stored_layout_version != rc.current_layout_version) {
+      std::ostringstream os;
+      os << "Fig.5 reuse violation: map output (job=" << rc.logical_job
+         << ", partition=" << rc.input_partition
+         << ", block=" << rc.block_index << ") captured at layout version "
+         << rc.stored_layout_version << " but the input partition is now at "
+         << rc.current_layout_version
+         << " — a split-invalidated output must never be reused or fetched";
+      fail(AuditPoint::kJobBoundary, {os.str()});
+    }
+  };
+}
+
+void Auditor::run_checks(AuditPoint point) {
+  std::vector<std::string> violations;
+  check_event_queue(&violations);
+  check_storage(&violations);
+  if (refs_.net != nullptr) {
+    for (std::string& v : refs_.net->audit()) {
+      violations.push_back(std::move(v));
+    }
+  }
+  if (!violations.empty()) fail(point, violations);
+  ++checks_run_;
+  obs_.metrics.add("audit.checks");
+}
+
+void Auditor::check_event_queue(std::vector<std::string>* violations) {
+  if (refs_.sim == nullptr) return;
+  const sim::Simulation& sim = *refs_.sim;
+  // Conservation: every scheduled event is processed, cancelled, or
+  // still pending — nothing leaks, nothing fires twice.
+  const std::uint64_t accounted = sim.events_processed() +
+                                  sim.events_cancelled() +
+                                  sim.events_pending();
+  if (sim.events_scheduled() != accounted) {
+    std::ostringstream os;
+    os << "event-queue conservation broken: scheduled="
+       << sim.events_scheduled() << " != processed="
+       << sim.events_processed() << " + cancelled="
+       << sim.events_cancelled() << " + pending=" << sim.events_pending();
+    violations->push_back(os.str());
+  }
+  // Monotonicity: the clock never runs backwards, and no pending event
+  // sits in the past.
+  if (sim.now() < last_audit_now_) {
+    std::ostringstream os;
+    os << "simulated clock ran backwards: now=" << sim.now()
+       << " < previously audited " << last_audit_now_;
+    violations->push_back(os.str());
+  }
+  if (sim.next_event_time() < sim.now()) {
+    std::ostringstream os;
+    os << "pending event in the past: next=" << sim.next_event_time()
+       << " < now=" << sim.now();
+    violations->push_back(os.str());
+  }
+  last_audit_now_ = sim.now();
+}
+
+void Auditor::check_storage(std::vector<std::string>* violations) {
+  if (refs_.dfs != nullptr) {
+    for (std::string& v : refs_.dfs->audit_ledger()) {
+      violations->push_back(std::move(v));
+    }
+  }
+  if (refs_.map_outputs != nullptr) {
+    for (std::string& v : refs_.map_outputs->audit_ledger()) {
+      violations->push_back(std::move(v));
+    }
+  }
+  // Cross-check the middleware's storage sampling: the middleware
+  // samples immediately before every audit point, so the current-use
+  // gauge must equal the ground truth and the peak must dominate it.
+  const double* current = obs_.metrics.find_gauge("storage.current_bytes");
+  if (current != nullptr && refs_.dfs != nullptr &&
+      refs_.map_outputs != nullptr) {
+    const double truth =
+        static_cast<double>(refs_.dfs->total_used()) +
+        static_cast<double>(refs_.map_outputs->total_used());
+    if (*current != truth) {
+      std::ostringstream os;
+      os << "storage sample out of date: sampled gauge=" << *current
+         << " != live DFS blocks + persisted map outputs=" << truth;
+      violations->push_back(os.str());
+    }
+    const double* peak = obs_.metrics.find_gauge("storage.peak_bytes");
+    if (peak != nullptr && *peak < *current) {
+      std::ostringstream os;
+      os << "peak-storage accounting broken: peak=" << *peak
+         << " < current sample=" << *current;
+      violations->push_back(os.str());
+    }
+  }
+}
+
+void Auditor::fail(AuditPoint point,
+                   const std::vector<std::string>& violations) const {
+  obs_.metrics.add("audit.violations", violations.size());
+  std::ostringstream os;
+  os << "invariant audit failed at t="
+     << (refs_.sim != nullptr ? refs_.sim->now() : 0.0)
+     << " point=" << point_name(point) << " (" << violations.size()
+     << " violation(s)):";
+  for (const std::string& v : violations) os << "\n  - " << v;
+  throw AuditError(os.str());
+}
+
+}  // namespace rcmp::obs

@@ -1,0 +1,74 @@
+// Invariant auditor: recompute ground truth, compare with the
+// incremental books.
+//
+// The simulator keeps several incrementally-maintained accounts whose
+// correctness RCMP's results depend on: the DFS per-node storage
+// ledger, the persisted-map-output ledger, the flow network's max-min
+// rates, and the event queue's conservation counters. Each is fast
+// precisely because it is incremental — and therefore can silently
+// drift if any update path is missed. The auditor recomputes each from
+// first principles (scan the blocks, scan the outputs, re-derive the
+// max-min conditions) at every job boundary and failure event and
+// aborts with a structured report on mismatch.
+//
+// It also enforces the paper's Fig. 5 reuse rule *online*: every reuse
+// decision and shuffle fetch reports a ReuseCheck through the
+// Observability hooks, and a stale layout version under an enforcing
+// directive is a hard violation.
+//
+// The auditor sits above every subsystem it inspects, so the low
+// layers never see it: construction installs it into the shared
+// Observability hooks (obs.hpp explains the inversion).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "dfs/namenode.hpp"
+#include "mapred/map_output_store.hpp"
+#include "obs/obs.hpp"
+#include "resources/flow_network.hpp"
+#include "sim/simulation.hpp"
+
+namespace rcmp::obs {
+
+class Auditor {
+ public:
+  struct Refs {
+    sim::Simulation* sim = nullptr;
+    res::FlowNetwork* net = nullptr;
+    cluster::Cluster* cluster = nullptr;
+    dfs::NameNode* dfs = nullptr;
+    mapred::MapOutputStore* map_outputs = nullptr;
+  };
+
+  /// Installs itself into `obs`'s audit/reuse/violation hooks. The
+  /// Auditor must outlive every layer that dispatches through `obs`.
+  Auditor(const Refs& refs, Observability& obs);
+
+  /// Full invariant passes completed without a violation.
+  std::uint64_t checks_run() const { return checks_run_; }
+  /// Reuse/fetch legality checks validated.
+  std::uint64_t reuse_checks() const { return reuse_checks_; }
+
+  /// Run every check now; throws AuditError with a structured report on
+  /// the first violating pass. Normally invoked through the hooks.
+  void run_checks(AuditPoint point);
+
+ private:
+  void check_event_queue(std::vector<std::string>* violations);
+  void check_storage(std::vector<std::string>* violations);
+  [[noreturn]] void fail(AuditPoint point,
+                         const std::vector<std::string>& violations) const;
+
+  Refs refs_;
+  Observability& obs_;
+  std::uint64_t checks_run_ = 0;
+  std::uint64_t reuse_checks_ = 0;
+  SimTime last_audit_now_ = 0.0;
+};
+
+}  // namespace rcmp::obs

@@ -1,0 +1,98 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace rcmp::obs {
+
+namespace {
+
+void append_double(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void append_key(std::string* out, const std::string& name) {
+  out->append("\"");
+  out->append(name);  // metric names are C identifiers + dots; no escaping
+  out->append("\":");
+}
+
+}  // namespace
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  counters_.at(name) += delta;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  gauges_.at(name) = value;
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  histograms_.at(name).add(value);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const std::uint64_t* c = counters_.find(name);
+  return c == nullptr ? 0 : *c;
+}
+
+const double* MetricsRegistry::find_gauge(std::string_view name) const {
+  return gauges_.find(name);
+}
+
+const Samples* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  return histograms_.find(name);
+}
+
+std::string MetricsRegistry::dump_json() const {
+  std::string out;
+  out.append("{\"counters\":{");
+  bool first = true;
+  for (const auto& [name, v] : counters_.items) {
+    if (!first) out.append(",");
+    first = false;
+    append_key(&out, name);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out.append(buf);
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, v] : gauges_.items) {
+    if (!first) out.append(",");
+    first = false;
+    append_key(&out, name);
+    append_double(&out, v);
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, s] : histograms_.items) {
+    if (!first) out.append(",");
+    first = false;
+    append_key(&out, name);
+    out.append("{\"count\":");
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%zu", s.count());
+    out.append(buf);
+    out.append(",\"mean\":");
+    append_double(&out, s.empty() ? 0.0 : s.mean());
+    out.append(",\"min\":");
+    append_double(&out, s.empty() ? 0.0 : s.min());
+    out.append(",\"max\":");
+    append_double(&out, s.empty() ? 0.0 : s.max());
+    out.append(",\"p50\":");
+    append_double(&out, s.empty() ? 0.0 : s.percentile(50.0));
+    out.append(",\"p90\":");
+    append_double(&out, s.empty() ? 0.0 : s.percentile(90.0));
+    out.append(",\"p99\":");
+    append_double(&out, s.empty() ? 0.0 : s.percentile(99.0));
+    out.append("}");
+  }
+  out.append("}}\n");
+  return out;
+}
+
+}  // namespace rcmp::obs

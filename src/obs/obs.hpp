@@ -1,0 +1,85 @@
+// Observability: the one struct the simulation layers share.
+//
+// An Observability instance bundles the tracer, the metrics registry
+// and a set of optional hooks. It is owned by the scenario (or any
+// driver) and handed to the engine via Env::obs and to the cluster via
+// set_tracer(); layers that emit events never know who is listening.
+//
+// The hooks invert the layering problem: the auditor (obs/audit.hpp)
+// depends on every subsystem it inspects, so the low layers cannot call
+// it directly — instead they call the null-safe dispatch helpers below
+// and the auditor installs itself into the hooks at construction. The
+// middleware likewise installs storage_sample_hook so the engine can
+// trigger a mid-job storage sample at shuffle completion without a
+// dependency on core::Middleware.
+//
+// Everything is optional: a default-constructed Observability with the
+// tracer disabled and no hooks costs one pointer/bool compare per
+// emission site.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rcmp::obs {
+
+/// Thrown by the auditor when an invariant check fails; what() carries
+/// the structured report.
+class AuditError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Where in the chain lifecycle an audit pass runs.
+enum class AuditPoint : std::uint8_t {
+  kJobStart = 0,
+  kJobBoundary = 1,  // after a job completes, before the next submits
+  kFailure = 2,      // after a failure event was fully applied
+  kFinal = 3,        // chain finished or failed
+};
+
+/// Evidence for one map-output reuse / fetch decision, checked against
+/// the paper's Fig. 5 rule by the auditor.
+struct ReuseCheck {
+  std::uint32_t logical_job;
+  std::uint32_t input_partition;
+  std::uint32_t block_index;
+  std::uint64_t stored_layout_version;
+  std::uint64_t current_layout_version;
+  bool fig5_enforced;  // directive asked for the Fig. 5 legality rule
+};
+
+struct Observability {
+  Tracer tracer;
+  MetricsRegistry metrics;
+
+  /// Installed by the auditor: run invariant checks now.
+  std::function<void(AuditPoint)> audit_hook;
+  /// Installed by the auditor: validate one reuse/fetch decision.
+  std::function<void(const ReuseCheck&)> reuse_hook;
+  /// Installed by the middleware: take a storage sample now.
+  std::function<void()> storage_sample_hook;
+  /// Installed by the auditor: record a violation report (throws).
+  std::function<void(const std::string&)> violation_hook;
+
+  // Null-safe dispatch used by the emitting layers.
+  void audit(AuditPoint p) {
+    if (audit_hook) audit_hook(p);
+  }
+  void check_reuse(const ReuseCheck& rc) {
+    if (reuse_hook) reuse_hook(rc);
+  }
+  void sample_storage() {
+    if (storage_sample_hook) storage_sample_hook();
+  }
+  void report_violation(const std::string& what) {
+    if (violation_hook) violation_hook(what);
+  }
+};
+
+}  // namespace rcmp::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <utility>
 
 #include "common/error.hpp"
@@ -179,6 +180,94 @@ double FlowNetwork::flow_remaining(FlowId id) const {
   const std::uint32_t slot = decode(id);
   // Exact mid-interval: progress since the last rate change is applied.
   return slot == kNoSlot ? 0.0 : remaining_at(hot_[slot], sim_.now());
+}
+
+std::vector<std::string> FlowNetwork::audit() {
+  flush_dirty();  // rates must be committed before they are judged
+  std::vector<std::string> out;
+  const SimTime now = sim_.now();
+  // Relative slack for rate comparisons: rates come out of one
+  // progressive-filling division each, so drift is tiny; the slack only
+  // absorbs the capacity-subtraction arithmetic of multi-round fills.
+  constexpr double kRel = 1e-6;
+  constexpr double kAbs = 1e-3;  // bytes/s; rates are O(1e8)
+
+  for (LinkId l = 0; l < static_cast<LinkId>(links_.size()); ++l) {
+    const Link& link = links_[l];
+    double streams = 0.0;
+    double load = 0.0;
+    for (const LinkRef& r : link.flows) {
+      if (!flows_[r.flow_slot].active) {
+        std::ostringstream os;
+        os << "link " << link.spec.name << ": stale occurrence of "
+           << "inactive flow slot " << r.flow_slot;
+        out.push_back(os.str());
+        continue;
+      }
+      const Hop& hp = flows_[r.flow_slot].hops[r.path_pos];
+      streams += hp.weight;
+      load += hp.weight * std::max(0.0, hot_[r.flow_slot].rate);
+    }
+    if (std::abs(streams - link.weighted_streams) > 1e-6) {
+      std::ostringstream os;
+      os << "link " << link.spec.name << ": weighted stream count drifted: "
+         << "incremental=" << link.weighted_streams
+         << " recount=" << streams;
+      out.push_back(os.str());
+    }
+    const double cap = link_effective_capacity(l);
+    if (load > cap * (1.0 + kRel) + kAbs) {
+      std::ostringstream os;
+      os << "link " << link.spec.name << ": oversubscribed: allocated "
+         << load << " B/s > effective capacity " << cap << " B/s";
+      out.push_back(os.str());
+    }
+  }
+
+  // Max-min (progressive filling) certificate: every flow still moving
+  // bytes is frozen on a bottleneck link — one that is fully subscribed
+  // and on which it receives the maximal rate.
+  for (std::uint32_t slot = 0;
+       slot < static_cast<std::uint32_t>(flows_.size()); ++slot) {
+    const Flow& f = flows_[slot];
+    if (!f.active) continue;
+    const FlowHot& h = hot_[slot];
+    if (remaining_at(h, now) <= kDrainEpsilon) continue;  // completing
+    if (!(h.rate > 0.0)) {
+      std::ostringstream os;
+      os << "flow slot " << slot << ": active with "
+         << remaining_at(h, now) << " bytes left but rate " << h.rate;
+      out.push_back(os.str());
+      continue;
+    }
+    bool bottleneck_found = false;
+    for (const Hop& hp : f.hops) {
+      const Link& link = links_[hp.link];
+      double load = 0.0;
+      double max_rate = 0.0;
+      for (const LinkRef& r : link.flows) {
+        const Hop& other = flows_[r.flow_slot].hops[r.path_pos];
+        const double rate = std::max(0.0, hot_[r.flow_slot].rate);
+        load += other.weight * rate;
+        if (rate > max_rate) max_rate = rate;
+      }
+      const double cap = link_effective_capacity(hp.link);
+      const bool saturated = load >= cap * (1.0 - kRel) - kAbs;
+      const bool maximal = h.rate >= max_rate * (1.0 - kRel) - kAbs;
+      if (saturated && maximal) {
+        bottleneck_found = true;
+        break;
+      }
+    }
+    if (!bottleneck_found) {
+      std::ostringstream os;
+      os << "flow slot " << slot << ": rate " << h.rate
+         << " B/s is not max-min fair: no fully-subscribed link on its "
+         << "path gives it the maximal share";
+      out.push_back(os.str());
+    }
+  }
+  return out;
 }
 
 void FlowNetwork::mark_dirty(const LinkId* ids, std::size_t n) {

@@ -134,6 +134,17 @@ class FlowNetwork {
   /// since the last reallocation); 0 if unknown/complete.
   double flow_remaining(FlowId id) const;
 
+  /// Invariant audit: flush pending reallocations, then re-derive the
+  /// max-min conditions from scratch and compare with the committed
+  /// rates. Checks, per link, that the recounted weighted stream count
+  /// matches the incremental one and that the allocated load
+  /// (sum of weight*rate) never exceeds the effective capacity; and,
+  /// per non-drained flow, that it has a positive rate and is frozen at
+  /// a bottleneck: some link on its path is fully subscribed and no
+  /// flow on that link moves faster. Returns one message per violation
+  /// (empty = all invariants hold). Used by obs::Auditor.
+  std::vector<std::string> audit();
+
   /// Number of component rate reallocations performed.
   std::uint64_t reallocations() const { return reallocations_; }
   /// Flows visited across all reallocations (incrementality metric:

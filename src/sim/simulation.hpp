@@ -142,6 +142,13 @@ class Simulation {
   std::uint64_t events_processed() const { return processed_; }
   std::size_t events_pending() const { return pending_; }
 
+  /// Time of the earliest pending event; +infinity when the queue is
+  /// empty. Always >= now(): schedule_at clamps to the present.
+  SimTime next_event_time() const {
+    return bheap_.empty() ? std::numeric_limits<SimTime>::infinity()
+                          : bheap_.top().time;
+  }
+
   // --- queue statistics (for benches and capacity planning) -----------
   std::uint64_t events_scheduled() const { return scheduled_; }
   std::uint64_t events_cancelled() const { return cancelled_; }

@@ -13,6 +13,7 @@
 // REPL-3 ~1.65-2x, OPTIMISTIC-late ~2.23x, ...), see EXPERIMENTS.md.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "cluster/cluster.hpp"
@@ -35,6 +36,15 @@ struct ScenarioConfig {
   /// Payload mode: materialize real records (sizes shrink accordingly;
   /// use the payload presets, not STIC/DCO, when enabling).
   bool payload = false;
+
+  /// Install the invariant auditor (obs/audit.hpp): every job boundary
+  /// and failure event recounts the storage ledgers, re-derives the
+  /// max-min rates and checks event-queue conservation, aborting with a
+  /// structured report on drift. On by default so every test run
+  /// self-audits.
+  bool audit = true;
+  /// Tracer ring capacity in events; 0 (default) disables tracing.
+  std::size_t trace_capacity = 0;
 
   std::uint64_t seed = 42;
 };

@@ -11,6 +11,14 @@ Scenario::Scenario(ScenarioConfig cfg)
       cluster_(sim_, net_, cfg_.cluster),
       dfs_(cluster_, cfg_.block_size, cfg_.seed ^ 0xdf5dULL),
       rng_(cfg_.seed) {
+  if (cfg_.trace_capacity > 0) obs_.tracer.enable(cfg_.trace_capacity);
+  cluster_.set_tracer(&obs_.tracer);
+  if (cfg_.audit) {
+    auditor_ = std::make_unique<obs::Auditor>(
+        obs::Auditor::Refs{&sim_, &net_, &cluster_, &dfs_, &map_outputs_},
+        obs_);
+  }
+
   generate_input();
 
   chain_.jobs.reserve(cfg_.chain_length);

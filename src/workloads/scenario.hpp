@@ -13,6 +13,7 @@
 #include "cluster/chaos.hpp"
 #include "cluster/failure_injector.hpp"
 #include "core/middleware.hpp"
+#include "obs/audit.hpp"
 #include "workloads/presets.hpp"
 #include "workloads/udfs.hpp"
 
@@ -39,7 +40,8 @@ class Scenario {
 
   // --- introspection for tests and benches ---------------------------
   mapred::Env env() {
-    return mapred::Env{sim_, net_, cluster_, dfs_, map_outputs_, payloads_};
+    return mapred::Env{sim_,         net_,       cluster_, dfs_,
+                       map_outputs_, payloads_, &obs_};
   }
   sim::Simulation& sim() { return sim_; }
   cluster::Cluster& cluster() { return cluster_; }
@@ -51,6 +53,9 @@ class Scenario {
   core::Middleware& middleware() { return *middleware_; }
   cluster::FailureInjector* injector() { return injector_.get(); }
   cluster::ChaosEngine* chaos() { return chaos_.get(); }
+  obs::Observability& obs() { return obs_; }
+  /// Null when ScenarioConfig::audit is false.
+  obs::Auditor* auditor() { return auditor_.get(); }
 
   /// Payload mode: checksum of the final job's output records.
   mapred::Checksum final_output_checksum();
@@ -73,6 +78,10 @@ class Scenario {
   dfs::NameNode dfs_;
   mapred::MapOutputStore map_outputs_;
   mapred::PayloadStore payloads_;
+  // Declared after every audited subsystem (so hooks die first) and
+  // before the middleware (which installs a hook at construction).
+  obs::Observability obs_;
+  std::unique_ptr<obs::Auditor> auditor_;
   Rng rng_;
 
   ChainMapper mapper_;
