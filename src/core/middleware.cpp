@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "core/scheduler.hpp"
 
 namespace rcmp::core {
 
@@ -26,14 +27,28 @@ std::string strategy_name(Strategy s) {
 
 Middleware::Middleware(mapred::Env env, ChainSpec chain,
                        dfs::FileId source_input, StrategyConfig strategy,
-                       mapred::EngineConfig engine_cfg, std::uint64_t seed)
+                       mapred::EngineConfig engine_cfg, std::uint64_t seed,
+                       TenantContext tenant)
     : env_(env),
       chain_(std::move(chain)),
       source_input_(source_input),
       strategy_(strategy),
       engine_cfg_(engine_cfg),
-      rng_(seed) {
+      rng_(seed),
+      tenant_(tenant) {
   RCMP_CHECK_MSG(!chain_.jobs.empty(), "empty chain");
+  if (tenant_.scheduler != nullptr) {
+    // Tenant mode: the engine draws slots from the shared scheduler,
+    // every trace event carries the 1-based chain tag, and metrics get a
+    // per-chain prefix. The scheduler kicks the current run whenever
+    // capacity frees up elsewhere in the cluster.
+    env_.slots = &tenant_.scheduler->broker(tenant_.chain_id);
+    env_.chain_tag = static_cast<std::uint16_t>(tenant_.chain_id + 1);
+    tag_ = "t" + std::to_string(tenant_.chain_id) + ".";
+    tenant_.scheduler->set_kick(tenant_.chain_id, [this] {
+      if (current_ != nullptr && current_->running()) current_->poke();
+    });
+  }
   if (strategy_.strategy == Strategy::kReplication) {
     RCMP_CHECK_MSG(strategy_.replication >= 2,
                    "kReplication needs replication >= 2 to survive "
@@ -70,8 +85,11 @@ Middleware::Middleware(mapred::Env env, ChainSpec chain,
   env_.cluster.on_recover([this](cluster::NodeId n) { on_recover(n); });
 
   // Let lower layers (the engine at shuffle completion) trigger a
-  // storage sample without depending on core.
-  if (env_.obs != nullptr) {
+  // storage sample without depending on core. Under multi-tenancy every
+  // middleware samples the same shared total, so the first one to
+  // install the hook serves for all — clobbering would be harmless but
+  // wasteful.
+  if (env_.obs != nullptr && !env_.obs->storage_sample_hook) {
     env_.obs->storage_sample_hook = [this] { sample_storage(); };
   }
 }
@@ -161,7 +179,7 @@ void Middleware::submit_next() {
       env_.obs->tracer.emit(env_.sim.now(),
                             obs::EventType::kReplicationPoint, 0,
                             obs::kNoField, sub.logical_id, obs::kNoField,
-                            0.0);
+                            0.0, chain_tag());
     }
     RCMP_INFO() << "t=" << env_.sim.now()
                 << " middleware: dynamic hybrid replicates output of job "
@@ -198,7 +216,7 @@ void Middleware::submit_next() {
   if (env_.obs != nullptr) {
     env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kJobSubmit,
                           sub.recompute ? 1 : 0, obs::kNoField,
-                          sub.logical_id, ordinal, 0.0);
+                          sub.logical_id, ordinal, 0.0, chain_tag());
     sample_storage();
     env_.obs->audit(obs::AuditPoint::kJobStart);
   }
@@ -362,10 +380,13 @@ void Middleware::replan() {
   }
 
   ++result_.replans;
+  if (tenant_.scheduler != nullptr) {
+    tenant_.scheduler->note_replan(tenant_.chain_id);
+  }
   if (env_.obs != nullptr) {
     env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kReplan,
                           obs::kKindReplan, obs::kNoField, obs::kNoField,
-                          result_.replans, 0.0);
+                          result_.replans, 0.0, chain_tag());
   }
   if (strategy_.max_replans > 0 &&
       result_.replans > strategy_.max_replans) {
@@ -432,10 +453,13 @@ void Middleware::replan() {
 
 void Middleware::wipe_and_restart() {
   ++result_.restarts;
+  if (tenant_.scheduler != nullptr) {
+    tenant_.scheduler->note_restart(tenant_.chain_id);
+  }
   if (env_.obs != nullptr) {
     env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kReplan,
                           obs::kKindRestart, obs::kNoField, obs::kNoField,
-                          result_.restarts, 0.0);
+                          result_.restarts, 0.0, chain_tag());
   }
   for (std::uint32_t l = 0; l < chain_.jobs.size(); ++l) {
     if (env_.dfs.file_exists(files_[l])) {
@@ -514,6 +538,10 @@ bool Middleware::should_replicate_now() const {
 }
 
 void Middleware::enforce_storage_budget() {
+  // Under a shared budget the scheduler arbitrates across chains
+  // (weighted shares, cross-chain victims); the per-chain budget below
+  // still applies to this chain's own store when configured.
+  if (tenant_.scheduler != nullptr) tenant_.scheduler->enforce_storage();
   if (strategy_.storage_budget == 0) return;
   // Evict persisted map outputs starting with the oldest jobs, wave by
   // wave (the paper's proposed eviction granularity), only as much as
@@ -531,7 +559,7 @@ void Middleware::enforce_storage_budget() {
       if (env_.obs != nullptr) {
         env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kEviction, 0,
                               obs::kNoField, l, obs::kNoField,
-                              static_cast<double>(freed));
+                              static_cast<double>(freed), chain_tag());
         env_.obs->metrics.add("storage.evicted_bytes", freed);
       }
       RCMP_INFO() << "middleware: evicted " << freed
@@ -542,8 +570,13 @@ void Middleware::enforce_storage_budget() {
 }
 
 void Middleware::sample_storage() {
+  // Multi-tenant: the gauge is shared, so it must reflect the shared
+  // ground truth (DFS + every chain's store) or the auditor's
+  // cross-check would flag a stale sample.
   const Bytes used =
-      env_.dfs.total_used() + env_.map_outputs.total_used();
+      tenant_.scheduler != nullptr
+          ? tenant_.scheduler->storage_total()
+          : env_.dfs.total_used() + env_.map_outputs.total_used();
   result_.peak_storage = std::max(result_.peak_storage, used);
   if (env_.obs != nullptr) {
     env_.obs->metrics.add("storage.samples");
@@ -557,33 +590,38 @@ void Middleware::sample_storage() {
 void Middleware::publish_metrics() {
   if (env_.obs == nullptr) return;
   auto& m = env_.obs->metrics;
-  m.set_gauge("chain.completed", result_.completed ? 1.0 : 0.0);
-  m.set_gauge("chain.fail_reason",
+  // tag_ is "" single-tenant (names unchanged) and "t<chain>." under a
+  // scheduler, so concurrent chains never overwrite each other's gauges.
+  m.set_gauge(tag_ + "chain.completed", result_.completed ? 1.0 : 0.0);
+  m.set_gauge(tag_ + "chain.fail_reason",
               static_cast<double>(static_cast<int>(result_.fail_reason)));
-  m.set_gauge("chain.total_time_seconds", result_.total_time);
-  m.set_gauge("chain.jobs_started",
+  m.set_gauge(tag_ + "chain.total_time_seconds", result_.total_time);
+  m.set_gauge(tag_ + "chain.jobs_started",
               static_cast<double>(result_.jobs_started));
-  m.set_gauge("chain.failures_observed",
+  m.set_gauge(tag_ + "chain.failures_observed",
               static_cast<double>(result_.failures_observed));
-  m.set_gauge("chain.nodes_recovered",
+  m.set_gauge(tag_ + "chain.nodes_recovered",
               static_cast<double>(result_.nodes_recovered));
-  m.set_gauge("chain.replans", static_cast<double>(result_.replans));
-  m.set_gauge("chain.restarts", static_cast<double>(result_.restarts));
-  m.set_gauge("chain.replication_points",
+  m.set_gauge(tag_ + "chain.replans",
+              static_cast<double>(result_.replans));
+  m.set_gauge(tag_ + "chain.restarts",
+              static_cast<double>(result_.restarts));
+  m.set_gauge(tag_ + "chain.replication_points",
               static_cast<double>(result_.replication_points));
-  m.set_gauge("chain.evicted_jobs",
+  m.set_gauge(tag_ + "chain.evicted_jobs",
               static_cast<double>(result_.evicted_jobs));
-  m.set_gauge("chain.peak_storage_bytes",
+  m.set_gauge(tag_ + "chain.peak_storage_bytes",
               static_cast<double>(result_.peak_storage));
   for (const auto& r : result_.runs) {
-    m.add("jobs.mappers_executed", r.mappers_executed);
-    m.add("jobs.mappers_reused", r.mappers_reused);
-    m.add("jobs.reducers_executed", r.reducers_executed);
-    m.add("jobs.corrupt_blocks_detected", r.corrupt_blocks_detected);
-    m.add("jobs.corrupt_map_outputs_detected",
+    m.add(tag_ + "jobs.mappers_executed", r.mappers_executed);
+    m.add(tag_ + "jobs.mappers_reused", r.mappers_reused);
+    m.add(tag_ + "jobs.reducers_executed", r.reducers_executed);
+    m.add(tag_ + "jobs.corrupt_blocks_detected",
+          r.corrupt_blocks_detected);
+    m.add(tag_ + "jobs.corrupt_map_outputs_detected",
           r.corrupt_map_outputs_detected);
     if (r.status == mapred::JobResult::Status::kCompleted) {
-      m.observe("jobs.duration_seconds", r.duration());
+      m.observe(tag_ + "jobs.duration_seconds", r.duration());
     }
   }
 }
@@ -602,6 +640,9 @@ void Middleware::fail_chain(ChainResult::FailReason reason,
   if (env_.obs != nullptr) {
     sample_storage();
     env_.obs->audit(obs::AuditPoint::kFinal);
+  }
+  if (tenant_.scheduler != nullptr) {
+    tenant_.scheduler->chain_done(tenant_.chain_id);
   }
   if (on_complete_) on_complete_(result_);
 }
@@ -624,6 +665,9 @@ void Middleware::finish_chain() {
   if (env_.obs != nullptr) {
     sample_storage();
     env_.obs->audit(obs::AuditPoint::kFinal);
+  }
+  if (tenant_.scheduler != nullptr) {
+    tenant_.scheduler->chain_done(tenant_.chain_id);
   }
   if (on_complete_) on_complete_(result_);
 }

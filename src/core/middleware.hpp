@@ -27,8 +27,19 @@
 
 namespace rcmp::core {
 
+class ChainScheduler;
+
 /// Sentinel dependency: read the externally generated source input.
 inline constexpr std::uint32_t kSourceInput = 0xffffffffu;
+
+/// Multi-tenant attachment: hands the middleware its seat in a shared
+/// ChainScheduler. Default-constructed = single-tenant (the middleware
+/// behaves exactly as before: private slot accounting, untagged trace
+/// events, unprefixed metrics).
+struct TenantContext {
+  ChainScheduler* scheduler = nullptr;
+  std::uint32_t chain_id = 0;
+};
 
 /// One job (DAG node). Dependencies name the upstream jobs whose
 /// outputs are this job's inputs; each must have a smaller logical id
@@ -103,7 +114,7 @@ class Middleware {
  public:
   Middleware(mapred::Env env, ChainSpec chain, dfs::FileId source_input,
              StrategyConfig strategy, mapred::EngineConfig engine_cfg,
-             std::uint64_t seed);
+             std::uint64_t seed, TenantContext tenant = {});
   Middleware(const Middleware&) = delete;
   Middleware& operator=(const Middleware&) = delete;
 
@@ -127,6 +138,11 @@ class Middleware {
     return attempt_count_.at(logical);
   }
 
+  /// Some completed job's output has partitions with no surviving copy.
+  /// Public so multi-tenant tests can snapshot per-chain damage at the
+  /// instant a failure lands (the blast-radius assertion).
+  bool has_unresolved_damage() const;
+
  private:
   void on_failure(const cluster::FailureEvent& ev);
   void on_recover(cluster::NodeId n);
@@ -134,8 +150,6 @@ class Middleware {
   /// Give up when surviving capacity cannot run the chain; true when
   /// the floor was breached and the chain was failed.
   bool enforce_capacity_floor();
-  /// Some completed job's output has partitions with no surviving copy.
-  bool has_unresolved_damage() const;
   void submit_next();
   void on_run_done(mapred::JobRun& run);
   void replan();
@@ -160,12 +174,19 @@ class Middleware {
   /// Unrecoverable situation: record the structured reason and stop.
   void fail_chain(ChainResult::FailReason reason, std::string detail);
 
+  /// The 1-based chain tag carried on every trace event this middleware
+  /// (and its engine) emits; 0 single-tenant.
+  std::uint16_t chain_tag() const { return env_.chain_tag; }
+
   mapred::Env env_;
   ChainSpec chain_;
   dfs::FileId source_input_;
   StrategyConfig strategy_;
   mapred::EngineConfig engine_cfg_;
   Rng rng_;
+  TenantContext tenant_;
+  /// Metric-name prefix: "" single-tenant, "t<chain>." under a scheduler.
+  std::string tag_;
 
   std::vector<dfs::FileId> files_;          // output file per logical job
   std::vector<bool> completed_once_;

@@ -1,0 +1,396 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rcmp::core {
+
+namespace {
+
+constexpr int kMap = static_cast<int>(mapred::SlotKind::kMap);
+constexpr int kNumKinds = 2;
+constexpr double kShareEps = 1e-9;
+
+}  // namespace
+
+ChainScheduler::ChainScheduler(sim::Simulation& sim,
+                               cluster::Cluster& cluster,
+                               dfs::NameNode& dfs, obs::Observability* obs,
+                               Config cfg)
+    : sim_(sim), cluster_(cluster), dfs_(dfs), obs_(obs), cfg_(cfg) {
+  free_.assign(cluster_.size(), {0, 0});
+  for (cluster::NodeId n = 0; n < cluster_.size(); ++n) {
+    if (!cluster_.is_compute_node(n) || !cluster_.compute_alive(n)) continue;
+    free_[n][kMap] = static_cast<std::uint16_t>(cluster_.spec().map_slots);
+    free_[n][1] = static_cast<std::uint16_t>(cluster_.spec().reduce_slots);
+  }
+  recount_alive_slots();
+  // Settle the slot books before any middleware (registered later, so
+  // notified later) lets its engine react to the failure.
+  cluster_.on_failure([this](const cluster::FailureEvent& ev) {
+    if (ev.lost_compute) node_down(ev.node);
+  });
+  cluster_.on_recover([this](cluster::NodeId n) { node_up(n); });
+}
+
+std::uint32_t ChainScheduler::add_chain(double weight,
+                                        std::uint32_t num_jobs,
+                                        mapred::MapOutputStore* store) {
+  RCMP_CHECK_MSG(weight > 0.0, "chain weight must be positive");
+  const auto id = static_cast<std::uint32_t>(chains_.size());
+  chains_.emplace_back();
+  ChainState& cs = chains_.back();
+  cs.weight = weight;
+  cs.num_jobs = num_jobs;
+  cs.store = store;
+  cs.client = std::make_unique<Client>(this, id);
+  cs.held.assign(cluster_.size(), {0, 0});
+  if (obs_ != nullptr) obs_->metrics.add("sched.chains");
+  return id;
+}
+
+mapred::SlotBroker& ChainScheduler::broker(std::uint32_t chain) {
+  return *chains_.at(chain).client;
+}
+
+void ChainScheduler::set_kick(std::uint32_t chain,
+                              std::function<void()> kick) {
+  chains_.at(chain).kick = std::move(kick);
+}
+
+void ChainScheduler::submit(std::uint32_t chain, SimTime delay,
+                            std::function<void()> start) {
+  chains_.at(chain).start = std::move(start);
+  sim_.schedule_after(delay, [this, chain] { try_admit(chain); });
+}
+
+void ChainScheduler::try_admit(std::uint32_t c) {
+  if (cfg_.max_concurrent != 0 && active_ >= cfg_.max_concurrent) {
+    waiting_.push_back(c);
+    return;
+  }
+  admit(c);
+}
+
+void ChainScheduler::admit(std::uint32_t c) {
+  ChainState& cs = chains_[c];
+  cs.admitted = true;
+  ++active_;
+  peak_active_ = std::max(peak_active_, active_);
+  active_weight_ += cs.weight;
+  if (obs_ != nullptr) {
+    obs_->metrics.add("sched.admitted");
+    obs_->tracer.emit(sim_.now(), obs::EventType::kChainAdmit, 0,
+                      obs::kNoField, obs::kNoField, obs::kNoField,
+                      static_cast<double>(active_),
+                      static_cast<std::uint16_t>(c + 1));
+  }
+  RCMP_CHECK_MSG(static_cast<bool>(cs.start),
+                 "chain admitted without a start callback");
+  cs.start();
+}
+
+void ChainScheduler::chain_done(std::uint32_t c) {
+  ChainState& cs = chains_.at(c);
+  if (!cs.admitted) return;  // already retired
+  RCMP_CHECK_MSG(cs.in_use[0] == 0 && cs.in_use[1] == 0,
+                 "chain finished while still holding compute slots");
+  cs.admitted = false;
+  cs.done = true;
+  --active_;
+  active_weight_ -= cs.weight;
+  if (obs_ != nullptr) {
+    obs_->metrics.add("sched.completed");
+    obs_->metrics.add(chain_metric(c, "grants"),
+                      static_cast<double>(cs.grants));
+    obs_->tracer.emit(sim_.now(), obs::EventType::kChainDone, 0,
+                      obs::kNoField, obs::kNoField, obs::kNoField,
+                      static_cast<double>(active_),
+                      static_cast<std::uint16_t>(c + 1));
+  }
+  if (!waiting_.empty()) {
+    const std::uint32_t next = waiting_.front();
+    waiting_.erase(waiting_.begin());
+    admit(next);
+  }
+  schedule_poke();
+}
+
+void ChainScheduler::note_replan(std::uint32_t chain) {
+  ChainState& cs = chains_.at(chain);
+  ++cs.replans;
+  if (obs_ != nullptr) obs_->metrics.add(chain_metric(chain, "replans"));
+}
+
+void ChainScheduler::note_restart(std::uint32_t chain) {
+  ChainState& cs = chains_.at(chain);
+  ++cs.restarts;
+  if (obs_ != nullptr) obs_->metrics.add(chain_metric(chain, "restarts"));
+}
+
+// --- slot broker backend --------------------------------------------
+
+bool ChainScheduler::can_grow(const ChainState& cs, int k) const {
+  if (active_weight_ <= 0.0) return false;
+  const double entitlement =
+      cs.weight / active_weight_ * static_cast<double>(alive_slots_[k]);
+  return static_cast<double>(cs.in_use[k] + 1) <= entitlement + kShareEps;
+}
+
+bool ChainScheduler::hungry_under_share(std::uint32_t except, int k) const {
+  for (std::uint32_t i = 0; i < chains_.size(); ++i) {
+    if (i == except) continue;
+    const ChainState& cs = chains_[i];
+    if (cs.admitted && cs.hungry[k] && can_grow(cs, k)) return true;
+  }
+  return false;
+}
+
+bool ChainScheduler::may_acquire(std::uint32_t c, cluster::NodeId n,
+                                 mapred::SlotKind kind) const {
+  const int k = static_cast<int>(kind);
+  const ChainState& cs = chains_[c];
+  if (!cs.admitted) return false;
+  if (free_[n][k] == 0) return false;
+  if (can_grow(cs, k)) return true;
+  // Past the entitlement: backfill idle capacity unless a hungry chain
+  // still under its share could take this slot (work conservation with
+  // fairness priority — no preemption, just denial at the margin).
+  if (hungry_under_share(c, k)) {
+    ++denials_;
+    if (obs_ != nullptr) obs_->metrics.add("sched.denials");
+    return false;
+  }
+  return true;
+}
+
+void ChainScheduler::acquire(std::uint32_t c, cluster::NodeId n,
+                             mapred::SlotKind kind) {
+  const int k = static_cast<int>(kind);
+  ChainState& cs = chains_[c];
+  RCMP_CHECK_MSG(free_[n][k] > 0, "acquire from an empty slot inventory");
+  --free_[n][k];
+  ++cs.held[n][k];
+  ++cs.in_use[k];
+  cs.peak_in_use[k] = std::max(cs.peak_in_use[k], cs.in_use[k]);
+  cs.vtime += 1.0 / cs.weight;
+  ++cs.grants;
+  if (obs_ != nullptr) {
+    obs_->metrics.add("sched.grants");
+    obs_->tracer.emit(sim_.now(), obs::EventType::kSlotGrant,
+                      static_cast<std::uint8_t>(k), n, obs::kNoField,
+                      obs::kNoField, static_cast<double>(cs.in_use[k]),
+                      static_cast<std::uint16_t>(c + 1));
+  }
+}
+
+void ChainScheduler::release(std::uint32_t c, cluster::NodeId n,
+                             mapred::SlotKind kind) {
+  const int k = static_cast<int>(kind);
+  ChainState& cs = chains_[c];
+  // A slot on a node whose compute died was already forfeited by the
+  // failure handler; the engine's release for it is dropped here.
+  if (cs.held[n][k] == 0) return;
+  --cs.held[n][k];
+  --cs.in_use[k];
+  ++free_[n][k];
+  schedule_poke();
+}
+
+void ChainScheduler::release_all(std::uint32_t c) {
+  ChainState& cs = chains_[c];
+  bool freed = false;
+  for (cluster::NodeId n = 0; n < cluster_.size(); ++n) {
+    for (int k = 0; k < kNumKinds; ++k) {
+      while (cs.held[n][k] > 0) {
+        --cs.held[n][k];
+        --cs.in_use[k];
+        if (cluster_.compute_alive(n)) {
+          ++free_[n][k];
+          freed = true;
+        }
+      }
+    }
+  }
+  cs.hungry[0] = cs.hungry[1] = false;
+  if (freed) schedule_poke();
+}
+
+void ChainScheduler::set_demand(std::uint32_t c, mapred::SlotKind kind,
+                                bool hungry) {
+  chains_[c].hungry[static_cast<int>(kind)] = hungry;
+}
+
+// --- failure / recovery ---------------------------------------------
+
+void ChainScheduler::node_down(cluster::NodeId n) {
+  for (ChainState& cs : chains_) {
+    for (int k = 0; k < kNumKinds; ++k) {
+      cs.in_use[k] -= cs.held[n][k];
+      cs.held[n][k] = 0;
+    }
+  }
+  free_[n] = {0, 0};
+  recount_alive_slots();
+  // The shrunken cluster changes every entitlement; survivors may now
+  // be over share, hungry chains may have become eligible.
+  schedule_poke();
+}
+
+void ChainScheduler::node_up(cluster::NodeId n) {
+  if (!cluster_.is_compute_node(n)) return;
+  free_[n][kMap] = static_cast<std::uint16_t>(cluster_.spec().map_slots);
+  free_[n][1] = static_cast<std::uint16_t>(cluster_.spec().reduce_slots);
+  recount_alive_slots();
+  schedule_poke();
+}
+
+void ChainScheduler::recount_alive_slots() {
+  alive_slots_[0] = alive_slots_[1] = 0;
+  for (cluster::NodeId n = 0; n < cluster_.size(); ++n) {
+    if (!cluster_.is_compute_node(n) || !cluster_.compute_alive(n)) continue;
+    alive_slots_[0] += cluster_.spec().map_slots;
+    alive_slots_[1] += cluster_.spec().reduce_slots;
+  }
+}
+
+// --- capacity offers -------------------------------------------------
+
+void ChainScheduler::schedule_poke() {
+  if (poke_pending_) return;  // coalesce: one offer per instant
+  poke_pending_ = true;
+  sim_.schedule_after(0.0, [this] { run_pokes(); });
+}
+
+void ChainScheduler::run_pokes() {
+  poke_pending_ = false;
+  ++pokes_;
+  if (obs_ != nullptr) obs_->metrics.add("sched.pokes");
+  // Offer freed capacity in weighted-fair order: lowest virtual time
+  // first (ties by id for determinism). Kicked chains immediately try
+  // to schedule tasks, which routes back through may_acquire/acquire.
+  std::vector<std::uint32_t> order;
+  order.reserve(chains_.size());
+  for (std::uint32_t i = 0; i < chains_.size(); ++i) {
+    const ChainState& cs = chains_[i];
+    if (cs.admitted && (cs.hungry[0] || cs.hungry[1]) && cs.kick) {
+      order.push_back(i);
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              if (chains_[a].vtime != chains_[b].vtime) {
+                return chains_[a].vtime < chains_[b].vtime;
+              }
+              return a < b;
+            });
+  for (const std::uint32_t c : order) {
+    // Re-check: an earlier kick this round may have finished the chain.
+    if (chains_[c].admitted && chains_[c].kick) chains_[c].kick();
+  }
+}
+
+// --- shared storage ---------------------------------------------------
+
+Bytes ChainScheduler::storage_total() const {
+  Bytes total = dfs_.total_used();
+  for (const ChainState& cs : chains_) {
+    if (cs.store != nullptr) total += cs.store->total_used();
+  }
+  return total;
+}
+
+void ChainScheduler::enforce_storage() {
+  if (cfg_.storage_budget == 0) return;
+  // Evict until within budget. Each round picks the chain most over its
+  // weighted share of the map-output allowance (budget minus the DFS
+  // ground truth, which eviction cannot reclaim) and frees that chain's
+  // oldest surviving job first — the paper's eviction granularity,
+  // applied cross-tenant.
+  while (storage_total() > cfg_.storage_budget) {
+    const Bytes dfs_used = dfs_.total_used();
+    const Bytes allowance =
+        cfg_.storage_budget > dfs_used ? cfg_.storage_budget - dfs_used : 0;
+    double total_weight = 0.0;
+    for (const ChainState& cs : chains_) {
+      if (cs.store != nullptr) total_weight += cs.weight;
+    }
+    std::uint32_t victim = obs::kNoField;
+    double worst_excess = 0.0;
+    for (std::uint32_t i = 0; i < chains_.size(); ++i) {
+      const ChainState& cs = chains_[i];
+      if (cs.store == nullptr) continue;
+      const Bytes used = cs.store->total_used();
+      if (used == 0) continue;
+      const double share =
+          total_weight > 0.0
+              ? cs.weight / total_weight * static_cast<double>(allowance)
+              : 0.0;
+      const double excess = static_cast<double>(used) - share;
+      if (victim == obs::kNoField || excess > worst_excess) {
+        victim = i;
+        worst_excess = excess;
+      }
+    }
+    if (victim == obs::kNoField) return;  // nothing evictable
+    ChainState& cs = chains_[victim];
+    const Bytes need = storage_total() - cfg_.storage_budget;
+    Bytes freed = 0;
+    std::uint32_t job = obs::kNoField;
+    for (std::uint32_t j = 0; j < cs.num_jobs && freed == 0; ++j) {
+      if (cs.store->used_for_job(j) == 0) continue;
+      freed = cs.store->evict_upto(j, need);
+      job = j;
+    }
+    if (freed == 0) return;  // ledger empty despite total_used — bail
+    ++cs.evictions;
+    evicted_bytes_ += freed;
+    if (obs_ != nullptr) {
+      obs_->metrics.add("sched.evicted_bytes", static_cast<double>(freed));
+      obs_->metrics.add(chain_metric(victim, "evictions"));
+      obs_->tracer.emit(sim_.now(), obs::EventType::kEviction, 0,
+                        obs::kNoField, job, obs::kNoField,
+                        static_cast<double>(freed),
+                        static_cast<std::uint16_t>(victim + 1));
+    }
+  }
+}
+
+// --- introspection ----------------------------------------------------
+
+std::uint32_t ChainScheduler::num_chains() const {
+  return static_cast<std::uint32_t>(chains_.size());
+}
+
+std::uint64_t ChainScheduler::grants(std::uint32_t chain) const {
+  return chains_.at(chain).grants;
+}
+
+std::uint32_t ChainScheduler::peak_in_use(std::uint32_t chain,
+                                          mapred::SlotKind k) const {
+  return chains_.at(chain).peak_in_use[static_cast<int>(k)];
+}
+
+std::uint32_t ChainScheduler::replans(std::uint32_t chain) const {
+  return chains_.at(chain).replans;
+}
+
+std::uint32_t ChainScheduler::restarts(std::uint32_t chain) const {
+  return chains_.at(chain).restarts;
+}
+
+std::uint32_t ChainScheduler::evictions(std::uint32_t chain) const {
+  return chains_.at(chain).evictions;
+}
+
+std::string ChainScheduler::chain_metric(std::uint32_t c,
+                                         const char* name) const {
+  std::string out = "sched.c";
+  out += std::to_string(c);
+  out += '.';
+  out += name;
+  return out;
+}
+
+}  // namespace rcmp::core

@@ -1,0 +1,233 @@
+// ChainScheduler: cluster-wide multi-tenant arbitration for concurrent
+// recomputation chains.
+//
+// The paper evaluates one RCMP chain at a time; a production cluster
+// serves many. The scheduler owns the three resources chains contend
+// for and keeps recovery per-tenant:
+//
+//   Compute slots — a shared per-node inventory handed out through the
+//   mapred::SlotBroker seam with weighted fair sharing: chain c's
+//   entitlement is weight_c / Σ active weights of the alive slot total,
+//   per slot kind. Allocation is work-conserving without preemption: a
+//   chain past its entitlement is denied only while some *hungry*
+//   under-share chain could still grow into the capacity (backfill
+//   otherwise). Freed capacity is offered to chains in weighted-fair
+//   order: each grant advances the chain's virtual time by 1/weight,
+//   and pokes run lowest-virtual-time first — a per-chain virtual-time
+//   fair queue layered on the simulator's bucket calendar (pokes are
+//   coalesced zero-delay events, so arbitration stays deterministic).
+//
+//   Admission — at most `max_concurrent` chains run at once; later
+//   submissions queue FIFO and start as predecessors finish.
+//
+//   Storage — one shared budget across the DFS and every chain's
+//   persisted-map-output store. When the budget is exceeded the
+//   scheduler evicts from the chain most over its weighted share of the
+//   map-output allowance, oldest job first (the paper's eviction
+//   granularity). Eviction is always Fig. 5-safe: evicted outputs are
+//   simply recomputed, and reuse legality stays enforced at read time
+//   per chain.
+//
+// Recovery isolation costs the scheduler nothing: chains own disjoint
+// output files and map-output stores, so a node failure damages only
+// the chains that actually held partitions there — their middlewares
+// replan; everyone else recovers task-level at most and keeps its
+// slots. The scheduler just forfeits the dead node's inventory (its
+// cluster handlers are registered before any middleware's, so slot
+// books are settled before engines react) and re-offers capacity on
+// rejoin.
+//
+// Everything the scheduler decides is exported: `sched.*` metrics
+// (grants, denials, pokes, per-chain replans/evictions) and kSlotGrant
+// / kChainAdmit / kChainDone trace events tagged with the 1-based
+// chain id.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "dfs/namenode.hpp"
+#include "mapred/map_output_store.hpp"
+#include "mapred/slot_broker.hpp"
+#include "obs/obs.hpp"
+#include "sim/simulation.hpp"
+
+namespace rcmp::core {
+
+class ChainScheduler {
+ public:
+  struct Config {
+    /// Chains running at once; 0 = unlimited.
+    std::uint32_t max_concurrent = 0;
+    /// Shared budget over DFS blocks + every chain's persisted map
+    /// outputs; 0 disables cross-chain eviction.
+    Bytes storage_budget = 0;
+  };
+
+  ChainScheduler(sim::Simulation& sim, cluster::Cluster& cluster,
+                 dfs::NameNode& dfs, obs::Observability* obs, Config cfg);
+  // Separate overload: GCC rejects `Config cfg = {}` default arguments
+  // for nested aggregates with member initializers.
+  ChainScheduler(sim::Simulation& sim, cluster::Cluster& cluster,
+                 dfs::NameNode& dfs, obs::Observability* obs)
+      : ChainScheduler(sim, cluster, dfs, obs, Config{}) {}
+  ChainScheduler(const ChainScheduler&) = delete;
+  ChainScheduler& operator=(const ChainScheduler&) = delete;
+
+  /// Register a chain (before its middleware is constructed). `store`
+  /// is the chain's persisted-map-output store, `num_jobs` bounds the
+  /// oldest-first eviction scan. Returns the dense 0-based chain id.
+  std::uint32_t add_chain(double weight, std::uint32_t num_jobs,
+                          mapred::MapOutputStore* store);
+
+  /// The chain's slot-broker client, for mapred::Env::slots.
+  mapred::SlotBroker& broker(std::uint32_t chain);
+
+  /// Capacity-freed callback: typically forwards to the chain's current
+  /// JobRun::poke().
+  void set_kick(std::uint32_t chain, std::function<void()> kick);
+
+  /// Schedule the chain's start `delay` seconds from now; `start` fires
+  /// when admission allows (immediately at that time, or when a running
+  /// chain finishes).
+  void submit(std::uint32_t chain, SimTime delay,
+              std::function<void()> start);
+
+  /// The chain finished (completed or failed); frees its admission slot
+  /// and starts the next queued chain.
+  void chain_done(std::uint32_t chain);
+
+  // Middleware recovery notifications (per-chain sched.* accounting —
+  // the blast-radius evidence).
+  void note_replan(std::uint32_t chain);
+  void note_restart(std::uint32_t chain);
+
+  /// DFS blocks + every chain's persisted map outputs, the multi-tenant
+  /// storage ground truth.
+  Bytes storage_total() const;
+  /// Cross-chain eviction down to the shared budget (no-op when
+  /// disabled or within budget).
+  void enforce_storage();
+
+  // --- introspection for tests and benches ---------------------------
+  std::uint32_t num_chains() const;
+  std::uint32_t active_chains() const { return active_; }
+  std::uint32_t peak_active() const { return peak_active_; }
+  std::uint64_t grants(std::uint32_t chain) const;
+  std::uint32_t peak_in_use(std::uint32_t chain,
+                            mapred::SlotKind k) const;
+  std::uint32_t replans(std::uint32_t chain) const;
+  std::uint32_t restarts(std::uint32_t chain) const;
+  std::uint32_t evictions(std::uint32_t chain) const;
+  std::uint64_t total_denials() const { return denials_; }
+  std::uint64_t pokes_run() const { return pokes_; }
+  Bytes evicted_bytes() const { return evicted_bytes_; }
+  /// Free + held slots of kind k over alive compute nodes.
+  std::uint32_t alive_slots(mapred::SlotKind k) const {
+    return alive_slots_[static_cast<int>(k)];
+  }
+
+ private:
+  /// The per-chain SlotBroker client handed to the engine.
+  class Client : public mapred::SlotBroker {
+   public:
+    Client(ChainScheduler* sched, std::uint32_t chain)
+        : sched_(sched), chain_(chain) {}
+    bool may_acquire(cluster::NodeId n,
+                     mapred::SlotKind k) const override {
+      return sched_->may_acquire(chain_, n, k);
+    }
+    void acquire(cluster::NodeId n, mapred::SlotKind k) override {
+      sched_->acquire(chain_, n, k);
+    }
+    void release(cluster::NodeId n, mapred::SlotKind k) override {
+      sched_->release(chain_, n, k);
+    }
+    void release_all() override { sched_->release_all(chain_); }
+    void set_demand(mapred::SlotKind k, bool hungry) override {
+      sched_->set_demand(chain_, k, hungry);
+    }
+
+   private:
+    ChainScheduler* sched_;
+    std::uint32_t chain_;
+  };
+
+  struct ChainState {
+    double weight = 1.0;
+    std::uint32_t num_jobs = 0;
+    mapred::MapOutputStore* store = nullptr;
+    std::unique_ptr<Client> client;
+    std::function<void()> kick;
+    std::function<void()> start;
+    bool admitted = false;
+    bool done = false;
+    /// Weighted-fair virtual time: advanced 1/weight per grant.
+    double vtime = 0.0;
+    std::uint32_t in_use[2] = {0, 0};
+    std::uint32_t peak_in_use[2] = {0, 0};
+    bool hungry[2] = {false, false};
+    /// Slots currently held, per node per kind.
+    std::vector<std::array<std::uint16_t, 2>> held;
+    std::uint64_t grants = 0;
+    std::uint32_t replans = 0;
+    std::uint32_t restarts = 0;
+    std::uint32_t evictions = 0;
+  };
+
+  // SlotBroker backend.
+  bool may_acquire(std::uint32_t c, cluster::NodeId n,
+                   mapred::SlotKind k) const;
+  void acquire(std::uint32_t c, cluster::NodeId n, mapred::SlotKind k);
+  void release(std::uint32_t c, cluster::NodeId n, mapred::SlotKind k);
+  void release_all(std::uint32_t c);
+  void set_demand(std::uint32_t c, mapred::SlotKind k, bool hungry);
+
+  /// Would one more grant keep chain c within its weighted entitlement?
+  bool can_grow(const ChainState& cs, int k) const;
+  /// Some other active chain is hungry for kind k and still under its
+  /// entitlement — backfill must yield to it.
+  bool hungry_under_share(std::uint32_t except, int k) const;
+
+  void try_admit(std::uint32_t c);
+  void admit(std::uint32_t c);
+
+  void node_down(cluster::NodeId n);
+  void node_up(cluster::NodeId n);
+  void recount_alive_slots();
+
+  /// Coalesced zero-delay event offering freed capacity to hungry
+  /// chains in weighted-fair (virtual time) order.
+  void schedule_poke();
+  void run_pokes();
+
+  std::string chain_metric(std::uint32_t c, const char* name) const;
+
+  sim::Simulation& sim_;
+  cluster::Cluster& cluster_;
+  dfs::NameNode& dfs_;
+  obs::Observability* obs_;
+  Config cfg_;
+
+  std::vector<ChainState> chains_;
+  /// Shared free-slot inventory, per node: [map, reduce].
+  std::vector<std::array<std::uint16_t, 2>> free_;
+  std::uint32_t alive_slots_[2] = {0, 0};
+  double active_weight_ = 0.0;
+  std::uint32_t active_ = 0;
+  std::uint32_t peak_active_ = 0;
+  std::vector<std::uint32_t> waiting_;  // FIFO admission queue
+  bool poke_pending_ = false;
+
+  mutable std::uint64_t denials_ = 0;
+  std::uint64_t pokes_ = 0;
+  Bytes evicted_bytes_ = 0;
+};
+
+}  // namespace rcmp::core

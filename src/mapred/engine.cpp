@@ -33,6 +33,67 @@ JobRun::JobRun(Env env, JobSpec spec, RecomputeDirective directive,
 bool JobRun::payload_mode() const { return payload_mode_; }
 
 // ---------------------------------------------------------------------
+// slot accounting: private arrays (sole tenant) or the shared broker
+// ---------------------------------------------------------------------
+
+bool JobRun::map_slot_free(cluster::NodeId n) const {
+  if (env_.slots != nullptr) {
+    return map_node_banned_[n] == 0 &&
+           env_.slots->may_acquire(n, SlotKind::kMap);
+  }
+  return free_map_slots_[n] > 0;
+}
+
+bool JobRun::reduce_slot_free(cluster::NodeId n) const {
+  if (env_.slots != nullptr) {
+    return env_.slots->may_acquire(n, SlotKind::kReduce);
+  }
+  return free_reduce_slots_[n] > 0;
+}
+
+void JobRun::take_map_slot(cluster::NodeId n) {
+  if (env_.slots != nullptr) {
+    env_.slots->acquire(n, SlotKind::kMap);
+  } else {
+    RCMP_CHECK(free_map_slots_[n] > 0);
+    --free_map_slots_[n];
+  }
+}
+
+void JobRun::take_reduce_slot(cluster::NodeId n) {
+  if (env_.slots != nullptr) {
+    env_.slots->acquire(n, SlotKind::kReduce);
+  } else {
+    RCMP_CHECK(free_reduce_slots_[n] > 0);
+    --free_reduce_slots_[n];
+  }
+}
+
+void JobRun::put_map_slot(cluster::NodeId n) {
+  if (!env_.cluster.compute_alive(n)) return;
+  if (env_.slots != nullptr) {
+    env_.slots->release(n, SlotKind::kMap);
+  } else {
+    ++free_map_slots_[n];
+  }
+}
+
+void JobRun::put_reduce_slot(cluster::NodeId n) {
+  if (!env_.cluster.compute_alive(n)) return;
+  if (env_.slots != nullptr) {
+    env_.slots->release(n, SlotKind::kReduce);
+  } else {
+    ++free_reduce_slots_[n];
+  }
+}
+
+void JobRun::publish_demand() {
+  if (env_.slots == nullptr) return;
+  env_.slots->set_demand(SlotKind::kMap, !pending_maps_.empty());
+  env_.slots->set_demand(SlotKind::kReduce, !pending_reduces_.empty());
+}
+
+// ---------------------------------------------------------------------
 // setup
 // ---------------------------------------------------------------------
 
@@ -48,7 +109,8 @@ void JobRun::start() {
   if (env_.obs != nullptr) {
     env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kJobStart,
                           directive_.active ? 1 : 0, obs::kNoField,
-                          spec_.logical_id, ordinal_, 0.0);
+                          spec_.logical_id, ordinal_, 0.0,
+                          env_.chain_tag);
   }
 
   payload_mode_ = false;
@@ -73,13 +135,18 @@ void JobRun::start() {
   build_map_tasks();
   build_reduce_tasks();
 
-  free_map_slots_.assign(env_.cluster.size(), 0);
-  free_reduce_slots_.assign(env_.cluster.size(), 0);
-  for (cluster::NodeId n = 0; n < env_.cluster.size(); ++n) {
-    if (!env_.cluster.compute_alive(n) || !env_.cluster.is_compute_node(n))
-      continue;
-    free_map_slots_[n] = env_.cluster.spec().map_slots;
-    free_reduce_slots_[n] = env_.cluster.spec().reduce_slots;
+  map_node_banned_.assign(env_.cluster.size(), 0);
+  if (env_.slots == nullptr) {
+    // Sole tenant: credit this run every alive node's full complement.
+    free_map_slots_.assign(env_.cluster.size(), 0);
+    free_reduce_slots_.assign(env_.cluster.size(), 0);
+    for (cluster::NodeId n = 0; n < env_.cluster.size(); ++n) {
+      if (!env_.cluster.compute_alive(n) ||
+          !env_.cluster.is_compute_node(n))
+        continue;
+      free_map_slots_[n] = env_.cluster.spec().map_slots;
+      free_reduce_slots_[n] = env_.cluster.spec().reduce_slots;
+    }
   }
 
   // Coalesced shuffle flush threshold: a fraction of the expected
@@ -122,6 +189,8 @@ void JobRun::bootstrap() {
       if (!env_.cluster.compute_alive(n)) continue;
       if (allowed > 0) {
         --allowed;
+      } else if (env_.slots != nullptr) {
+        map_node_banned_[n] = 1;
       } else {
         free_map_slots_[n] = 0;
       }
@@ -235,6 +304,7 @@ void JobRun::schedule_tasks() {
   if (state_ != RunState::kRunning) return;
   schedule_maps();
   schedule_reduces();
+  publish_demand();
 }
 
 void JobRun::schedule_maps() {
@@ -247,7 +317,7 @@ void JobRun::schedule_maps() {
        !cfg_.ignore_locality && n < env_.cluster.size(); ++n) {
     if (!env_.cluster.compute_alive(n)) continue;
     for (std::size_t i = 0;
-         i < pending_maps_.size() && free_map_slots_[n] > 0;) {
+         i < pending_maps_.size() && map_slot_free(n);) {
       const std::uint32_t m = pending_maps_[i];
       const auto& reps = env_.dfs.block(maps_[m].block_id).replicas;
       if (std::find(reps.begin(), reps.end(), n) != reps.end()) {
@@ -269,7 +339,7 @@ void JobRun::schedule_maps() {
     for (std::uint32_t step = 0; step < env_.cluster.size(); ++step) {
       const cluster::NodeId n =
           (rr_cursor_ + step) % env_.cluster.size();
-      if (env_.cluster.compute_alive(n) && free_map_slots_[n] > 0) {
+      if (env_.cluster.compute_alive(n) && map_slot_free(n)) {
         target = n;
         rr_cursor_ = n + 1;
         break;
@@ -289,7 +359,7 @@ void JobRun::schedule_reduces() {
     for (std::uint32_t step = 0; step < env_.cluster.size(); ++step) {
       const cluster::NodeId n =
           (rr_cursor_ + step) % env_.cluster.size();
-      if (env_.cluster.compute_alive(n) && free_reduce_slots_[n] > 0) {
+      if (env_.cluster.compute_alive(n) && reduce_slot_free(n)) {
         target = n;
         rr_cursor_ = n + 1;
         break;
@@ -307,14 +377,14 @@ void JobRun::schedule_reduces() {
 void JobRun::assign_map(std::uint32_t m, cluster::NodeId n) {
   MapTask& t = maps_[m];
   RCMP_CHECK(t.state == MapState::kPending);
-  RCMP_CHECK(free_map_slots_[n] > 0);
-  --free_map_slots_[n];
+  take_map_slot(n);
   t.node = n;
   t.state = MapState::kStarting;
   t.start_time = env_.sim.now();
   if (env_.obs != nullptr) {
     env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kTaskStart,
-                          obs::kKindMap, n, spec_.logical_id, m, 0.0);
+                          obs::kKindMap, n, spec_.logical_id, m, 0.0,
+                          env_.chain_tag);
   }
   const std::uint32_t epoch = t.epoch;
   t.ev = env_.sim.schedule_after(
@@ -324,14 +394,14 @@ void JobRun::assign_map(std::uint32_t m, cluster::NodeId n) {
 void JobRun::assign_reduce(std::uint32_t r, cluster::NodeId n) {
   ReduceTask& rt = reduces_[r];
   RCMP_CHECK(rt.state == ReduceState::kUnassigned);
-  RCMP_CHECK(free_reduce_slots_[n] > 0);
-  --free_reduce_slots_[n];
+  take_reduce_slot(n);
   rt.node = n;
   rt.state = ReduceState::kStarting;
   rt.start_time = env_.sim.now();
   if (env_.obs != nullptr) {
     env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kTaskStart,
-                          obs::kKindReduce, n, spec_.logical_id, r, 0.0);
+                          obs::kKindReduce, n, spec_.logical_id, r, 0.0,
+                          env_.chain_tag);
   }
   const std::uint32_t epoch = rt.epoch;
   rt.ev = env_.sim.schedule_after(cfg_.startup_cost(), [this, r, epoch] {
@@ -472,14 +542,14 @@ void JobRun::complete_map_task(std::uint32_t m) {
   if (env_.obs != nullptr) {
     env_.obs->tracer.emit(t.end_time, obs::EventType::kTaskFinish,
                           obs::kKindMap, t.node, spec_.logical_id, m,
-                          t.end_time - t.start_time);
+                          t.end_time - t.start_time, env_.chain_tag);
   }
   completed_map_time_sum_ += t.end_time - t.start_time;
   ++completed_map_count_;
   RCMP_CHECK(maps_remaining_ > 0);
   --maps_remaining_;
   ++result_.mappers_executed;
-  if (env_.cluster.compute_alive(t.node)) ++free_map_slots_[t.node];
+  put_map_slot(t.node);
   on_mapper_available(m);
   schedule_tasks();
   on_map_phase_maybe_done();
@@ -526,7 +596,8 @@ void JobRun::reset_map_task(std::uint32_t m) {
   MapTask& t = maps_[m];
   if (env_.obs != nullptr) {
     env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kTaskReexec,
-                          obs::kKindMap, t.node, spec_.logical_id, m, 0.0);
+                          obs::kKindMap, t.node, spec_.logical_id, m, 0.0,
+                          env_.chain_tag);
   }
   const bool was_available =
       t.state == MapState::kDone || t.state == MapState::kReused;
@@ -575,7 +646,7 @@ void JobRun::speculation_check() {
     for (std::uint32_t step = 0; step < env_.cluster.size(); ++step) {
       const cluster::NodeId n = (rr_cursor_ + step) % env_.cluster.size();
       if (n != t.node && env_.cluster.compute_alive(n) &&
-          free_map_slots_[n] > 0) {
+          map_slot_free(n)) {
         target = n;
         rr_cursor_ = n + 1;
         break;
@@ -587,8 +658,7 @@ void JobRun::speculation_check() {
 }
 
 void JobRun::launch_duplicate(std::uint32_t m, cluster::NodeId node) {
-  RCMP_CHECK(free_map_slots_[node] > 0);
-  --free_map_slots_[node];
+  take_map_slot(node);
   Duplicate dup;
   dup.token = next_dup_token_++;
   dup.node = node;
@@ -692,7 +762,7 @@ void JobRun::dup_write_done(std::uint32_t m, std::uint64_t token) {
              t.state == MapState::kComputing ||
              t.state == MapState::kWriting);
   cancel_task_work(t);
-  if (env_.cluster.compute_alive(t.node)) ++free_map_slots_[t.node];
+  put_map_slot(t.node);
   t.node = dup->node;
   t.out_bytes = dup->out_bytes;
   if (payload_mode_) {
@@ -713,7 +783,7 @@ void JobRun::cancel_duplicate(std::uint32_t m) {
   Duplicate& dup = it->second;
   if (dup.ev != sim::kInvalidEvent) env_.sim.cancel(dup.ev);
   if (dup.flow != res::kInvalidFlow) env_.net.cancel_flow(dup.flow);
-  if (env_.cluster.compute_alive(dup.node)) ++free_map_slots_[dup.node];
+  put_map_slot(dup.node);
   duplicates_.erase(it);
 }
 
@@ -811,7 +881,8 @@ void JobRun::fetch_done(std::uint64_t token) {
 
   if (env_.obs != nullptr) {
     env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kShuffleFetch, 0,
-                          ff.src, spec_.logical_id, ff.reducer, ff.bytes);
+                          ff.src, spec_.logical_id, ff.reducer, ff.bytes,
+                          env_.chain_tag);
   }
 
   // Each mapper's segment is accepted independently: a segment whose
@@ -1030,12 +1101,12 @@ void JobRun::reduce_done(std::uint32_t r) {
   if (env_.obs != nullptr) {
     env_.obs->tracer.emit(rt.end_time, obs::EventType::kTaskFinish,
                           obs::kKindReduce, rt.node, spec_.logical_id, r,
-                          rt.end_time - rt.start_time);
+                          rt.end_time - rt.start_time, env_.chain_tag);
   }
   ++result_.reducers_executed;
   RCMP_CHECK(reduces_remaining_ > 0);
   --reduces_remaining_;
-  if (env_.cluster.compute_alive(rt.node)) ++free_reduce_slots_[rt.node];
+  put_reduce_slot(rt.node);
   schedule_tasks();
   maybe_finish();
 }
@@ -1046,7 +1117,7 @@ void JobRun::reset_reduce_task(std::uint32_t r) {
   if (env_.obs != nullptr) {
     env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kTaskReexec,
                           obs::kKindReduce, rt.node, spec_.logical_id, r,
-                          0.0);
+                          0.0, env_.chain_tag);
   }
   cancel_task_work(rt);
   cancel_fetches_of_reducer(r);
@@ -1089,8 +1160,13 @@ void JobRun::on_node_killed(cluster::NodeId n) {
 
 void JobRun::on_compute_failed(cluster::NodeId n) {
   if (state_ != RunState::kRunning) return;
-  free_map_slots_[n] = 0;
-  free_reduce_slots_[n] = 0;
+  if (env_.slots == nullptr) {
+    free_map_slots_[n] = 0;
+    free_reduce_slots_[n] = 0;
+  }
+  // Broker mode: the shared scheduler's own failure handler (registered
+  // before any chain's) already zeroed the node's inventory and
+  // forfeited every slot held there.
 
   // Drop all speculative duplicates: any of them may have been running
   // on, or reading from, the dead node. Speculation re-arms later.
@@ -1174,8 +1250,11 @@ void JobRun::on_node_recovered(cluster::NodeId n) {
   if (!env_.cluster.is_compute_node(n)) return;
   // The node rejoins with an empty disk and full slots; pending work can
   // land on it immediately, and its disk becomes a write target again.
-  free_map_slots_[n] = env_.cluster.spec().map_slots;
-  free_reduce_slots_[n] = env_.cluster.spec().reduce_slots;
+  // (Broker mode: the shared scheduler refilled the node's inventory.)
+  if (env_.slots == nullptr) {
+    free_map_slots_[n] = env_.cluster.spec().map_slots;
+    free_reduce_slots_[n] = env_.cluster.spec().reduce_slots;
+  }
   // Writes that stalled because no storage target survived can resume
   // against the rejoined disk.
   for (std::uint32_t r = 0; r < reduces_.size(); ++r) {
@@ -1397,10 +1476,14 @@ void JobRun::cancel() {
   result_.end_time = env_.sim.now();
   if (env_.obs != nullptr) {
     env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kJobCancel, 0,
-                          obs::kNoField, spec_.logical_id, ordinal_, 0.0);
+                          obs::kNoField, spec_.logical_id, ordinal_, 0.0,
+                          env_.chain_tag);
   }
   teardown_all_work();
   discard_partial_results();
+  // Shared-cluster mode: torn-down tasks can no longer release their
+  // slots one by one — hand everything still held back to the arbiter.
+  if (env_.slots != nullptr) env_.slots->release_all();
   RCMP_INFO() << "t=" << env_.sim.now() << " job " << spec_.name
               << " (ordinal " << ordinal_ << ") cancelled";
 }
@@ -1426,10 +1509,15 @@ void JobRun::finish(JobResult::Status status) {
   }
   result_.status = status;
   result_.end_time = env_.sim.now();
+  // An aborted run tore work down without per-task releases; a completed
+  // run holds nothing, making this a no-op. Either way the arbiter gets
+  // every remaining slot back and this chain's demand flags clear.
+  if (env_.slots != nullptr) env_.slots->release_all();
   if (env_.obs != nullptr) {
     env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kJobFinish,
                           static_cast<std::uint8_t>(status), obs::kNoField,
-                          spec_.logical_id, ordinal_, result_.duration());
+                          spec_.logical_id, ordinal_, result_.duration(),
+                          env_.chain_tag);
   }
   result_.mappers_reused = 0;
   for (std::uint32_t m = 0; m < maps_.size(); ++m) {

@@ -31,6 +31,7 @@
 #include "mapred/job.hpp"
 #include "mapred/map_output_store.hpp"
 #include "mapred/payload_store.hpp"
+#include "mapred/slot_broker.hpp"
 #include "obs/obs.hpp"
 #include "resources/flow_network.hpp"
 #include "sim/simulation.hpp"
@@ -49,6 +50,12 @@ struct Env {
   /// nullptr disables all emission at the cost of one pointer compare
   /// per site.
   obs::Observability* obs = nullptr;
+  /// Optional shared-cluster slot arbiter. nullptr (the default) keeps
+  /// the engine's private sole-ownership slot accounting.
+  SlotBroker* slots = nullptr;
+  /// 1-based chain tag stamped into trace events under multi-tenancy;
+  /// 0 leaves events untagged (single-tenant exports are unchanged).
+  std::uint16_t chain_tag = 0;
 };
 
 class JobRun {
@@ -66,6 +73,10 @@ class JobRun {
 
   /// Begin execution at the current simulated time.
   void start();
+
+  /// Shared-cluster nudge: capacity freed elsewhere (another chain
+  /// released a slot, a node rejoined) — try to place pending tasks.
+  void poke() { schedule_tasks(); }
 
   /// Middleware notification: a node just died (physical effect). Stops
   /// all work touching the node but defers decisions to detection.
@@ -306,6 +317,18 @@ class JobRun {
   bool payload_mode() const;
   double flush_threshold() const { return flush_threshold_; }
 
+  // --- slot accounting (local arrays or the shared broker) -------------
+  bool map_slot_free(cluster::NodeId n) const;
+  bool reduce_slot_free(cluster::NodeId n) const;
+  void take_map_slot(cluster::NodeId n);
+  void take_reduce_slot(cluster::NodeId n);
+  /// Return a slot; dropped when the node's compute is down (dead nodes
+  /// never regain credit — a rejoin refills the full complement).
+  void put_map_slot(cluster::NodeId n);
+  void put_reduce_slot(cluster::NodeId n);
+  /// Publish unmet demand to the broker (no-op single-tenant).
+  void publish_demand();
+
   Env env_;
   JobSpec spec_;
   RecomputeDirective directive_;
@@ -324,8 +347,11 @@ class JobRun {
   std::uint32_t maps_remaining_ = 0;    // not yet done/reused
   std::uint32_t reduces_remaining_ = 0;
 
-  std::vector<std::uint32_t> free_map_slots_;     // per node
-  std::vector<std::uint32_t> free_reduce_slots_;  // per node
+  std::vector<std::uint32_t> free_map_slots_;     // per node (no broker)
+  std::vector<std::uint32_t> free_reduce_slots_;  // per node (no broker)
+  /// Broker mode: nodes barred from running recomputed mappers
+  /// (EngineConfig::recompute_map_node_limit, the Fig. 14 knob).
+  std::vector<std::uint8_t> map_node_banned_;
   std::uint32_t rr_cursor_ = 0;  // round-robin node cursor
 
   std::unordered_map<std::uint64_t, FetchFlow> active_fetches_;

@@ -1,0 +1,53 @@
+// Slot brokerage: the seam between a single job's execution engine and
+// a cluster-wide compute-slot arbiter.
+//
+// A JobRun historically assumed sole ownership of the cluster: at
+// start() it credited itself every alive node's full slot complement.
+// That is exactly right for the paper's one-chain-at-a-time evaluation,
+// and it remains the default (Env::slots == nullptr keeps the engine's
+// private per-node free-slot arrays, bit-for-bit identical behavior).
+//
+// Under multi-tenancy (core/scheduler.hpp) each chain's JobRun instead
+// talks to a SlotBroker client: `may_acquire` asks whether this chain
+// may take one more slot on a node right now (the broker folds in both
+// physical availability and the fair-share policy), `acquire`/`release`
+// move one slot, and `set_demand` reports unmet demand so the arbiter
+// knows which chains are hungry when capacity frees up.
+//
+// Contract mirrored from the engine's single-tenant accounting:
+//   - releases on a compute-dead node are dropped silently (the arbiter
+//     already forfeited every slot held there when the failure landed);
+//   - release_all() returns every slot the client still holds and
+//     clears its demand flags — the engine calls it from finish() and
+//     cancel(), where torn-down tasks can no longer release one by one.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster.hpp"
+
+namespace rcmp::mapred {
+
+enum class SlotKind : std::uint8_t { kMap = 0, kReduce = 1 };
+
+class SlotBroker {
+ public:
+  virtual ~SlotBroker() = default;
+
+  /// May this client take one more `k` slot on node `n` right now?
+  virtual bool may_acquire(cluster::NodeId n, SlotKind k) const = 0;
+  /// Take one slot; the caller must have seen may_acquire() == true in
+  /// the same simulation step.
+  virtual void acquire(cluster::NodeId n, SlotKind k) = 0;
+  /// Return one slot taken on `n`. Dropped when the node's compute has
+  /// failed since (the slot was already forfeited).
+  virtual void release(cluster::NodeId n, SlotKind k) = 0;
+  /// Return every slot this client still holds and clear demand.
+  virtual void release_all() = 0;
+  /// Report whether this client has tasks it could not place (per
+  /// kind). Drives work-conserving backfill: an over-share chain is
+  /// only denied while some hungry under-share chain exists.
+  virtual void set_demand(SlotKind k, bool hungry) = 0;
+};
+
+}  // namespace rcmp::mapred

@@ -101,15 +101,27 @@ void Auditor::check_storage(std::vector<std::string>* violations) {
       violations->push_back(std::move(v));
     }
   }
+  for (mapred::MapOutputStore* store : refs_.tenant_stores) {
+    if (store == nullptr) continue;
+    for (std::string& v : store->audit_ledger()) {
+      violations->push_back(std::move(v));
+    }
+  }
   // Cross-check the middleware's storage sampling: the middleware
   // samples immediately before every audit point, so the current-use
   // gauge must equal the ground truth and the peak must dominate it.
   const double* current = obs_.metrics.find_gauge("storage.current_bytes");
   if (current != nullptr && refs_.dfs != nullptr &&
-      refs_.map_outputs != nullptr) {
-    const double truth =
-        static_cast<double>(refs_.dfs->total_used()) +
-        static_cast<double>(refs_.map_outputs->total_used());
+      (refs_.map_outputs != nullptr || !refs_.tenant_stores.empty())) {
+    Bytes outputs = 0;
+    if (refs_.map_outputs != nullptr) {
+      outputs += refs_.map_outputs->total_used();
+    }
+    for (mapred::MapOutputStore* store : refs_.tenant_stores) {
+      if (store != nullptr) outputs += store->total_used();
+    }
+    const double truth = static_cast<double>(refs_.dfs->total_used()) +
+                         static_cast<double>(outputs);
     if (*current != truth) {
       std::ostringstream os;
       os << "storage sample out of date: sampled gauge=" << *current

@@ -43,6 +43,10 @@ class Auditor {
     cluster::Cluster* cluster = nullptr;
     dfs::NameNode* dfs = nullptr;
     mapred::MapOutputStore* map_outputs = nullptr;
+    /// Multi-tenant runs: every chain's persisted-map-output store.
+    /// Each ledger is recounted, and the storage-gauge cross-check sums
+    /// them all (plus `map_outputs` when also set).
+    std::vector<mapred::MapOutputStore*> tenant_stores;
   };
 
   /// Installs itself into `obs`'s audit/reuse/violation hooks. The

@@ -50,6 +50,9 @@ const char* event_type_name(EventType t) {
     case EventType::kReplan: return "replan";
     case EventType::kEviction: return "eviction";
     case EventType::kReplicationPoint: return "replication_point";
+    case EventType::kSlotGrant: return "slot_grant";
+    case EventType::kChainAdmit: return "chain_admit";
+    case EventType::kChainDone: return "chain_done";
   }
   return "unknown";
 }
@@ -84,6 +87,13 @@ std::string Tracer::export_jsonl() const {
     append_field_i32(&out, ev.index);
     out.append(",\"v\":");
     append_double(&out, ev.value);
+    // The chain tag appears only on multi-tenant events, keeping the
+    // single-tenant export (and its pinned goldens) byte-identical.
+    if (ev.chain != 0) {
+      out.append(",\"c\":");
+      std::snprintf(buf, sizeof(buf), "%u", ev.chain);
+      out.append(buf);
+    }
     out.append("}\n");
   }
   return out;
@@ -103,9 +113,17 @@ std::string Tracer::export_chrome() const {
     if (type == EventType::kTaskFinish) {
       // value carries the task duration: render a complete slice that
       // spans [finish - duration, finish] on the executing node's row.
+      // Multi-tenant slices get a per-chain lane (tid) and a chain
+      // prefix in the name; untagged events keep the original layout.
       const char* what = ev.kind == kKindReduce ? "reduce" : "map";
-      std::snprintf(buf, sizeof(buf), "%s j%u #%u", what, ev.job,
-                    ev.index);
+      if (ev.chain != 0) {
+        std::snprintf(buf, sizeof(buf), "c%u %s j%u #%u",
+                      static_cast<unsigned>(ev.chain), what, ev.job,
+                      ev.index);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%s j%u #%u", what, ev.job,
+                      ev.index);
+      }
       out.append("{\"name\":\"");
       out.append(buf);
       out.append("\",\"ph\":\"X\",\"ts\":");
@@ -113,7 +131,8 @@ std::string Tracer::export_chrome() const {
       out.append(",\"dur\":");
       append_micros(&out, ev.value);
       std::snprintf(buf, sizeof(buf), ",\"pid\":%u,\"tid\":%u}", pid,
-                    static_cast<unsigned>(ev.kind));
+                    static_cast<unsigned>(ev.chain) * 2 +
+                        static_cast<unsigned>(ev.kind));
       out.append(buf);
     } else {
       out.append("{\"name\":\"");

@@ -42,6 +42,9 @@ enum class EventType : std::uint8_t {
   kReplan = 10,
   kEviction = 11,
   kReplicationPoint = 12,
+  kSlotGrant = 13,   // multi-tenant scheduler granted a compute slot
+  kChainAdmit = 14,  // scheduler admitted a chain to the cluster
+  kChainDone = 15,   // chain left the scheduler (completed or failed)
 };
 
 /// Interpretation of TraceEvent::kind per event type.
@@ -52,6 +55,8 @@ inline constexpr std::uint8_t kKindCompute = 1;  // failure events
 inline constexpr std::uint8_t kKindDisk = 2;     // failure events
 inline constexpr std::uint8_t kKindReplan = 0;   // replan events
 inline constexpr std::uint8_t kKindRestart = 1;  // replan events
+inline constexpr std::uint8_t kKindMapSlot = 0;     // slot-grant events
+inline constexpr std::uint8_t kKindReduceSlot = 1;  // slot-grant events
 
 /// Printed as -1 when a field does not apply to the event.
 inline constexpr std::uint32_t kNoField = 0xffffffffu;
@@ -59,13 +64,13 @@ inline constexpr std::uint32_t kNoField = 0xffffffffu;
 /// Fixed-size POD record; `value` is event-specific (task duration in
 /// seconds, fetched/freed bytes, ...), 0 when unused.
 struct TraceEvent {
-  double time;         // simulated seconds
-  std::uint8_t type;   // EventType
-  std::uint8_t kind;   // see kKind* above
-  std::uint16_t pad;
-  std::uint32_t node;  // kNoField when not tied to a node
-  std::uint32_t job;   // logical job ordinal; kNoField when n/a
-  std::uint32_t index; // task / partition index; kNoField when n/a
+  double time;          // simulated seconds
+  std::uint8_t type;    // EventType
+  std::uint8_t kind;    // see kKind* above
+  std::uint16_t chain;  // 1-based chain tag under multi-tenancy; 0 = n/a
+  std::uint32_t node;   // kNoField when not tied to a node
+  std::uint32_t job;    // logical job ordinal; kNoField when n/a
+  std::uint32_t index;  // task / partition index; kNoField when n/a
   double value;
 };
 static_assert(sizeof(TraceEvent) == 32, "TraceEvent must stay compact");
@@ -88,12 +93,14 @@ class Tracer {
   bool enabled() const { return enabled_; }
 
   /// Hot-path emission: one branch when disabled, no allocation when
-  /// the ring is at capacity.
+  /// the ring is at capacity. `chain` is the 1-based multi-tenant chain
+  /// tag; the default 0 leaves the event untagged and the JSONL export
+  /// byte-identical to single-tenant output.
   void emit(double time, EventType type, std::uint8_t kind,
             std::uint32_t node, std::uint32_t job, std::uint32_t index,
-            double value) {
+            double value, std::uint16_t chain = 0) {
     if (!enabled_) return;
-    const TraceEvent ev{time, static_cast<std::uint8_t>(type), kind, 0,
+    const TraceEvent ev{time, static_cast<std::uint8_t>(type), kind, chain,
                         node, job, index, value};
     if (ring_.size() < capacity_) {
       ring_.push_back(ev);

@@ -1,0 +1,228 @@
+#include "workloads/multi_scenario.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace rcmp::workloads {
+
+MultiScenario::MultiScenario(MultiScenarioConfig cfg)
+    : cfg_(std::move(cfg)),
+      net_(sim_),
+      cluster_(sim_, net_, cfg_.base.cluster),
+      dfs_(cluster_, cfg_.base.block_size, cfg_.base.seed ^ 0xdf5dULL),
+      rng_(cfg_.base.seed) {
+  RCMP_CHECK_MSG(cfg_.chains > 0, "need at least one chain");
+  RCMP_CHECK_MSG(cfg_.weights.empty() || cfg_.weights.size() == cfg_.chains,
+                 "weights must be empty or one per chain");
+  RCMP_CHECK_MSG(
+      cfg_.submit_at.empty() || cfg_.submit_at.size() == cfg_.chains,
+      "submit_at must be empty or one per chain");
+
+  if (cfg_.base.trace_capacity > 0) {
+    obs_.tracer.enable(cfg_.base.trace_capacity);
+  }
+  cluster_.set_tracer(&obs_.tracer);
+
+  for (std::uint32_t c = 0; c < cfg_.chains; ++c) {
+    stores_.push_back(std::make_unique<mapred::MapOutputStore>());
+  }
+  if (cfg_.base.audit) {
+    obs::Auditor::Refs refs;
+    refs.sim = &sim_;
+    refs.net = &net_;
+    refs.cluster = &cluster_;
+    refs.dfs = &dfs_;
+    for (auto& s : stores_) refs.tenant_stores.push_back(s.get());
+    auditor_ = std::make_unique<obs::Auditor>(refs, obs_);
+  }
+
+  // The scheduler's failure/recover handlers register now — before any
+  // middleware's — so slot books settle first on every failure.
+  scheduler_ = std::make_unique<core::ChainScheduler>(
+      sim_, cluster_, dfs_, &obs_,
+      core::ChainScheduler::Config{cfg_.max_concurrent,
+                                   cfg_.shared_storage_budget});
+
+  for (std::uint32_t c = 0; c < cfg_.chains; ++c) {
+    scheduler_->add_chain(weight_of(c), cfg_.base.chain_length,
+                          stores_[c].get());
+    generate_input(c);
+
+    core::ChainSpec chain;
+    chain.jobs.reserve(cfg_.base.chain_length);
+    for (std::uint32_t j = 0; j < cfg_.base.chain_length; ++j) {
+      core::JobTemplate t;
+      t.name = "c" + std::to_string(c) + ".job" + std::to_string(j + 1);
+      t.num_reducers = cfg_.base.reducers_per_job;
+      t.map_output_ratio = 1.0;
+      t.reduce_output_ratio = 1.0;
+      if (cfg_.base.payload) {
+        t.mapper = &mapper_;
+        t.reducer = &reducer_;
+      }
+      chain.jobs.push_back(std::move(t));
+    }
+    chains_.push_back(std::move(chain));
+  }
+}
+
+double MultiScenario::weight_of(std::uint32_t chain) const {
+  return cfg_.weights.empty() ? 1.0 : cfg_.weights[chain];
+}
+
+SimTime MultiScenario::submit_time(std::uint32_t chain) const {
+  return cfg_.submit_at.empty() ? 0.0 : cfg_.submit_at[chain];
+}
+
+mapred::Env MultiScenario::env(std::uint32_t chain) {
+  return mapred::Env{sim_,      net_,      cluster_, dfs_,
+                     *stores_[chain], payloads_, &obs_};
+}
+
+void MultiScenario::generate_input(std::uint32_t chain) {
+  // Same layout as Scenario: one partition local to each storage node,
+  // but one input file per chain — tenants do not share inputs.
+  const auto storage = cluster_.alive_storage_nodes();
+  const auto nodes = static_cast<std::uint32_t>(storage.size());
+  const dfs::FileId input =
+      dfs_.create_file("input.c" + std::to_string(chain), nodes,
+                       cfg_.base.input_replication);
+  for (std::uint32_t p = 0; p < nodes; ++p) {
+    const cluster::NodeId writer = storage[p];
+    const auto plan =
+        dfs_.plan_write(input, writer, cfg_.base.per_node_input,
+                        dfs::PlacementPolicy::kLocalFirst);
+    dfs_.commit_partition(input, p, plan);
+    if (cfg_.base.payload) {
+      const std::uint64_t count =
+          cfg_.base.per_node_input / cfg_.base.engine.record_bytes;
+      std::vector<mapred::Record> records;
+      records.reserve(count);
+      for (std::uint64_t r = 0; r < count; ++r) {
+        records.push_back(mapred::Record{rng_(), rng_()});
+      }
+      payloads_.append(input, p, std::move(records),
+                       static_cast<std::uint32_t>(plan.size()));
+    }
+  }
+  inputs_.push_back(input);
+}
+
+void MultiScenario::start(core::StrategyConfig strategy) {
+  RCMP_CHECK_MSG(!started_,
+                 "MultiScenario is one-shot; construct a fresh one");
+  started_ = true;
+  results_.resize(cfg_.chains);
+
+  for (std::uint32_t c = 0; c < cfg_.chains; ++c) {
+    core::TenantContext tenant{scheduler_.get(), c};
+    middlewares_.push_back(std::make_unique<core::Middleware>(
+        env(c), chains_[c], inputs_[c], strategy, cfg_.base.engine,
+        rng_.fork_seed(), tenant));
+  }
+  if (chaos_ != nullptr) {
+    // Fault ordinals are global job starts across all chains: "the 5th
+    // job the cluster started", whichever tenant owns it.
+    for (auto& mw : middlewares_) {
+      mw->on_job_start(
+          [this](std::uint32_t) { chaos_->notify_job_start(++global_ordinal_); });
+    }
+  }
+  for (std::uint32_t c = 0; c < cfg_.chains; ++c) {
+    scheduler_->submit(c, submit_time(c), [this, c] {
+      middlewares_[c]->run(
+          [this, c](const core::ChainResult& r) { results_[c] = r; });
+    });
+  }
+}
+
+std::vector<core::ChainResult> MultiScenario::finish() {
+  RCMP_CHECK_MSG(started_ && !finished_, "finish() follows one start()");
+  finished_ = true;
+  sim_.run();
+  RCMP_CHECK_MSG(all_finished(),
+                 "simulation drained before every chain completed "
+                 "(scheduler or engine deadlock)");
+  return results_;
+}
+
+std::vector<core::ChainResult> MultiScenario::run(
+    core::StrategyConfig strategy) {
+  start(strategy);
+  return finish();
+}
+
+std::vector<core::ChainResult> MultiScenario::run_chaos(
+    core::StrategyConfig strategy, cluster::FaultSchedule schedule) {
+  chaos_ = std::make_unique<cluster::ChaosEngine>(
+      cluster_, std::move(schedule), rng_.fork_seed());
+  chaos_->set_partition_corrupter(
+      [this](Rng& rng) { return corrupt_random_partition(rng); });
+  chaos_->set_map_output_corrupter([this](Rng& rng) {
+    // Spread corruption across tenants: start at a random chain and
+    // take the first store that still holds something corruptible.
+    const auto start = static_cast<std::uint32_t>(rng.below(cfg_.chains));
+    for (std::uint32_t i = 0; i < cfg_.chains; ++i) {
+      const std::uint32_t c = (start + i) % cfg_.chains;
+      if (stores_[c]->corrupt_one(rng)) return true;
+    }
+    return false;
+  });
+  return run(strategy);
+}
+
+bool MultiScenario::corrupt_random_partition(Rng& rng) {
+  // Candidates: written, available partitions of every chain's
+  // *intermediate* outputs (final outputs are never re-read, so a flip
+  // there would be undetectable — same rule as Scenario).
+  std::vector<std::pair<dfs::FileId, dfs::PartitionIndex>> candidates;
+  for (std::uint32_t c = 0; c < cfg_.chains; ++c) {
+    if (c >= middlewares_.size()) break;
+    const auto njobs =
+        static_cast<std::uint32_t>(chains_[c].jobs.size());
+    for (std::uint32_t l = 0; l + 1 < njobs; ++l) {
+      const dfs::FileId f = middlewares_[c]->output_file(l);
+      if (!dfs_.file_exists(f)) continue;
+      for (dfs::PartitionIndex p = 0; p < dfs_.num_partitions(f); ++p) {
+        if (!dfs_.partition(f, p).written) continue;
+        if (!dfs_.partition_available(f, p)) continue;
+        candidates.emplace_back(f, p);
+      }
+    }
+  }
+  if (candidates.empty()) return false;
+  const auto [f, p] = candidates[rng.below(candidates.size())];
+  if (cfg_.base.payload && payloads_.has(f, p)) {
+    return payloads_.corrupt_record(f, p);
+  }
+  dfs_.mark_corrupt(f, p);
+  return true;
+}
+
+bool MultiScenario::all_finished() const {
+  for (const auto& mw : middlewares_) {
+    if (!mw->finished()) return false;
+  }
+  return !middlewares_.empty();
+}
+
+dfs::FileId MultiScenario::final_output_file(std::uint32_t chain) const {
+  RCMP_CHECK(chain < middlewares_.size());
+  return middlewares_[chain]->output_file(
+      static_cast<std::uint32_t>(chains_[chain].jobs.size() - 1));
+}
+
+mapred::Checksum MultiScenario::final_output_checksum(
+    std::uint32_t chain) {
+  RCMP_CHECK(cfg_.base.payload);
+  const dfs::FileId f = final_output_file(chain);
+  return payloads_.file_checksum(f, dfs_.num_partitions(f));
+}
+
+mapred::Checksum MultiScenario::input_checksum(std::uint32_t chain) {
+  RCMP_CHECK(cfg_.base.payload);
+  const dfs::FileId f = inputs_.at(chain);
+  return payloads_.file_checksum(f, dfs_.num_partitions(f));
+}
+
+}  // namespace rcmp::workloads

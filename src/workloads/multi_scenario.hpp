@@ -1,0 +1,129 @@
+// MultiScenario: N concurrent chains on one shared cluster, arbitrated
+// by a core::ChainScheduler.
+//
+// Shares everything a real multi-tenant deployment would share — the
+// simulation, the flow network, the cluster, the DFS (globally-unique
+// file ids keep the shared PayloadStore safe), the observability sink
+// and the shared compute-slot/storage arbitration — while keeping
+// everything tenant-scoped separate: each chain has its own input file,
+// its own output files, its own persisted-map-output store (MapOutputKey
+// is keyed by logical job id, which collides across chains) and its own
+// Middleware.
+//
+// Like Scenario, a MultiScenario is one-shot. run() drives every chain
+// to completion; start()/finish() split the same flow for tests that
+// need to interleave their own events (kills, inspections) with the
+// simulation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/chaos.hpp"
+#include "core/middleware.hpp"
+#include "core/scheduler.hpp"
+#include "obs/audit.hpp"
+#include "workloads/presets.hpp"
+#include "workloads/udfs.hpp"
+
+namespace rcmp::workloads {
+
+struct MultiScenarioConfig {
+  /// Shared cluster/engine settings plus the per-chain shape (length,
+  /// input size, payload mode) every chain replicates.
+  ScenarioConfig base;
+  std::uint32_t chains = 2;
+  /// Fair-share weight per chain; empty = all 1.0.
+  std::vector<double> weights;
+  /// Submission time per chain; empty = all at t=0.
+  std::vector<SimTime> submit_at;
+  /// Admission limit (ChainScheduler::Config); 0 = unlimited.
+  std::uint32_t max_concurrent = 0;
+  /// Shared storage budget across DFS + all chains' persisted map
+  /// outputs; 0 disables cross-chain eviction.
+  Bytes shared_storage_budget = 0;
+};
+
+class MultiScenario {
+ public:
+  explicit MultiScenario(MultiScenarioConfig cfg);
+
+  /// Construct the middlewares and submit every chain through the
+  /// scheduler; the caller then drives sim().run() (or calls finish()).
+  void start(core::StrategyConfig strategy);
+  /// Drain the simulation and collect per-chain results (chain order).
+  std::vector<core::ChainResult> finish();
+  /// start() + finish().
+  std::vector<core::ChainResult> run(core::StrategyConfig strategy);
+  /// Run under a typed FaultSchedule. Fault ordinals count job starts
+  /// *globally* across chains (the cluster-operator view). Corruption
+  /// targets a random chain's intermediate outputs / map-output store.
+  std::vector<core::ChainResult> run_chaos(core::StrategyConfig strategy,
+                                           cluster::FaultSchedule schedule);
+
+  // --- introspection --------------------------------------------------
+  sim::Simulation& sim() { return sim_; }
+  cluster::Cluster& cluster() { return cluster_; }
+  dfs::NameNode& dfs() { return dfs_; }
+  obs::Observability& obs() { return obs_; }
+  obs::Auditor* auditor() { return auditor_.get(); }
+  core::ChainScheduler& scheduler() { return *scheduler_; }
+  cluster::ChaosEngine* chaos() { return chaos_.get(); }
+  const MultiScenarioConfig& config() const { return cfg_; }
+  std::uint32_t num_chains() const { return cfg_.chains; }
+
+  core::Middleware& middleware(std::uint32_t chain) {
+    return *middlewares_.at(chain);
+  }
+  mapred::MapOutputStore& map_outputs(std::uint32_t chain) {
+    return *stores_.at(chain);
+  }
+  mapred::PayloadStore& payloads() { return payloads_; }
+  dfs::FileId input_file(std::uint32_t chain) const {
+    return inputs_.at(chain);
+  }
+
+  /// Payload mode: checksum of one chain's final job output.
+  mapred::Checksum final_output_checksum(std::uint32_t chain);
+  mapred::Checksum input_checksum(std::uint32_t chain);
+  dfs::FileId final_output_file(std::uint32_t chain) const;
+
+  bool all_finished() const;
+
+ private:
+  mapred::Env env(std::uint32_t chain);
+  void generate_input(std::uint32_t chain);
+  bool corrupt_random_partition(Rng& rng);
+  double weight_of(std::uint32_t chain) const;
+  SimTime submit_time(std::uint32_t chain) const;
+
+  MultiScenarioConfig cfg_;
+  sim::Simulation sim_;
+  res::FlowNetwork net_;
+  cluster::Cluster cluster_;
+  dfs::NameNode dfs_;
+  std::vector<std::unique_ptr<mapred::MapOutputStore>> stores_;
+  mapred::PayloadStore payloads_;
+  // Declared after every audited subsystem (hooks die first), before
+  // the scheduler and middlewares (which emit through it).
+  obs::Observability obs_;
+  std::unique_ptr<obs::Auditor> auditor_;
+  Rng rng_;
+
+  ChainMapper mapper_;
+  ChainReducer reducer_;
+  std::vector<core::ChainSpec> chains_;
+  std::vector<dfs::FileId> inputs_;
+
+  // Constructed before any Middleware so its cluster failure handlers
+  // run first (slot forfeiture precedes engine reactions).
+  std::unique_ptr<core::ChainScheduler> scheduler_;
+  std::vector<std::unique_ptr<core::Middleware>> middlewares_;
+  std::unique_ptr<cluster::ChaosEngine> chaos_;
+  std::uint32_t global_ordinal_ = 0;
+  std::vector<core::ChainResult> results_;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace rcmp::workloads

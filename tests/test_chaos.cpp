@@ -12,6 +12,7 @@
 #include "cluster/failure_injector.hpp"
 #include "common/error.hpp"
 #include "core/middleware.hpp"
+#include "fixtures.hpp"
 #include "workloads/scenario.hpp"
 
 namespace rcmp {
@@ -22,57 +23,14 @@ using cluster::FaultMode;
 using cluster::FaultSchedule;
 using core::Strategy;
 using core::StrategyConfig;
+using testfx::chaos_config;
+using testfx::reference_for;
+using testfx::spec_of;
+using testfx::strat;
+using testfx::sum_corrupt_blocks;
+using testfx::sum_corrupt_map_outputs;
+using Fixture = testfx::SimFixture;
 using workloads::Scenario;
-
-StrategyConfig strat(Strategy s) {
-  StrategyConfig cfg;
-  cfg.strategy = s;
-  return cfg;
-}
-
-/// The failure-drill chaos testbed: two racks, payload records, enough
-/// input-replication headroom that three storage-loss events provably
-/// cannot destroy a source partition.
-workloads::ScenarioConfig chaos_config(std::uint32_t nodes = 8,
-                                       std::uint32_t chain = 5) {
-  auto cfg = workloads::payload_config(nodes, chain,
-                                       /*records_per_node=*/256);
-  cfg.cluster.racks = 2;
-  cfg.input_replication = 4;
-  return cfg;
-}
-
-mapred::Checksum reference_for(const workloads::ScenarioConfig& cfg) {
-  Scenario s(cfg);
-  EXPECT_TRUE(s.run(strat(Strategy::kRcmpSplit)).completed);
-  return s.final_output_checksum();
-}
-
-std::uint32_t sum_corrupt_blocks(const core::ChainResult& r) {
-  std::uint32_t n = 0;
-  for (const auto& run : r.runs) n += run.corrupt_blocks_detected;
-  return n;
-}
-
-std::uint32_t sum_corrupt_map_outputs(const core::ChainResult& r) {
-  std::uint32_t n = 0;
-  for (const auto& run : r.runs) n += run.corrupt_map_outputs_detected;
-  return n;
-}
-
-// --- cluster: decoupled failure semantics ----------------------------
-
-struct Fixture {
-  sim::Simulation sim;
-  res::FlowNetwork net{sim};
-};
-
-cluster::ClusterSpec spec_of(std::uint32_t nodes, std::uint32_t racks) {
-  cluster::ClusterSpec spec;
-  spec.nodes = nodes;
-  spec.racks = racks;
-  return spec;
-}
 
 TEST(ClusterFaults, ComputeFailureKeepsStorageReadable) {
   Fixture f;

@@ -1,0 +1,177 @@
+// Differential correctness harness.
+//
+// An eager, single-process oracle replays each chain fault-free: map
+// every input record with the job's udf salt, group globally by key
+// (partition_of assigns each key to exactly one reducer partition, so a
+// global group-by is split- and placement-agnostic), reduce, feed the
+// next job. Any simulated run that *survives* — fault-free or under a
+// seed-sampled chaos schedule, single- or multi-tenant, split or
+// optimistic recovery — must produce a final output whose
+// order-independent Checksum is byte-equal to the oracle's.
+//
+// Seed counts scale with RCMP_FUZZ_SEEDS (CI nightly/sanitizer jobs
+// export 200+); the local defaults keep the suite fast.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fixtures.hpp"
+#include "workloads/scenario.hpp"
+
+namespace rcmp {
+namespace {
+
+using core::Strategy;
+using testfx::multi_config;
+using testfx::strat;
+using workloads::MultiScenario;
+using workloads::Scenario;
+
+std::vector<mapred::Record> gather_records(mapred::PayloadStore& payloads,
+                                           dfs::NameNode& dfs,
+                                           dfs::FileId file) {
+  std::vector<mapred::Record> all;
+  for (dfs::PartitionIndex p = 0; p < dfs.num_partitions(file); ++p) {
+    const auto recs = payloads.partition_records(file, p);
+    all.insert(all.end(), recs.begin(), recs.end());
+  }
+  return all;
+}
+
+/// Fault-free eager replay of the paper's chain workload over `input`,
+/// using the same UDFs and per-job salts the engine hands out.
+mapred::Checksum oracle_checksum(std::vector<mapred::Record> records,
+                                 std::uint32_t chain_length) {
+  const workloads::ChainMapper mapper;
+  const workloads::ChainReducer reducer;
+  for (std::uint32_t j = 0; j < chain_length; ++j) {
+    mapred::JobSpec spec;
+    spec.logical_id = j;
+    const std::uint64_t salt = spec.udf_salt();
+
+    mapred::Emitter mapped;
+    for (const mapred::Record& rec : records) {
+      mapper.map(rec, salt, mapped);
+    }
+    // Global group-by-key: every key belongs to exactly one reducer
+    // partition, so the union over partitions is this exact grouping no
+    // matter how many reducers (or recomputation splits) the engine
+    // used. Value order inside a group is normalized by sorting; the
+    // chain reducer is value-wise, so this only pins iteration order.
+    std::map<std::uint64_t, std::vector<std::uint64_t>> groups;
+    for (const mapred::Record& r : mapped.records()) {
+      groups[r.key].push_back(r.value);
+    }
+    mapred::Emitter reduced;
+    for (auto& [key, values] : groups) {
+      std::sort(values.begin(), values.end());
+      reducer.reduce(key, values, salt, reduced);
+    }
+    records = std::move(reduced.records());
+  }
+  return mapred::checksum_of(records);
+}
+
+TEST(Differential, FaultFreeSingleTenantMatchesOracle) {
+  const auto cfg = workloads::payload_config(5, 4, 128);
+  Scenario sc(cfg);
+  const auto input = gather_records(sc.payloads(), sc.dfs(), sc.input_file());
+  ASSERT_EQ(mapred::checksum_of(input), sc.input_checksum());
+
+  const auto r = sc.run(strat(Strategy::kRcmpSplit));
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(sc.final_output_checksum(),
+            oracle_checksum(input, cfg.chain_length));
+}
+
+TEST(Differential, SurvivedChaosRunsMatchOracle) {
+  const auto cfg = testfx::chaos_config(/*nodes=*/8, /*chain=*/4);
+  mapred::Checksum oracle;
+  {
+    Scenario probe(cfg);
+    oracle = oracle_checksum(
+        gather_records(probe.payloads(), probe.dfs(), probe.input_file()),
+        cfg.chain_length);
+  }
+
+  cluster::RandomScheduleOptions opt;  // defaults: 4 mixed-mode events
+  const std::uint32_t seeds = testfx::fuzz_seed_count(10);
+  std::uint32_t survived = 0;
+  for (std::uint32_t seed = 0; seed < seeds; ++seed) {
+    for (auto s : {Strategy::kRcmpSplit, Strategy::kOptimistic}) {
+      Scenario sc(cfg);
+      const auto r =
+          sc.run_chaos(strat(s), cluster::random_schedule(opt, 1000 + seed));
+      EXPECT_EQ(sc.obs().metrics.counter("audit.violations"), 0u);
+      if (!r.completed) continue;  // e.g. source input lost — legal
+      ++survived;
+      EXPECT_EQ(sc.final_output_checksum(), oracle)
+          << "seed " << seed << " strategy " << static_cast<int>(s);
+    }
+  }
+  EXPECT_GT(survived, 0u);
+}
+
+TEST(Differential, FaultFreeMultiTenantMatchesOracle) {
+  const auto cfg = multi_config(/*chains=*/2, /*nodes=*/6,
+                                /*chain_length=*/3, /*records_per_node=*/96);
+  MultiScenario ms(cfg);
+  std::vector<std::vector<mapred::Record>> inputs;
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    inputs.push_back(
+        gather_records(ms.payloads(), ms.dfs(), ms.input_file(c)));
+  }
+  // Tenants get distinct data from the shared generator stream.
+  ASSERT_NE(mapred::checksum_of(inputs[0]), mapred::checksum_of(inputs[1]));
+
+  const auto r = ms.run(strat(Strategy::kRcmpSplit));
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    ASSERT_TRUE(r[c].completed);
+    EXPECT_EQ(ms.final_output_checksum(c),
+              oracle_checksum(inputs[c], cfg.base.chain_length))
+        << "chain " << c;
+  }
+}
+
+TEST(Differential, SurvivedMultiTenantChaosMatchesOracle) {
+  auto cfg = multi_config(/*chains=*/3, /*nodes=*/8, /*chain_length=*/3,
+                          /*records_per_node=*/64);
+  cfg.base.input_replication = 4;  // keep sources survivable
+
+  // Inputs depend only on the config, so one probe instance provides the
+  // oracle for every seeded run below.
+  std::vector<mapred::Checksum> oracle;
+  {
+    MultiScenario probe(cfg);
+    for (std::uint32_t c = 0; c < cfg.chains; ++c) {
+      oracle.push_back(oracle_checksum(
+          gather_records(probe.payloads(), probe.dfs(), probe.input_file(c)),
+          cfg.base.chain_length));
+    }
+  }
+
+  cluster::RandomScheduleOptions opt;
+  opt.events = 3;
+  opt.max_ordinal = 8;  // ordinals count job starts across all chains
+  const std::uint32_t seeds = testfx::fuzz_seed_count(6);
+  std::uint32_t survived = 0;
+  for (std::uint32_t seed = 0; seed < seeds; ++seed) {
+    MultiScenario ms(cfg);
+    const auto r = ms.run_chaos(strat(Strategy::kRcmpSplit),
+                                cluster::random_schedule(opt, 2000 + seed));
+    EXPECT_EQ(ms.obs().metrics.counter("audit.violations"), 0u);
+    for (std::uint32_t c = 0; c < cfg.chains; ++c) {
+      if (!r[c].completed) continue;
+      ++survived;
+      EXPECT_EQ(ms.final_output_checksum(c), oracle[c])
+          << "seed " << seed << " chain " << c;
+    }
+  }
+  EXPECT_GT(survived, 0u);
+}
+
+}  // namespace
+}  // namespace rcmp

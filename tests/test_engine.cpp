@@ -4,6 +4,7 @@
 
 #include <map>
 
+#include "fixtures.hpp"
 #include "mapred/engine.hpp"
 #include "workloads/udfs.hpp"
 
@@ -11,76 +12,7 @@ namespace rcmp::mapred {
 namespace {
 
 using namespace rcmp::literals;
-
-struct EngineFixture {
-  explicit EngineFixture(std::uint32_t nodes = 4,
-                         std::uint32_t blocks_per_node = 4,
-                         std::uint32_t input_replication = 1,
-                         std::uint32_t map_slots = 1,
-                         std::uint32_t reduce_slots = 1)
-      : net(sim),
-        cluster(sim, net, make_cluster(nodes, map_slots, reduce_slots)),
-        dfs(cluster, 64_MiB, 123) {
-    cfg.detect_timeout = 30.0;
-    cfg.task_startup = 0.2;
-    cfg.job_setup_time = 1.0;
-    cfg.map_cpu_rate = 400e6;
-    cfg.reduce_cpu_rate = 400e6;
-
-    input = dfs.create_file("input", nodes, input_replication);
-    for (cluster::NodeId n = 0; n < nodes; ++n) {
-      const Bytes bytes = static_cast<Bytes>(blocks_per_node) * 64_MiB;
-      dfs.commit_partition(
-          input, n,
-          dfs.plan_write(input, n, bytes, dfs::PlacementPolicy::kLocalFirst));
-    }
-  }
-
-  static cluster::ClusterSpec make_cluster(std::uint32_t nodes,
-                                           std::uint32_t map_slots,
-                                           std::uint32_t reduce_slots) {
-    cluster::ClusterSpec spec;
-    spec.nodes = nodes;
-    spec.disk_bw = 100e6;
-    spec.nic_bw = 10e9 / 8;
-    spec.map_slots = map_slots;
-    spec.reduce_slots = reduce_slots;
-    return spec;
-  }
-
-  Env env() { return Env{sim, net, cluster, dfs, outputs, payloads}; }
-
-  JobSpec make_spec(std::uint32_t reducers, std::uint32_t out_repl = 1) {
-    JobSpec spec;
-    spec.name = "test-job";
-    spec.logical_id = 0;
-    spec.set_input(input);
-    spec.output = dfs.create_file("out", reducers, out_repl);
-    spec.num_reducers = reducers;
-    return spec;
-  }
-
-  /// Run a job to completion; returns the finished JobRun.
-  JobRun& run(JobSpec spec, RecomputeDirective dir = {}) {
-    runs.push_back(std::make_unique<JobRun>(
-        env(), std::move(spec), std::move(dir), cfg, next_ordinal++, 7,
-        [](JobRun&) {}));
-    runs.back()->start();
-    sim.run();
-    return *runs.back();
-  }
-
-  sim::Simulation sim;
-  res::FlowNetwork net;
-  cluster::Cluster cluster;
-  dfs::NameNode dfs;
-  MapOutputStore outputs;
-  PayloadStore payloads;
-  EngineConfig cfg;
-  dfs::FileId input = dfs::kInvalidFile;
-  std::uint32_t next_ordinal = 1;
-  std::vector<std::unique_ptr<JobRun>> runs;
-};
+using testfx::EngineFixture;
 
 TEST(Engine, CompletesAndCommitsAllPartitions) {
   EngineFixture f;
@@ -90,7 +22,7 @@ TEST(Engine, CompletesAndCommitsAllPartitions) {
   ASSERT_TRUE(run.finished());
   EXPECT_EQ(run.result().status, JobResult::Status::kCompleted);
   EXPECT_TRUE(f.dfs.file_available(out));
-  EXPECT_EQ(run.result().mappers_executed, 16u);  // 4 nodes x 4 blocks
+  EXPECT_EQ(run.result().mappers_executed, 20u);  // 5 nodes x 4 blocks
   EXPECT_EQ(run.result().reducers_executed, 4u);
   EXPECT_EQ(run.result().mappers_reused, 0u);
 }
@@ -180,7 +112,7 @@ TEST(Engine, ReplicationSlowsJob) {
 TEST(Engine, RegistersPersistedMapOutputs) {
   EngineFixture f;
   f.run(f.make_spec(4));
-  EXPECT_EQ(f.outputs.size(), 16u);
+  EXPECT_EQ(f.outputs.size(), 20u);  // 5 nodes x 4 blocks
   // Each output is on an alive node with per-reducer shares summing to
   // the total.
   const MapOutput* out = f.outputs.find({0, 0, 0});
@@ -197,10 +129,10 @@ TEST(Engine, PayloadIdentityJobPreservesRecords) {
   std::vector<Record> recs;
   Rng rng(3);
   for (int i = 0; i < 100; ++i) recs.push_back({rng(), rng()});
-  // Attach payload to every input partition (25 records each).
-  for (cluster::NodeId n = 0; n < 4; ++n) {
-    std::vector<Record> part(recs.begin() + n * 25,
-                             recs.begin() + (n + 1) * 25);
+  // Attach payload to every input partition (20 records each).
+  for (cluster::NodeId n = 0; n < 5; ++n) {
+    std::vector<Record> part(recs.begin() + n * 20,
+                             recs.begin() + (n + 1) * 20);
     f.payloads.append(f.input, n, part, 4);
   }
   auto spec = f.make_spec(4);
@@ -215,7 +147,7 @@ TEST(Engine, PayloadPartitioningRoutesByKey) {
   EngineFixture f;
   workloads::IdentityMapper mapper;
   workloads::IdentityReducer reducer;
-  for (cluster::NodeId n = 0; n < 4; ++n) {
+  for (cluster::NodeId n = 0; n < 5; ++n) {
     std::vector<Record> part;
     for (int i = 0; i < 25; ++i)
       part.push_back({static_cast<std::uint64_t>(n * 25 + i), 7});
@@ -346,7 +278,7 @@ TEST(Engine, SlowShuffleTailDebtLengthensJob) {
   slow.cfg.shuffle_tail_latency = 10.0;
   auto& a = fast.run(fast.make_spec(4));
   auto& b = slow.run(slow.make_spec(4));
-  // 16 mappers, parallelism 5 -> ~32 s of serialized tail per reducer.
+  // 20 mappers, parallelism 5 -> ~40 s of serialized tail per reducer.
   EXPECT_GT(b.result().duration(), a.result().duration() + 20.0);
 }
 

@@ -2,6 +2,7 @@
 // replication, storage reclamation, restarts.
 #include <gtest/gtest.h>
 
+#include "fixtures.hpp"
 #include "workloads/scenario.hpp"
 
 namespace rcmp {
@@ -10,20 +11,9 @@ namespace {
 using core::Strategy;
 using core::StrategyConfig;
 using mapred::JobResult;
+using testfx::fail_at;
+using testfx::strat;
 using workloads::Scenario;
-
-StrategyConfig strat(Strategy s, std::uint32_t repl = 1) {
-  StrategyConfig cfg;
-  cfg.strategy = s;
-  cfg.replication = repl;
-  return cfg;
-}
-
-cluster::FailurePlan fail_at(std::vector<std::uint32_t> ords) {
-  cluster::FailurePlan plan;
-  plan.at_job_ordinals = std::move(ords);
-  return plan;
-}
 
 TEST(Middleware, FailureFreeRunsEachJobOnce) {
   for (auto s : {Strategy::kRcmpSplit, Strategy::kOptimistic}) {

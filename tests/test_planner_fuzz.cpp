@@ -1,0 +1,213 @@
+// Randomized sweeps over the recomputation planner.
+//
+// plan_chain is the pure core of failure recovery: given per-job ground
+// truth (ever completed? which output partitions are gone?) it must
+// produce the *minimal*, ordered, idempotent cascade. These sweeps check
+// that over randomly generated chain states, then cross-check the
+// planner's end-to-end behavior against the invariant auditor: chaos
+// campaigns whose recoveries exercise persisted-output reuse must log
+// Fig. 5 reuse checks and zero violations, and every survivor must
+// reproduce the fault-free reference output.
+//
+// Seed counts scale with RCMP_FUZZ_SEEDS (CI nightly/sanitizer jobs
+// export 200+).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "fixtures.hpp"
+#include "workloads/scenario.hpp"
+
+namespace rcmp {
+namespace {
+
+using core::PlannedSubmission;
+using core::PlannerJobState;
+using core::Strategy;
+using testfx::strat;
+using workloads::Scenario;
+
+std::vector<PlannerJobState> random_state(Rng& rng) {
+  const auto njobs = static_cast<std::uint32_t>(1 + rng.below(12));
+  const auto partitions = static_cast<std::uint32_t>(1 + rng.below(16));
+  std::vector<PlannerJobState> jobs(njobs);
+  for (auto& job : jobs) {
+    job.completed_once = rng.below(3) != 0;  // bias towards completed
+    if (!job.completed_once) continue;
+    // Random damage subset, left deliberately unsorted.
+    std::vector<std::uint32_t> damage;
+    for (std::uint32_t p = 0; p < partitions; ++p) {
+      if (rng.below(4) == 0) damage.push_back(p);
+    }
+    std::shuffle(damage.begin(), damage.end(), rng);
+    job.damaged_partitions = std::move(damage);
+  }
+  return jobs;
+}
+
+/// Ground truth after executing `plan`: recomputations regenerate their
+/// damaged partitions, full runs complete the job.
+std::vector<PlannerJobState> apply_plan(
+    std::vector<PlannerJobState> jobs,
+    const std::vector<PlannedSubmission>& plan) {
+  for (const auto& sub : plan) {
+    jobs[sub.logical_id].completed_once = true;
+    jobs[sub.logical_id].damaged_partitions.clear();
+  }
+  return jobs;
+}
+
+TEST(PlannerFuzz, PlansAreMinimalOrderedAndExact) {
+  const std::uint32_t seeds = testfx::fuzz_seed_count(50);
+  for (std::uint32_t seed = 0; seed < seeds; ++seed) {
+    Rng rng(seed);
+    const auto jobs = random_state(rng);
+    const auto plan = core::plan_chain(jobs);
+
+    // Ascending, duplicate-free logical order: inputs regenerate before
+    // their consumers.
+    for (std::size_t i = 1; i < plan.size(); ++i) {
+      EXPECT_LT(plan[i - 1].logical_id, plan[i].logical_id) << "seed " << seed;
+    }
+
+    std::vector<const PlannedSubmission*> by_job(jobs.size(), nullptr);
+    for (const auto& sub : plan) {
+      ASSERT_LT(sub.logical_id, jobs.size()) << "seed " << seed;
+      by_job[sub.logical_id] = &sub;
+    }
+    for (std::uint32_t j = 0; j < jobs.size(); ++j) {
+      const auto& state = jobs[j];
+      const PlannedSubmission* sub = by_job[j];
+      if (!state.completed_once) {
+        // Never-completed jobs run in full.
+        ASSERT_NE(sub, nullptr) << "seed " << seed << " job " << j;
+        EXPECT_FALSE(sub->recompute);
+        EXPECT_TRUE(sub->damaged_partitions.empty());
+      } else if (state.damaged_partitions.empty()) {
+        // Minimality: intact completed jobs are never resubmitted.
+        EXPECT_EQ(sub, nullptr) << "seed " << seed << " job " << j;
+      } else {
+        // Damaged completed jobs recompute exactly their damage, sorted.
+        ASSERT_NE(sub, nullptr) << "seed " << seed << " job " << j;
+        EXPECT_TRUE(sub->recompute);
+        EXPECT_TRUE(std::is_sorted(sub->damaged_partitions.begin(),
+                                   sub->damaged_partitions.end()));
+        auto expected = state.damaged_partitions;
+        std::sort(expected.begin(), expected.end());
+        EXPECT_EQ(sub->damaged_partitions, expected);
+      }
+    }
+  }
+}
+
+TEST(PlannerFuzz, PlanIsIdempotentAndShuffleInvariant) {
+  const std::uint32_t seeds = testfx::fuzz_seed_count(50);
+  for (std::uint32_t seed = 0; seed < seeds; ++seed) {
+    Rng rng(seed ^ 0x9e3779b9u);
+    const auto jobs = random_state(rng);
+    const auto plan = core::plan_chain(jobs);
+
+    // Executing the plan leaves nothing to replan.
+    EXPECT_TRUE(core::plan_chain(apply_plan(jobs, plan)).empty())
+        << "seed " << seed;
+
+    // Damage-list order is presentation, not semantics.
+    auto shuffled = jobs;
+    for (auto& job : shuffled) {
+      std::shuffle(job.damaged_partitions.begin(),
+                   job.damaged_partitions.end(), rng);
+    }
+    const auto plan2 = core::plan_chain(shuffled);
+    ASSERT_EQ(plan.size(), plan2.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      EXPECT_EQ(plan[i].logical_id, plan2[i].logical_id);
+      EXPECT_EQ(plan[i].recompute, plan2[i].recompute);
+      EXPECT_EQ(plan[i].damaged_partitions, plan2[i].damaged_partitions);
+    }
+  }
+}
+
+TEST(PlannerFuzz, NestedDamageUnionsIntoOnePlan) {
+  // The paper's nested-failure property: replanning from ground truth
+  // after *additional* damage covers everything the first plan covered,
+  // plus the new loss — never less.
+  const std::uint32_t seeds = testfx::fuzz_seed_count(50);
+  for (std::uint32_t seed = 0; seed < seeds; ++seed) {
+    Rng rng(seed + 0x51edULL);
+    auto jobs = random_state(rng);
+    const auto before = core::plan_chain(jobs);
+
+    // Second failure: more damage lands on a random completed job.
+    std::vector<std::uint32_t> completed;
+    for (std::uint32_t j = 0; j < jobs.size(); ++j) {
+      if (jobs[j].completed_once) completed.push_back(j);
+    }
+    if (completed.empty()) continue;
+    const auto victim = completed[rng.below(completed.size())];
+    auto& damage = jobs[victim].damaged_partitions;
+    const auto extra = static_cast<std::uint32_t>(100 + rng.below(8));
+    if (std::find(damage.begin(), damage.end(), extra) == damage.end()) {
+      damage.push_back(extra);
+    }
+    const auto after = core::plan_chain(jobs);
+
+    EXPECT_GE(after.size(), before.size()) << "seed " << seed;
+    for (const auto& sub : before) {
+      const auto it = std::find_if(
+          after.begin(), after.end(), [&](const PlannedSubmission& s) {
+            return s.logical_id == sub.logical_id;
+          });
+      ASSERT_NE(it, after.end()) << "seed " << seed;
+      // Every partition planned before is still planned.
+      for (std::uint32_t p : sub.damaged_partitions) {
+        EXPECT_NE(std::find(it->damaged_partitions.begin(),
+                            it->damaged_partitions.end(), p),
+                  it->damaged_partitions.end())
+            << "seed " << seed << " job " << sub.logical_id;
+      }
+    }
+  }
+}
+
+TEST(PlannerFuzz, ChaosCampaignsReuseLegallyAndReproduceReference) {
+  // End-to-end cross-check against the obs auditor: schedules biased
+  // towards kills and transients force recomputation cascades whose
+  // persisted-output reuse flows through the auditor's Fig. 5 hook.
+  const auto cfg = testfx::chaos_config(/*nodes=*/8, /*chain=*/5);
+  const auto reference = testfx::reference_for(cfg);
+
+  cluster::RandomScheduleOptions opt;
+  opt.events = 3;
+  opt.p_kill = 0.35;
+  opt.p_transient = 0.35;
+  opt.p_disk = 0.15;
+  opt.p_compute = 0.0;
+  opt.p_rack = 0.0;
+  opt.p_corrupt_partition = 0.10;
+  opt.max_ordinal = 5;
+
+  const std::uint32_t seeds = testfx::fuzz_seed_count(8);
+  std::uint32_t survived = 0;
+  std::uint64_t reuse_checks = 0;
+  for (std::uint32_t seed = 0; seed < seeds; ++seed) {
+    Scenario sc(cfg);
+    const auto r = sc.run_chaos(strat(Strategy::kRcmpSplit),
+                                cluster::random_schedule(opt, 3000 + seed));
+    EXPECT_EQ(sc.obs().metrics.counter("audit.violations"), 0u)
+        << "seed " << seed;
+    reuse_checks += sc.obs().metrics.counter("audit.reuse_checks");
+    if (!r.completed) continue;
+    ++survived;
+    EXPECT_EQ(sc.final_output_checksum(), reference) << "seed " << seed;
+  }
+  EXPECT_GT(survived, 0u);
+  // Recomputation under kRcmpSplit reuses persisted map outputs, and
+  // every reuse was legality-checked.
+  EXPECT_GT(reuse_checks, 0u);
+}
+
+}  // namespace
+}  // namespace rcmp

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/middleware.hpp"
+#include "fixtures.hpp"
 #include "workloads/scenario.hpp"
 
 namespace rcmp {
@@ -12,37 +13,10 @@ namespace {
 using core::Strategy;
 using core::StrategyConfig;
 using mapred::JobResult;
+using testfx::classify;
+using testfx::fail_at;
+using testfx::strat;
 using workloads::Scenario;
-
-StrategyConfig strat(Strategy s) {
-  StrategyConfig cfg;
-  cfg.strategy = s;
-  return cfg;
-}
-
-cluster::FailurePlan fail_at(std::vector<std::uint32_t> ords) {
-  cluster::FailurePlan plan;
-  plan.at_job_ordinals = std::move(ords);
-  return plan;
-}
-
-/// Runs completed during a chain, by kind.
-struct RunKinds {
-  std::vector<const JobResult*> initial, recompute, cancelled;
-};
-RunKinds classify(const core::ChainResult& r) {
-  RunKinds k;
-  for (const auto& run : r.runs) {
-    if (run.status == JobResult::Status::kCancelled) {
-      k.cancelled.push_back(&run);
-    } else if (run.was_recompute) {
-      k.recompute.push_back(&run);
-    } else {
-      k.initial.push_back(&run);
-    }
-  }
-  return k;
-}
 
 TEST(Recompute, LateFailureCascadesToChainStart) {
   // Paper Fig. 7 case (c): failure at job 7 of a 7-job chain => jobs

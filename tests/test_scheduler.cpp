@@ -1,0 +1,262 @@
+// Multi-tenant ChainScheduler behavior: single-tenant parity, 16-chain
+// scaling, blast-radius isolation on node failure, deterministic traces,
+// weighted fair sharing, work-conserving backfill, admission control and
+// cross-chain storage eviction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "fixtures.hpp"
+#include "workloads/scenario.hpp"
+
+namespace rcmp {
+namespace {
+
+using core::Strategy;
+using mapred::SlotKind;
+using testfx::multi_config;
+using testfx::strat;
+using workloads::MultiScenario;
+using workloads::Scenario;
+
+TEST(Scheduler, SingleTenantParityWithScenario) {
+  // One chain through the scheduler must behave exactly like the
+  // broker-less Scenario path: same data, same timing, same job count.
+  auto cfg = multi_config(/*chains=*/1, /*nodes=*/5, /*chain_length=*/3,
+                          /*records_per_node=*/128);
+  MultiScenario ms(cfg);
+  const auto r = ms.run(strat(Strategy::kRcmpSplit));
+  ASSERT_TRUE(r[0].completed);
+
+  Scenario sc(cfg.base);
+  const auto sr = sc.run(strat(Strategy::kRcmpSplit));
+  ASSERT_TRUE(sr.completed);
+
+  EXPECT_EQ(ms.final_output_checksum(0), sc.final_output_checksum());
+  EXPECT_EQ(r[0].jobs_started, sr.jobs_started);
+  EXPECT_DOUBLE_EQ(r[0].total_time, sr.total_time);
+}
+
+TEST(Scheduler, SixteenChainsAllComplete) {
+  auto cfg = multi_config(/*chains=*/16, /*nodes=*/8, /*chain_length=*/2,
+                          /*records_per_node=*/64);
+  MultiScenario ms(cfg);
+  const auto r = ms.run(strat(Strategy::kRcmpSplit));
+  ASSERT_EQ(r.size(), 16u);
+  for (std::uint32_t c = 0; c < 16; ++c) {
+    EXPECT_TRUE(r[c].completed) << "chain " << c;
+    EXPECT_EQ(r[c].jobs_started, 2u) << "chain " << c;
+    EXPECT_GT(ms.scheduler().grants(c), 0u) << "chain " << c;
+  }
+  EXPECT_EQ(ms.scheduler().peak_active(), 16u);  // unlimited admission
+  EXPECT_EQ(ms.obs().metrics.counter("sched.chains"), 16u);
+  EXPECT_EQ(ms.obs().metrics.counter("sched.admitted"), 16u);
+  EXPECT_EQ(ms.obs().metrics.counter("sched.completed"), 16u);
+}
+
+TEST(Scheduler, NodeFailureReplansOnlyDamagedChains) {
+  // Two chains run from t=0; two more are submitted long after the
+  // failure window. Killing one node mid-flight must replan exactly the
+  // chains that actually lost partitions — the late chains never touch
+  // the dead node's data and must stay untouched by recovery.
+  constexpr SimTime kLate = 100000.0;
+  auto cfg = multi_config(/*chains=*/4, /*nodes=*/8, /*chain_length=*/3,
+                          /*records_per_node=*/96);
+  cfg.submit_at = {0.0, 0.0, kLate, kLate};
+
+  // Probe the fault-free timeline for a kill time at which both early
+  // chains have a completed (unreplicated) job-1 output on disk.
+  SimTime t_kill = 0.0;
+  {
+    MultiScenario probe(cfg);
+    const auto r = probe.run(strat(Strategy::kRcmpSplit));
+    t_kill = std::max(r[0].runs[0].end_time, r[1].runs[0].end_time) + 5.0;
+    ASSERT_LT(t_kill, std::min(r[0].total_time, r[1].total_time));
+    ASSERT_LT(t_kill, kLate);
+  }
+
+  MultiScenario ms(cfg);
+  ms.start(strat(Strategy::kRcmpSplit));
+  ms.sim().run_until(t_kill);
+  ms.cluster().kill(2);
+  // Failure handlers ran synchronously: the ground-truth damage per
+  // chain is observable now, before detection acts on it.
+  std::array<bool, 4> damaged{};
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    damaged[c] = ms.middleware(c).has_unresolved_damage();
+  }
+  const auto r = ms.finish();
+
+  EXPECT_TRUE(damaged[0]);
+  EXPECT_TRUE(damaged[1]);
+  EXPECT_FALSE(damaged[2]);
+  EXPECT_FALSE(damaged[3]);
+  auto& sched = ms.scheduler();
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    ASSERT_TRUE(r[c].completed) << "chain " << c;
+    const std::uint32_t recoveries = sched.replans(c) + sched.restarts(c);
+    const std::string name = "sched.c" + std::to_string(c) + ".replans";
+    if (damaged[c]) {
+      EXPECT_GT(recoveries, 0u) << "chain " << c;
+      EXPECT_EQ(ms.obs().metrics.counter(name), sched.replans(c));
+    } else {
+      EXPECT_EQ(recoveries, 0u) << "chain " << c;
+      EXPECT_EQ(ms.obs().metrics.counter(name), 0u);
+    }
+  }
+}
+
+TEST(Scheduler, SameSeedChaosRunsProduceIdenticalTraces) {
+  auto cfg = multi_config(/*chains=*/3, /*nodes=*/8, /*chain_length=*/3,
+                          /*records_per_node=*/64);
+  cfg.base.trace_capacity = 1 << 15;
+  cluster::RandomScheduleOptions opt;
+  opt.events = 5;
+  opt.max_ordinal = 7;
+
+  auto one_run = [&](std::string* trace, std::string* metrics) {
+    MultiScenario ms(cfg);
+    ms.run_chaos(strat(Strategy::kRcmpSplit),
+                 cluster::random_schedule(opt, 77));
+    *trace = ms.obs().tracer.export_jsonl();
+    *metrics = ms.obs().metrics.dump_json();
+  };
+  std::string trace_a, metrics_a, trace_b, metrics_b;
+  one_run(&trace_a, &metrics_a);
+  one_run(&trace_b, &metrics_b);
+  EXPECT_FALSE(trace_a.empty());
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_EQ(metrics_a, metrics_b);
+}
+
+TEST(Scheduler, WeightedFairSharingFavorsHeavyChain) {
+  auto cfg = multi_config(/*chains=*/2, /*nodes=*/6, /*chain_length=*/3,
+                          /*records_per_node=*/128);
+  cfg.weights = {4.0, 1.0};
+  MultiScenario ms(cfg);
+  const auto r = ms.run(strat(Strategy::kRcmpSplit));
+  ASSERT_TRUE(r[0].completed);
+  ASSERT_TRUE(r[1].completed);
+  // Identical work, 4x the weight: the heavy chain must finish first.
+  EXPECT_LT(r[0].total_time, r[1].total_time);
+  // Its 4/5 entitlement of the 6 map slots (4.8 -> 4) was reachable
+  // while contended, and fairness actually had to deny someone.
+  EXPECT_GE(ms.scheduler().peak_in_use(0, SlotKind::kMap), 4u);
+  EXPECT_GT(ms.scheduler().total_denials(), 0u);
+  EXPECT_EQ(ms.obs().metrics.counter("sched.denials"),
+            ms.scheduler().total_denials());
+}
+
+TEST(Scheduler, BackfillExceedsFairShareWhenPeerIdle) {
+  // Two equal-weight chains on 6 map slots: a strict 50% partition
+  // would cap both at 3. Work conservation must let one chain grow past
+  // its entitlement whenever the other has no map demand (e.g. during
+  // its reduce phase).
+  auto cfg = multi_config(/*chains=*/2, /*nodes=*/6, /*chain_length=*/3,
+                          /*records_per_node=*/128);
+  MultiScenario ms(cfg);
+  const auto r = ms.run(strat(Strategy::kRcmpSplit));
+  ASSERT_TRUE(r[0].completed);
+  ASSERT_TRUE(r[1].completed);
+  const std::uint32_t half = ms.scheduler().alive_slots(SlotKind::kMap) / 2;
+  const std::uint32_t peak =
+      std::max(ms.scheduler().peak_in_use(0, SlotKind::kMap),
+               ms.scheduler().peak_in_use(1, SlotKind::kMap));
+  EXPECT_GT(peak, half);
+  EXPECT_GT(ms.scheduler().pokes_run(), 0u);
+}
+
+TEST(Scheduler, AdmissionCapBoundsConcurrency) {
+  auto cfg = multi_config(/*chains=*/4, /*nodes=*/6, /*chain_length=*/2,
+                          /*records_per_node=*/96);
+  cfg.max_concurrent = 2;
+  MultiScenario ms(cfg);
+  const auto r = ms.run(strat(Strategy::kRcmpSplit));
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    ASSERT_TRUE(r[c].completed) << "chain " << c;
+  }
+  EXPECT_EQ(ms.scheduler().peak_active(), 2u);
+  // A queued chain starts only once one of the first two finished.
+  const SimTime first_done =
+      std::min(r[0].runs.back().end_time, r[1].runs.back().end_time);
+  EXPECT_GE(r[2].runs.front().start_time, first_done);
+  EXPECT_GE(r[3].runs.front().start_time, first_done);
+}
+
+TEST(Scheduler, SharedStorageBudgetEvictsAcrossChains) {
+  auto cfg = multi_config(/*chains=*/2, /*nodes=*/6, /*chain_length=*/4,
+                          /*records_per_node=*/128);
+  mapred::Checksum ref0, ref1;
+  Bytes peak = 0;
+  {
+    MultiScenario free_run(cfg);
+    const auto r = free_run.run(strat(Strategy::kRcmpSplit));
+    ASSERT_TRUE(r[0].completed && r[1].completed);
+    peak = std::max(r[0].peak_storage, r[1].peak_storage);
+    ref0 = free_run.final_output_checksum(0);
+    ref1 = free_run.final_output_checksum(1);
+    EXPECT_EQ(free_run.scheduler().evicted_bytes(), 0u);
+  }
+
+  cfg.shared_storage_budget = peak - peak / 4;
+  MultiScenario ms(cfg);
+  const auto r = ms.run(strat(Strategy::kRcmpSplit));
+  ASSERT_TRUE(r[0].completed && r[1].completed);
+  EXPECT_GT(ms.scheduler().evicted_bytes(), 0u);
+  EXPECT_GE(ms.scheduler().evictions(0) + ms.scheduler().evictions(1), 1u);
+  // Eviction trades reuse for space, never correctness.
+  EXPECT_EQ(ms.final_output_checksum(0), ref0);
+  EXPECT_EQ(ms.final_output_checksum(1), ref1);
+}
+
+TEST(Scheduler, TransientFailureRestoresSlotInventory) {
+  auto cfg = multi_config(/*chains=*/2, /*nodes=*/8, /*chain_length=*/3,
+                          /*records_per_node=*/96);
+  cluster::FaultSchedule schedule;
+  cluster::FaultEvent ev;
+  ev.mode = cluster::FaultMode::kTransient;
+  ev.at_job_ordinal = 2;
+  ev.delay = 5.0;
+  ev.node = 3;
+  ev.downtime = 60.0;
+  schedule.events.push_back(ev);
+
+  MultiScenario ms(cfg);
+  const auto r = ms.run_chaos(strat(Strategy::kRcmpSplit), schedule);
+  ASSERT_TRUE(r[0].completed);
+  ASSERT_TRUE(r[1].completed);
+  // The rejoined node's slots are back in the shared inventory.
+  EXPECT_EQ(ms.scheduler().alive_slots(SlotKind::kMap),
+            8 * ms.cluster().spec().map_slots);
+  EXPECT_EQ(ms.scheduler().alive_slots(SlotKind::kReduce),
+            8 * ms.cluster().spec().reduce_slots);
+}
+
+TEST(Scheduler, ChainTaggedTraceAndSchedMetrics) {
+  auto cfg = multi_config(/*chains=*/2, /*nodes=*/5, /*chain_length=*/2,
+                          /*records_per_node=*/64);
+  cfg.base.trace_capacity = 1 << 13;
+  MultiScenario ms(cfg);
+  const auto r = ms.run(strat(Strategy::kRcmpSplit));
+  ASSERT_TRUE(r[0].completed && r[1].completed);
+
+  const std::string json = ms.obs().tracer.export_jsonl();
+  EXPECT_NE(json.find("\"c\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"c\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"ev\":\"slot_grant\""), std::string::npos);
+  EXPECT_NE(json.find("\"ev\":\"chain_admit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ev\":\"chain_done\""), std::string::npos);
+
+  const auto& m = ms.obs().metrics;
+  EXPECT_GT(m.counter("sched.grants"), 0u);
+  EXPECT_EQ(m.counter("sched.c0.grants"), ms.scheduler().grants(0));
+  EXPECT_EQ(m.counter("sched.c1.grants"), ms.scheduler().grants(1));
+  // Per-tenant middleware metrics carry the tenant prefix.
+  EXPECT_GT(m.counter("t0.jobs.mappers_executed"), 0u);
+  EXPECT_GT(m.counter("t1.jobs.mappers_executed"), 0u);
+}
+
+}  // namespace
+}  // namespace rcmp
