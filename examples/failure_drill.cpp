@@ -73,6 +73,11 @@ void write_file(const std::string& path, const std::string& content) {
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
+  // Detector overrides; --detector (or any knob) also reruns parts 1-3
+  // under heartbeat detection instead of the oracle. Part 4 always uses
+  // the detector.
+  cluster::DetectorConfig detcfg;
+  bool use_detector = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -80,19 +85,48 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg == "--metrics" && has_value) {
       metrics_path = argv[++i];
+    } else if (arg == "--detector") {
+      use_detector = true;
+    } else if (arg == "--heartbeat-interval" && has_value) {
+      use_detector = true;
+      detcfg.heartbeat_interval = std::atof(argv[++i]);
+    } else if (arg == "--suspicion-timeout" && has_value) {
+      use_detector = true;
+      detcfg.suspicion_timeout = std::atof(argv[++i]);
+    } else if (arg == "--quarantine-threshold" && has_value) {
+      use_detector = true;
+      detcfg.quarantine_threshold =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else {
       std::fprintf(stderr,
-                   "usage: failure_drill [--trace PATH] [--metrics PATH]\n");
+                   "usage: failure_drill [--trace PATH] [--metrics PATH]\n"
+                   "                     [--detector]\n"
+                   "                     [--heartbeat-interval SECONDS]\n"
+                   "                     [--suspicion-timeout SECONDS]\n"
+                   "                     [--quarantine-threshold N]\n");
       return 2;
     }
+  }
+  detcfg.enabled = use_detector;
+  // Reject bad knobs here with a clean exit instead of letting the
+  // detector's ConfigError terminate mid-drill. A negative suspicion
+  // timeout is valid: it inherits the engine detect timeout (the shim).
+  if (use_detector &&
+      (detcfg.heartbeat_interval <= 0.0 ||
+       detcfg.suspicion_timeout == 0.0)) {
+    std::fprintf(stderr,
+                 "failure_drill: heartbeat interval and suspicion "
+                 "timeout must be positive\n");
+    return 2;
   }
 
   bool all_ok = true;
 
   // -- part 1: the paper's ordinal kill drills ------------------------
-  const auto config =
+  auto config =
       workloads::payload_config(/*nodes=*/8, /*chain_length=*/5,
                                 /*records_per_node=*/512);
+  config.detector = detcfg;
   double clean_time = 0.0;
   const mapred::Checksum reference = reference_for(config, &clean_time);
   std::printf("reference run: %.1f s, %llu records\n\n", clean_time,
@@ -134,6 +168,7 @@ int main(int argc, char** argv) {
       workloads::payload_config(/*nodes=*/10, /*chain_length=*/7,
                                 /*records_per_node=*/512);
   chaos_config.cluster.racks = 2;
+  chaos_config.detector = detcfg;
   // Storage loss is permanent in this simulator (no re-replication), so
   // the campaign's source-input durability is pure replication headroom:
   // with replication 4, any three storage-loss events provably cannot
@@ -248,6 +283,53 @@ int main(int argc, char** argv) {
                 outcome_label(result, ok)});
   }
   std::fputs(tt.to_string().c_str(), stdout);
+
+  // -- part 4: heartbeat-detector drills ------------------------------
+  // The oracle never suspects a live node; heartbeats do. Each drill
+  // verifies that detection mistakes — a partitioned-but-alive node, a
+  // healthy node whose heartbeats are lost, and a real kill seen only
+  // through silence — still end in byte-identical output.
+  auto det_config = chaos_config;
+  det_config.detector = detcfg;
+  det_config.detector.enabled = true;
+  struct DetectorDrill {
+    const char* name;
+    cluster::FaultSchedule schedule;
+  };
+  const DetectorDrill det_drills[] = {
+      {"kill, seen only through missing heartbeats",
+       {{FaultEvent{FaultMode::kKill, 3, 15.0}}}},
+      {"network partition (false suspicion, heals)",
+       {{FaultEvent{FaultMode::kNetworkPartition, 3, 15.0,
+                    cluster::kInvalidNode, cluster::kAnyRack, 60.0}}}},
+      {"heartbeat loss only (node stays healthy)",
+       {{FaultEvent{FaultMode::kHeartbeatLoss, 3, 15.0,
+                    cluster::kInvalidNode, cluster::kAnyRack, 60.0}}}},
+  };
+
+  std::printf("\ndetector drills (heartbeats replace the failure oracle):\n");
+  Table dt({"drill", "suspicions", "false", "reconciled", "quarantines",
+            "ttd (s)", "slowdown", "output"});
+  for (const DetectorDrill& d : det_drills) {
+    workloads::Scenario scenario(det_config);
+    core::StrategyConfig strategy;
+    strategy.strategy = core::Strategy::kRcmpSplit;
+    const auto result = scenario.run_chaos(strategy, d.schedule);
+    const cluster::FailureDetector& det = *scenario.detector();
+    const bool ok =
+        result.completed && scenario.final_output_checksum() == chaos_ref;
+    all_ok &= ok;
+    dt.add_row({d.name, std::to_string(det.suspicions()),
+                std::to_string(det.false_suspicions()),
+                std::to_string(det.reconciliations()),
+                std::to_string(det.quarantines()),
+                det.last_time_to_detect() >= 0.0
+                    ? Table::num(det.last_time_to_detect(), 1)
+                    : "-",
+                Table::num(result.total_time / chaos_clean) + "x",
+                outcome_label(result, ok)});
+  }
+  std::fputs(dt.to_string().c_str(), stdout);
 
   std::printf("\n%s\n", all_ok ? "all drills recovered with identical "
                                  "output."

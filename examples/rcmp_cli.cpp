@@ -51,6 +51,16 @@ void usage() {
       "  --fail N                     inject a failure at job ordinal N\n"
       "                               (repeatable)\n"
       "  --seed N                     RNG seed\n"
+      "detection (default: oracle model, i.e. the paper's fixed timer):\n"
+      "  --detector                   heartbeat failure detector\n"
+      "  --heartbeat-interval X       seconds between heartbeats\n"
+      "                               (implies --detector, default 3)\n"
+      "  --suspicion-timeout X        seconds without a heartbeat before\n"
+      "                               suspicion (implies --detector;\n"
+      "                               default: the engine detect timeout)\n"
+      "  --quarantine-threshold N     failed attempts before a node is\n"
+      "                               blacklisted, 0 disables (implies\n"
+      "                               --detector, default 3)\n"
       "misc:\n"
       "  --speculation                enable speculative execution\n"
       "  --trace PATH                 write a JSONL event trace to PATH\n"
@@ -165,6 +175,18 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(std::atoi(next_value(i))));
     } else if (arg == "--seed") {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(next_value(i)));
+    } else if (arg == "--detector") {
+      cfg.detector.enabled = true;
+    } else if (arg == "--heartbeat-interval") {
+      cfg.detector.enabled = true;
+      cfg.detector.heartbeat_interval = std::atof(next_value(i));
+    } else if (arg == "--suspicion-timeout") {
+      cfg.detector.enabled = true;
+      cfg.detector.suspicion_timeout = std::atof(next_value(i));
+    } else if (arg == "--quarantine-threshold") {
+      cfg.detector.enabled = true;
+      cfg.detector.quarantine_threshold = static_cast<std::uint32_t>(
+          std::atoi(next_value(i)));
     } else if (arg == "--speculation") {
       cfg.engine.speculative_execution = true;
     } else if (arg == "--trace") {
@@ -220,6 +242,18 @@ int main(int argc, char** argv) {
                std::to_string(run.reducers_executed)});
   }
   std::fputs(t.to_string().c_str(), stdout);
+  if (const cluster::FailureDetector* d = scenario->detector()) {
+    std::printf(
+        "\ndetector: %llu heartbeats, %u suspicion(s) (%u false, "
+        "%u reconciled), %u quarantine(s)",
+        static_cast<unsigned long long>(d->heartbeats_received()),
+        d->suspicions(), d->false_suspicions(), d->reconciliations(),
+        d->quarantines());
+    if (d->last_time_to_detect() >= 0.0) {
+      std::printf(", last time-to-detect %.1f s", d->last_time_to_detect());
+    }
+    std::printf("\n");
+  }
   std::printf(
       "\nchain %s in %.1f simulated seconds — %u jobs started, "
       "%u failures, %u restarts, peak storage %.1f GB\n",

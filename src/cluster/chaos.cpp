@@ -16,6 +16,8 @@ const char* fault_mode_name(FaultMode mode) {
     case FaultMode::kRack: return "rack";
     case FaultMode::kCorruptPartition: return "corrupt-partition";
     case FaultMode::kCorruptMapOutput: return "corrupt-map-output";
+    case FaultMode::kNetworkPartition: return "network-partition";
+    case FaultMode::kHeartbeatLoss: return "heartbeat-loss";
   }
   return "?";
 }
@@ -40,6 +42,12 @@ FaultMode sample_random_mode(Rng& rng, const RandomScheduleOptions& opt) {
   if ((u -= opt.p_rack) < 0) return FaultMode::kRack;
   if ((u -= opt.p_corrupt_partition) < 0)
     return FaultMode::kCorruptPartition;
+  // New modes draw from probability mass that was previously part of
+  // the kCorruptMapOutput remainder, so existing seeds with the default
+  // zero probabilities sample identical schedules.
+  if ((u -= opt.p_network_partition) < 0)
+    return FaultMode::kNetworkPartition;
+  if ((u -= opt.p_heartbeat_loss) < 0) return FaultMode::kHeartbeatLoss;
   return FaultMode::kCorruptMapOutput;
 }
 
@@ -227,6 +235,47 @@ void ChaosEngine::fire(const FaultEvent& ev) {
         return;
       }
       break;
+    }
+    case FaultMode::kNetworkPartition: {
+      std::vector<NodeId> candidates;
+      for (NodeId n = 0; n < cluster_.size(); ++n) {
+        if (cluster_.alive(n) && cluster_.reachable(n))
+          candidates.push_back(n);
+      }
+      const NodeId v = pick_victim(ev, candidates);
+      if (v == kInvalidNode) break;
+      RCMP_INFO() << "t=" << now << " chaos: network partition of node "
+                  << v << " (heals in " << ev.downtime << "s)";
+      ++counts_.partitions;
+      cluster_.set_partitioned(v, true);
+      // A partitioned node cannot reach the master either: its
+      // heartbeats go dark for the partition's duration. (The detector
+      // also consults reachable() on emission; this keeps the blackout
+      // exact even if the heal path changes reachability first.)
+      if (detector_ != nullptr) detector_->drop_heartbeats(v, ev.downtime);
+      const std::uint64_t epoch = cluster_.failure_epoch(v);
+      cluster_.sim().schedule_after(ev.downtime, [this, v, epoch] {
+        // A real failure (or recovery) during the blackout supersedes
+        // this heal: recover() already clears partitions itself.
+        if (cluster_.failure_epoch(v) != epoch) return;
+        if (!cluster_.reachable(v)) cluster_.set_partitioned(v, false);
+      });
+      return;
+    }
+    case FaultMode::kHeartbeatLoss: {
+      if (detector_ == nullptr) break;  // nothing to suppress
+      std::vector<NodeId> candidates;
+      for (NodeId n = 0; n < cluster_.size(); ++n) {
+        if (cluster_.compute_alive(n) && cluster_.is_compute_node(n))
+          candidates.push_back(n);
+      }
+      const NodeId v = pick_victim(ev, candidates);
+      if (v == kInvalidNode) break;
+      RCMP_INFO() << "t=" << now << " chaos: dropping heartbeats of node "
+                  << v << " for " << ev.downtime << "s (node is healthy)";
+      ++counts_.heartbeat_losses;
+      detector_->drop_heartbeats(v, ev.downtime);
+      return;
     }
   }
   ++counts_.noops;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "cluster/detector.hpp"
 #include "cluster/failure_trace.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -40,6 +41,8 @@ enum class FaultMode : std::uint8_t {
   kRack,              // correlated kill of every fully-alive node in a rack
   kCorruptPartition,  // silently corrupt a persisted DFS partition
   kCorruptMapOutput,  // silently corrupt a persisted map output bucket
+  kNetworkPartition,  // node alive but unreachable for `downtime` seconds
+  kHeartbeatLoss,     // node healthy; only its heartbeats are dropped
 };
 
 const char* fault_mode_name(FaultMode mode);
@@ -97,6 +100,10 @@ struct RandomScheduleOptions {
   double p_compute = 0.15;
   double p_rack = 0.05;
   double p_corrupt_partition = 0.10;
+  /// Detector-era faults, 0 by default so pre-detector campaigns draw
+  /// identical schedules per seed (the sampler subtracts cumulatively).
+  double p_network_partition = 0.0;
+  double p_heartbeat_loss = 0.0;
   SimTime downtime = 90.0;
 };
 
@@ -119,6 +126,13 @@ class ChaosEngine {
     corrupt_map_output_ = std::move(h);
   }
 
+  /// Attach the failure detector so kHeartbeatLoss can suppress
+  /// heartbeats and kNetworkPartition also silences the victim's
+  /// heartbeat delivery (a partitioned node cannot reach the master).
+  /// Without a detector both modes degrade: kNetworkPartition still
+  /// flips reachability; kHeartbeatLoss becomes a counted no-op.
+  void set_detector(FailureDetector* detector) { detector_ = detector; }
+
   /// Middleware reports every job start; ordinal is the job's 1-based
   /// global start index. Arms every not-yet-fired event at that ordinal.
   void notify_job_start(std::uint32_t ordinal);
@@ -132,10 +146,13 @@ class ChaosEngine {
     std::uint32_t rack_events = 0;
     std::uint32_t corrupt_partitions = 0;
     std::uint32_t corrupt_map_outputs = 0;
+    std::uint32_t partitions = 0;        // network partitions injected
+    std::uint32_t heartbeat_losses = 0;  // heartbeat-suppression windows
     std::uint32_t noops = 0;  // events with no eligible victim/target
     std::uint32_t injected() const {
       return kills + transients + disk_failures + compute_failures +
-             corrupt_partitions + corrupt_map_outputs;
+             corrupt_partitions + corrupt_map_outputs + partitions +
+             heartbeat_losses;
     }
   };
   const Counts& counts() const { return counts_; }
@@ -151,6 +168,7 @@ class ChaosEngine {
 
   Cluster& cluster_;
   FaultSchedule schedule_;
+  FailureDetector* detector_ = nullptr;
   Rng rng_;
   std::vector<bool> fired_;
   CorruptionHook corrupt_partition_;

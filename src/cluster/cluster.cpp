@@ -55,6 +55,7 @@ Cluster::Cluster(sim::Simulation& sim, res::FlowNetwork& net,
 
   compute_up_.assign(spec_.nodes, true);
   storage_up_.assign(spec_.nodes, true);
+  reachable_.assign(spec_.nodes, true);
   failure_epoch_.assign(spec_.nodes, 0);
   cpu_factor_.assign(spec_.nodes, 1.0);
   alive_count_ = spec_.nodes;
@@ -94,6 +95,28 @@ void Cluster::degrade_disk(NodeId n, double factor) {
   RCMP_CHECK(n < spec_.nodes);
   RCMP_CHECK(factor >= 1.0);
   net_.set_link_capacity(disk_[n], spec_.disk_bw / factor);
+}
+
+void Cluster::set_partitioned(NodeId n, bool partitioned) {
+  RCMP_CHECK(n < spec_.nodes);
+  const bool now_reachable = !partitioned;
+  if (reachable_[n] == now_reachable) return;
+  reachable_[n] = now_reachable;
+  RCMP_INFO() << "t=" << sim_.now() << " cluster: node " << n
+              << (partitioned ? " partitioned from the network"
+                              : " partition healed");
+  if (tracer_ != nullptr) {
+    if (partitioned) {
+      tracer_->emit(sim_.now(), obs::EventType::kFailure,
+                    obs::kKindPartition, n, obs::kNoField, obs::kNoField,
+                    0.0);
+    } else {
+      tracer_->emit(sim_.now(), obs::EventType::kRecovery,
+                    obs::kKindPartition, n, obs::kNoField, obs::kNoField,
+                    0.0);
+    }
+  }
+  for (auto& h : reachability_handlers_) h(n, now_reachable);
 }
 
 std::vector<NodeId> Cluster::alive_nodes() const {
@@ -168,6 +191,7 @@ void Cluster::recover(NodeId n) {
   cpu_factor_[n] = 1.0;
   net_.set_link_capacity(disk_[n], spec_.disk_bw);
   recount_alive();
+  if (!reachable_[n]) set_partitioned(n, false);
   RCMP_INFO() << "t=" << sim_.now() << " cluster: node " << n
               << " recovered with an empty disk (" << alive_count_
               << " alive)";

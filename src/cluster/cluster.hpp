@@ -129,6 +129,14 @@ class Cluster {
   /// nominal bandwidth (a failing drive).
   void degrade_disk(NodeId n, double factor);
 
+  /// Network partition injection: an unreachable node is fully healthy
+  /// but cut off from the rest of the cluster — its heartbeats are lost
+  /// and nothing can read from it until the partition heals (the chaos
+  /// engine's kNetworkPartition mode). Reachability handlers fire on
+  /// every flip; recover() also heals a partition.
+  void set_partitioned(NodeId n, bool partitioned);
+  bool reachable(NodeId n) const { return reachable_[n]; }
+
   /// Kill a node: storage and compute are lost simultaneously (the paper
   /// kills TaskTracker + DataNode together). Subscribers registered via
   /// on_kill()/on_failure() are notified immediately, in registration
@@ -166,6 +174,13 @@ class Cluster {
   using RecoverHandler = std::function<void(NodeId)>;
   void on_recover(RecoverHandler h) {
     recover_handlers_.push_back(std::move(h));
+  }
+
+  using ReachabilityHandler = std::function<void(NodeId, bool)>;
+  /// Fires whenever a node's reachability flips (partition onset with
+  /// false, heal with true).
+  void on_reachability(ReachabilityHandler h) {
+    reachability_handlers_.push_back(std::move(h));
   }
 
   res::LinkId disk(NodeId n) const { return disk_[n]; }
@@ -211,13 +226,14 @@ class Cluster {
   std::vector<res::LinkId> disk_, up_, down_;
   std::vector<res::LinkId> rack_up_, rack_down_;  // per rack (if > 1)
   res::LinkId fabric_ = 0;
-  std::vector<bool> compute_up_, storage_up_;
+  std::vector<bool> compute_up_, storage_up_, reachable_;
   std::vector<std::uint64_t> failure_epoch_;
   std::vector<double> cpu_factor_;
   std::uint32_t alive_count_ = 0;
   std::vector<KillHandler> kill_handlers_;
   std::vector<FailureHandler> failure_handlers_;
   std::vector<RecoverHandler> recover_handlers_;
+  std::vector<ReachabilityHandler> reachability_handlers_;
   obs::Tracer* tracer_ = nullptr;
 };
 

@@ -84,6 +84,37 @@ Middleware::Middleware(mapred::Env env, ChainSpec chain,
       [this](const cluster::FailureEvent& ev) { on_failure(ev); });
   env_.cluster.on_recover([this](cluster::NodeId n) { on_recover(n); });
 
+  if (env_.detector != nullptr) {
+    // Heartbeat detector replaces the oracle's fixed kill-to-detection
+    // delay: recovery actions fire when a suspicion is *raised* (which
+    // may be a false positive against a straggling or partitioned-but-
+    // alive node) and unwind when the node reconciles.
+    env_.detector->on_detection([this](cluster::NodeId n,
+                                       cluster::DetectionKind kind) {
+      if (chain_done_) return;
+      if (kind == cluster::DetectionKind::kFalseSuspicion &&
+          current_ != nullptr && current_->running()) {
+        current_->on_suspected(n);
+      }
+      handle_detection(n);
+    });
+    env_.detector->on_reconcile([this](cluster::NodeId n) {
+      if (chain_done_) return;
+      if (current_ != nullptr && current_->running()) {
+        current_->on_node_reconciled(n);
+      }
+    });
+    env_.cluster.on_reachability([this](cluster::NodeId n, bool up) {
+      if (chain_done_ || current_ == nullptr || !current_->running())
+        return;
+      if (up) {
+        current_->on_source_reachable(n);
+      } else {
+        current_->on_source_unreachable(n);
+      }
+    });
+  }
+
   // Let lower layers (the engine at shuffle completion) trigger a
   // storage sample without depending on core. Under multi-tenancy every
   // middleware samples the same shared total, so the first one to
@@ -293,9 +324,15 @@ void Middleware::on_failure(const cluster::FailureEvent& ev) {
       current_->on_disk_failed(ev.node);
     }
   }
-  const cluster::NodeId n = ev.node;
-  env_.sim.schedule_after(engine_cfg_.detect_timeout,
-                          [this, n] { handle_detection(n); });
+  // Oracle detection: a fixed kill-to-detection delay. With a heartbeat
+  // detector attached, detection instead arrives through its
+  // on_detection callback (missed-deadline suspicion or a loss report
+  // riding the next heartbeat).
+  if (env_.detector == nullptr) {
+    const cluster::NodeId n = ev.node;
+    env_.sim.schedule_after(engine_cfg_.detect_timeout,
+                            [this, n] { handle_detection(n); });
+  }
   // A storage failure moves usage off-ledger instantly; sample here so
   // peak_storage sees pre-detection state, then audit the books.
   if (env_.obs != nullptr) {
@@ -620,6 +657,8 @@ void Middleware::publish_metrics() {
           r.corrupt_blocks_detected);
     m.add(tag_ + "jobs.corrupt_map_outputs_detected",
           r.corrupt_map_outputs_detected);
+    m.add(tag_ + "jobs.speculative.launched", r.speculative_launched);
+    m.add(tag_ + "jobs.speculative.won", r.speculative_won);
     if (r.status == mapred::JobResult::Status::kCompleted) {
       m.observe(tag_ + "jobs.duration_seconds", r.duration());
     }

@@ -152,6 +152,7 @@ bool ChainScheduler::may_acquire(std::uint32_t c, cluster::NodeId n,
   const int k = static_cast<int>(kind);
   const ChainState& cs = chains_[c];
   if (!cs.admitted) return false;
+  if (detector_ != nullptr && !detector_->schedulable(n)) return false;
   if (free_[n][k] == 0) return false;
   if (can_grow(cs, k)) return true;
   // Past the entitlement: backfill idle capacity unless a hungry chain

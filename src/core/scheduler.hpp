@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "cluster/detector.hpp"
 #include "common/units.hpp"
 #include "dfs/namenode.hpp"
 #include "mapred/map_output_store.hpp"
@@ -88,6 +89,13 @@ class ChainScheduler {
 
   /// The chain's slot-broker client, for mapred::Env::slots.
   mapred::SlotBroker& broker(std::uint32_t chain);
+
+  /// Attach a failure detector: suspected/quarantined nodes are denied
+  /// at may_acquire for every chain (their inventory stays booked — a
+  /// suspicion is master-side belief, not a cluster event).
+  void set_detector(const cluster::FailureDetector* detector) {
+    detector_ = detector;
+  }
 
   /// Capacity-freed callback: typically forwards to the chain's current
   /// JobRun::poke().
@@ -214,6 +222,7 @@ class ChainScheduler {
   dfs::NameNode& dfs_;
   obs::Observability* obs_;
   Config cfg_;
+  const cluster::FailureDetector* detector_ = nullptr;
 
   std::vector<ChainState> chains_;
   /// Shared free-slot inventory, per node: [map, reduce].

@@ -37,6 +37,10 @@ bool JobRun::payload_mode() const { return payload_mode_; }
 // ---------------------------------------------------------------------
 
 bool JobRun::map_slot_free(cluster::NodeId n) const {
+  // Suspected and quarantined nodes receive no new task placements;
+  // this single gate covers both slot modes and every placement site.
+  if (env_.detector != nullptr && !env_.detector->schedulable(n))
+    return false;
   if (env_.slots != nullptr) {
     return map_node_banned_[n] == 0 &&
            env_.slots->may_acquire(n, SlotKind::kMap);
@@ -45,6 +49,8 @@ bool JobRun::map_slot_free(cluster::NodeId n) const {
 }
 
 bool JobRun::reduce_slot_free(cluster::NodeId n) const {
+  if (env_.detector != nullptr && !env_.detector->schedulable(n))
+    return false;
   if (env_.slots != nullptr) {
     return env_.slots->may_acquire(n, SlotKind::kReduce);
   }
@@ -310,6 +316,27 @@ void JobRun::schedule_tasks() {
 void JobRun::schedule_maps() {
   if (pending_maps_.empty()) return;
 
+  // Detector mode: tasks under a retry-backoff gate sit out this pass;
+  // one poke event re-runs scheduling at the earliest gate expiry.
+  std::vector<std::uint32_t> deferred;
+  if (env_.detector != nullptr) {
+    SimTime wake = std::numeric_limits<double>::max();
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < pending_maps_.size(); ++i) {
+      const std::uint32_t m = pending_maps_[i];
+      if (maps_[m].not_before > env_.sim.now()) {
+        deferred.push_back(m);
+        wake = std::min(wake, maps_[m].not_before);
+      } else {
+        pending_maps_[w++] = m;
+      }
+    }
+    if (!deferred.empty()) {
+      pending_maps_.resize(w);
+      arm_retry_poke(wake);
+    }
+  }
+
   // Locality pass: give every node with free map slots its local blocks
   // first (with even data distribution this keeps initial runs fully
   // data-local, as the paper notes for collocated clusters).
@@ -350,9 +377,31 @@ void JobRun::schedule_maps() {
     pending_maps_.pop_back();
     assign_map(m, target);
   }
+
+  pending_maps_.insert(pending_maps_.end(), deferred.begin(),
+                       deferred.end());
 }
 
 void JobRun::schedule_reduces() {
+  std::vector<std::uint32_t> deferred;
+  if (env_.detector != nullptr && !pending_reduces_.empty()) {
+    SimTime wake = std::numeric_limits<double>::max();
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < pending_reduces_.size(); ++i) {
+      const std::uint32_t r = pending_reduces_[i];
+      if (reduces_[r].not_before > env_.sim.now()) {
+        deferred.push_back(r);
+        wake = std::min(wake, reduces_[r].not_before);
+      } else {
+        pending_reduces_[w++] = r;
+      }
+    }
+    if (!deferred.empty()) {
+      pending_reduces_.resize(w);
+      arm_retry_poke(wake);
+    }
+  }
+
   std::size_t head = 0;
   while (head < pending_reduces_.size()) {
     cluster::NodeId target = cluster::kInvalidNode;
@@ -372,6 +421,8 @@ void JobRun::schedule_reduces() {
   pending_reduces_.erase(pending_reduces_.begin(),
                          pending_reduces_.begin() +
                              static_cast<std::ptrdiff_t>(head));
+  pending_reduces_.insert(pending_reduces_.end(), deferred.begin(),
+                          deferred.end());
 }
 
 void JobRun::assign_map(std::uint32_t m, cluster::NodeId n) {
@@ -440,17 +491,38 @@ void JobRun::map_startup_done(std::uint32_t m, std::uint32_t epoch) {
   if (state_ != RunState::kRunning || t.epoch != epoch) return;
   RCMP_CHECK(t.state == MapState::kStarting);
   t.ev = sim::kInvalidEvent;
+  start_map_read(m);
+}
 
-  const auto locs = env_.dfs.alive_locations(t.block_id);
-  if (locs.empty()) {
+void JobRun::start_map_read(std::uint32_t m) {
+  MapTask& t = maps_[m];
+  const auto all = env_.dfs.alive_locations(t.block_id);
+  if (all.empty()) {
     // Input replica vanished between assignment and now; the Master has
     // not yet detected the failure. Freeze — the detection handler will
     // report the data loss.
     t.state = MapState::kFrozen;
+    t.read_src = cluster::kInvalidNode;
+    return;
+  }
+  const std::vector<cluster::NodeId> locs =
+      env_.detector != nullptr ? serving_locations(t.block_id) : all;
+  if (locs.empty()) {
+    // Replicas survive but none currently serves (suspected or
+    // unreachable sources). Give the slot back and retry with backoff:
+    // either the partition heals or detection replaces the replica.
+    put_map_slot(t.node);
+    reset_map_task(m);
+    if (exhausted_retry_budget_) {
+      exhausted_retry_budget_ = false;
+      abort_data_loss();
+    }
     return;
   }
   const cluster::NodeId src = pick_read_source(locs, t.node);
+  t.read_src = src;
   t.state = MapState::kReading;
+  const std::uint32_t epoch = t.epoch;
   res::FlowSpec fs;
   auto path = env_.cluster.path_transfer(src, t.node,
                                          /*read_src_disk=*/true,
@@ -539,6 +611,8 @@ void JobRun::complete_map_task(std::uint32_t m) {
   t.state = MapState::kDone;
   t.end_time = env_.sim.now();
   t.executed = true;
+  t.spurious = false;  // a committed replacement supersedes the old copy
+  t.read_src = cluster::kInvalidNode;
   if (env_.obs != nullptr) {
     env_.obs->tracer.emit(t.end_time, obs::EventType::kTaskFinish,
                           obs::kKindMap, t.node, spec_.logical_id, m,
@@ -602,14 +676,27 @@ void JobRun::reset_map_task(std::uint32_t m) {
   const bool was_available =
       t.state == MapState::kDone || t.state == MapState::kReused;
   cancel_task_work(t);
-  if (t.state == MapState::kDone) {
-    // Drop the (lost) registered output so a fresh one replaces it.
-    env_.map_outputs.drop(t.key(spec_.logical_id));
+  if (was_available) {
+    const MapOutput* out = env_.map_outputs.find(t.key(spec_.logical_id));
+    const bool intact = out != nullptr && !out->lost &&
+                        env_.cluster.storage_alive(out->node);
+    if (t.state == MapState::kDone && !intact) {
+      // Drop the (lost) registered output so a fresh one replaces it.
+      env_.map_outputs.drop(t.key(spec_.logical_id));
+    }
+    // Detector mode only: an output that is merely *unavailable* (its
+    // serving node suspected or unreachable) stays persisted — this
+    // re-execution is speculative recovery, and reconciliation readopts
+    // the copy if the node turns out to be alive.
+    if (intact) t.spurious = true;
   }
   if (was_available) ++maps_remaining_;
+  if (!charge_attempt(t.attempts, t.not_before))
+    exhausted_retry_budget_ = true;
   ++t.epoch;
   t.state = MapState::kPending;
   t.node = cluster::kInvalidNode;
+  t.read_src = cluster::kInvalidNode;
   pending_maps_.push_back(m);
 }
 
@@ -626,6 +713,8 @@ void JobRun::speculation_check() {
   speculation_ev_ = sim::kInvalidEvent;
   if (state_ != RunState::kRunning) return;
   schedule_speculation_check();
+
+  if (cfg_.speculative_reducers) speculate_reducers();
 
   if (completed_map_count_ < cfg_.speculative_min_completed) return;
   const double avg =
@@ -787,6 +876,130 @@ void JobRun::cancel_duplicate(std::uint32_t m) {
   duplicates_.erase(it);
 }
 
+// Reducer speculation: only the compute phase races (the fetched bytes
+// are re-pulled from the original's local disk rather than re-shuffled
+// from every mapper, like Hadoop's reduce-side speculation shortcut in
+// spirit: the expensive part a straggling reducer repeats is compute).
+void JobRun::speculate_reducers() {
+  if (completed_reduce_count_ < cfg_.speculative_min_completed) return;
+  const double avg = completed_reduce_time_sum_ / completed_reduce_count_;
+  const double threshold = cfg_.speculative_slowness * avg;
+
+  for (std::uint32_t r = 0; r < reduces_.size(); ++r) {
+    const ReduceTask& rt = reduces_[r];
+    if (rt.state != ReduceState::kComputing) continue;
+    if (env_.sim.now() - rt.start_time <= threshold) continue;
+    if (reduce_duplicates_.count(r) > 0) continue;
+
+    cluster::NodeId target = cluster::kInvalidNode;
+    for (std::uint32_t step = 0; step < env_.cluster.size(); ++step) {
+      const cluster::NodeId n = (rr_cursor_ + step) % env_.cluster.size();
+      if (n != rt.node && env_.cluster.compute_alive(n) &&
+          reduce_slot_free(n)) {
+        target = n;
+        rr_cursor_ = n + 1;
+        break;
+      }
+    }
+    if (target == cluster::kInvalidNode) continue;
+    launch_reduce_duplicate(r, target);
+  }
+}
+
+void JobRun::launch_reduce_duplicate(std::uint32_t r,
+                                     cluster::NodeId node) {
+  take_reduce_slot(node);
+  ReduceDuplicate dup;
+  dup.token = next_dup_token_++;
+  dup.node = node;
+  const std::uint64_t token = dup.token;
+  dup.ev = env_.sim.schedule_after(cfg_.startup_cost(), [this, r, token] {
+    rdup_startup_done(r, token);
+  });
+  reduce_duplicates_[r] = std::move(dup);
+  ++result_.speculative_launched;
+  RCMP_DEBUG() << "t=" << env_.sim.now() << " speculating reducer " << r
+               << " on node " << node;
+}
+
+JobRun::ReduceDuplicate* JobRun::find_rdup(std::uint32_t r,
+                                           std::uint64_t token) {
+  auto it = reduce_duplicates_.find(r);
+  if (it == reduce_duplicates_.end() || it->second.token != token)
+    return nullptr;
+  return &it->second;
+}
+
+void JobRun::rdup_startup_done(std::uint32_t r, std::uint64_t token) {
+  ReduceDuplicate* dup = find_rdup(r, token);
+  if (dup == nullptr || state_ != RunState::kRunning) return;
+  dup->ev = sim::kInvalidEvent;
+  const ReduceTask& rt = reduces_[r];
+  if (rt.state != ReduceState::kComputing) {
+    cancel_reduce_duplicate(r);
+    return;
+  }
+  // Re-pull the already-shuffled bytes from the original's local disk.
+  res::FlowSpec fs;
+  auto path = env_.cluster.path_transfer(rt.node, dup->node,
+                                         /*read_src_disk=*/true,
+                                         /*write_dst_disk=*/true);
+  fs.path = std::move(path.links);
+  fs.weights = std::move(path.weights);
+  fs.bytes = round_bytes(rt.fetched_bytes);
+  fs.on_complete = [this, r, token] { rdup_pull_done(r, token); };
+  dup->flow = env_.net.start_flow(std::move(fs));
+}
+
+void JobRun::rdup_pull_done(std::uint32_t r, std::uint64_t token) {
+  ReduceDuplicate* dup = find_rdup(r, token);
+  if (dup == nullptr || state_ != RunState::kRunning) return;
+  dup->flow = res::kInvalidFlow;
+  const ReduceTask& rt = reduces_[r];
+  if (rt.state != ReduceState::kComputing) {
+    cancel_reduce_duplicate(r);
+    return;
+  }
+  // No tail debt: the per-segment fetch latency was paid once by the
+  // original; the duplicate streams one consolidated spill file.
+  const SimTime dt = rt.fetched_bytes / cfg_.reduce_cpu_rate *
+                     env_.cluster.cpu_factor(dup->node);
+  dup->ev = env_.sim.schedule_after(
+      dt, [this, r, token] { rdup_compute_done(r, token); });
+}
+
+void JobRun::rdup_compute_done(std::uint32_t r, std::uint64_t token) {
+  ReduceDuplicate* dup = find_rdup(r, token);
+  if (dup == nullptr || state_ != RunState::kRunning) return;
+  dup->ev = sim::kInvalidEvent;
+  ReduceTask& rt = reduces_[r];
+  RCMP_CHECK(rt.state == ReduceState::kComputing);
+  // The duplicate finished its compute first: stop the straggling
+  // original and write the output from the duplicate's node.
+  if (rt.ev != sim::kInvalidEvent) {
+    env_.sim.cancel(rt.ev);
+    rt.ev = sim::kInvalidEvent;
+  }
+  put_reduce_slot(rt.node);
+  rt.node = dup->node;
+  ++result_.speculative_won;
+  RCMP_DEBUG() << "t=" << env_.sim.now() << " speculative copy of reducer "
+               << r << " won on node " << rt.node;
+  // The task now occupies the duplicate's slot; no double refund.
+  reduce_duplicates_.erase(r);
+  finish_reduce_compute(r);
+}
+
+void JobRun::cancel_reduce_duplicate(std::uint32_t r) {
+  auto it = reduce_duplicates_.find(r);
+  if (it == reduce_duplicates_.end()) return;
+  ReduceDuplicate& dup = it->second;
+  if (dup.ev != sim::kInvalidEvent) env_.sim.cancel(dup.ev);
+  if (dup.flow != res::kInvalidFlow) env_.net.cancel_flow(dup.flow);
+  put_reduce_slot(dup.node);
+  reduce_duplicates_.erase(it);
+}
+
 void JobRun::on_map_phase_maybe_done() {
   if (state_ != RunState::kRunning) return;
   if (maps_remaining_ != 0) return;
@@ -813,8 +1026,7 @@ void JobRun::mark_contrib_ready(std::uint32_t r, std::uint32_t m) {
   RCMP_CHECK(rt.contrib[m] == ContribState::kWaiting);
   const MapOutput* out =
       env_.map_outputs.find(maps_[m].key(spec_.logical_id));
-  if (out == nullptr || out->lost ||
-      !env_.cluster.storage_alive(out->node)) {
+  if (out == nullptr || out->lost || !source_serving(out->node)) {
     return;  // stays kWaiting; a rerun will make it ready again
   }
   rt.contrib[m] = ContribState::kReady;
@@ -830,7 +1042,7 @@ void JobRun::flush_ready(std::uint32_t r, bool force) {
     // (zero-byte) fetch so the reducer's unfetched count drains.
     if (rt.ready[src].empty()) continue;
     if (!force && rt.ready_bytes[src] < flush_threshold_) continue;
-    if (!env_.cluster.storage_alive(src)) continue;  // rewound at detection
+    if (!source_serving(src)) continue;  // rewound at detection/suspicion
 
     FetchFlow ff;
     ff.reducer = r;
@@ -991,7 +1203,12 @@ void JobRun::reduce_compute_done(std::uint32_t r, std::uint32_t epoch) {
   if (state_ != RunState::kRunning || rt.epoch != epoch) return;
   RCMP_CHECK(rt.state == ReduceState::kComputing);
   rt.ev = sim::kInvalidEvent;
+  cancel_reduce_duplicate(r);  // the original won the race (if any)
+  finish_reduce_compute(r);
+}
 
+void JobRun::finish_reduce_compute(std::uint32_t r) {
+  ReduceTask& rt = reduces_[r];
   if (payload_mode_) {
     // Sort-merge: group values by key, one reduce call per key. Each
     // split owns whole keys, so grouping within the split is complete.
@@ -1104,6 +1321,8 @@ void JobRun::reduce_done(std::uint32_t r) {
                           rt.end_time - rt.start_time, env_.chain_tag);
   }
   ++result_.reducers_executed;
+  completed_reduce_time_sum_ += rt.end_time - rt.start_time;
+  ++completed_reduce_count_;
   RCMP_CHECK(reduces_remaining_ > 0);
   --reduces_remaining_;
   put_reduce_slot(rt.node);
@@ -1112,6 +1331,7 @@ void JobRun::reduce_done(std::uint32_t r) {
 }
 
 void JobRun::reset_reduce_task(std::uint32_t r) {
+  cancel_reduce_duplicate(r);
   ReduceTask& rt = reduces_[r];
   RCMP_CHECK(rt.state != ReduceState::kDone);
   if (env_.obs != nullptr) {
@@ -1143,6 +1363,8 @@ void JobRun::reset_reduce_task(std::uint32_t r) {
       mark_contrib_ready(r, m);
     }
   }
+  if (!charge_attempt(rt.attempts, rt.not_before))
+    exhausted_retry_budget_ = true;
   pending_reduces_.push_back(r);
 }
 
@@ -1173,6 +1395,9 @@ void JobRun::on_compute_failed(cluster::NodeId n) {
   std::vector<std::uint32_t> dup_tasks;
   for (const auto& [m, dup] : duplicates_) dup_tasks.push_back(m);
   for (std::uint32_t m : dup_tasks) cancel_duplicate(m);
+  std::vector<std::uint32_t> rdup_tasks;
+  for (const auto& [r, dup] : reduce_duplicates_) rdup_tasks.push_back(r);
+  for (std::uint32_t r : rdup_tasks) cancel_reduce_duplicate(r);
 
   for (auto& t : maps_) {
     if (t.node == n &&
@@ -1181,6 +1406,7 @@ void JobRun::on_compute_failed(cluster::NodeId n) {
          t.state == MapState::kWriting)) {
       cancel_task_work(t);
       t.state = MapState::kFrozen;
+      blame_node(n);
     }
   }
   for (std::uint32_t r = 0; r < reduces_.size(); ++r) {
@@ -1193,6 +1419,7 @@ void JobRun::on_compute_failed(cluster::NodeId n) {
       cancel_task_work(rt);
       cancel_fetches_of_reducer(r);
       rt.state = ReduceState::kFrozen;
+      blame_node(n);
     }
   }
 }
@@ -1203,33 +1430,7 @@ void JobRun::on_disk_failed(cluster::NodeId n) {
   // Shuffle transfers sourced at the dead disk stop flowing. Tasks
   // running on the node are untouched: a disk-only failure leaves the
   // node computing (its inputs/outputs stream over the network).
-  for (auto it = active_fetches_.begin(); it != active_fetches_.end();) {
-    if (it->second.src == n) {
-      env_.net.cancel_flow(it->second.flow);
-      ReduceTask& rt = reduces_[it->second.reducer];
-      if (rt.epoch == it->second.reducer_epoch) {
-        for (std::uint32_t m : it->second.mappers) {
-          if (rt.contrib[m] == ContribState::kInflight)
-            rt.contrib[m] = ContribState::kWaiting;
-        }
-      }
-      it = active_fetches_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-
-  // Buffered-but-unfetched contributions whose source died go back to
-  // waiting; the mapper will be re-executed after detection.
-  for (auto& rt : reduces_) {
-    if (rt.state == ReduceState::kDone) continue;
-    for (std::uint32_t m : rt.ready[n]) {
-      if (rt.contrib[m] == ContribState::kReady)
-        rt.contrib[m] = ContribState::kWaiting;
-    }
-    rt.ready[n].clear();
-    rt.ready_bytes[n] = 0.0;
-  }
+  halt_fetches_from(n);
 
   // Output writes with a replica stream to the dead node stall until
   // the Master replans them at detection time.
@@ -1293,8 +1494,8 @@ JobRun::FailureOutcome JobRun::on_detected_failure(cluster::NodeId n) {
     if (t.state != MapState::kDone && t.state != MapState::kReused)
       continue;
     const MapOutput* out = env_.map_outputs.find(t.key(spec_.logical_id));
-    const bool output_ok = out != nullptr && !out->lost &&
-                           env_.cluster.storage_alive(out->node);
+    const bool output_ok =
+        out != nullptr && !out->lost && source_serving(out->node);
     if (output_ok) continue;
     bool needed = false;
     for (const auto& rt : reduces_) {
@@ -1333,9 +1534,246 @@ JobRun::FailureOutcome JobRun::on_detected_failure(cluster::NodeId n) {
     }
   }
 
+  // 6) Detector mode: a task that burned through its per-attempt retry
+  //    budget stops retrying against a persistently bad placement and
+  //    escalates to the middleware's replan instead.
+  if (exhausted_retry_budget_) {
+    exhausted_retry_budget_ = false;
+    RCMP_WARN() << "t=" << env_.sim.now() << " job " << spec_.name
+                << ": task attempt budget exhausted — aborting for replan";
+    return FailureOutcome::kNeedsAbort;
+  }
+
   schedule_tasks();
   on_map_phase_maybe_done();
   return FailureOutcome::kRecovered;
+}
+
+// ---------------------------------------------------------------------
+// detector-driven resilience (all paths below are unreachable without
+// an attached cluster::FailureDetector)
+// ---------------------------------------------------------------------
+
+bool JobRun::source_serving(cluster::NodeId n) const {
+  if (!env_.cluster.storage_alive(n)) return false;
+  if (env_.detector == nullptr) return true;
+  // A suspected or partitioned node's persisted data is *unavailable*
+  // (not lost): fetches avoid it, and reconciliation re-admits it.
+  if (!env_.cluster.reachable(n)) return false;
+  return !env_.detector->suspected(n);
+}
+
+std::vector<cluster::NodeId> JobRun::serving_locations(
+    std::uint64_t block_id) const {
+  std::vector<cluster::NodeId> out;
+  for (cluster::NodeId l : env_.dfs.alive_locations(block_id)) {
+    if (source_serving(l)) out.push_back(l);
+  }
+  return out;
+}
+
+bool JobRun::charge_attempt(std::uint32_t& attempts, SimTime& not_before) {
+  if (env_.detector == nullptr) return true;  // oracle mode: no budgets
+  ++attempts;
+  // Always back off — even the exhausting attempt. If the caller's
+  // escalation is deferred (or the job is replanned and the task
+  // returns), the task must not spin hot in the scheduler.
+  const double growth = std::pow(
+      cfg_.retry_backoff_factor,
+      static_cast<double>(std::min(attempts, 8u) - 1));
+  not_before = env_.sim.now() + cfg_.retry_backoff_base * growth;
+  return cfg_.max_task_attempts == 0 || attempts < cfg_.max_task_attempts;
+}
+
+void JobRun::blame_node(cluster::NodeId n) {
+  if (env_.detector != nullptr) env_.detector->record_task_failure(n);
+}
+
+void JobRun::arm_retry_poke(SimTime when) {
+  if (retry_ev_ != sim::kInvalidEvent) {
+    if (retry_at_ <= when) return;
+    env_.sim.cancel(retry_ev_);
+  }
+  retry_at_ = when;
+  retry_ev_ = env_.sim.schedule_after(when - env_.sim.now(), [this] {
+    retry_ev_ = sim::kInvalidEvent;
+    if (state_ != RunState::kRunning) return;
+    schedule_tasks();
+  });
+}
+
+void JobRun::halt_fetches_from(cluster::NodeId n) {
+  for (auto it = active_fetches_.begin(); it != active_fetches_.end();) {
+    if (it->second.src == n) {
+      env_.net.cancel_flow(it->second.flow);
+      ReduceTask& rt = reduces_[it->second.reducer];
+      if (rt.epoch == it->second.reducer_epoch) {
+        for (std::uint32_t m : it->second.mappers) {
+          if (rt.contrib[m] == ContribState::kInflight)
+            rt.contrib[m] = ContribState::kWaiting;
+        }
+      }
+      it = active_fetches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Buffered-but-unfetched contributions whose source went away rewind
+  // to waiting; they re-buffer when the source serves again (or after a
+  // mapper re-execution).
+  for (auto& rt : reduces_) {
+    if (rt.state == ReduceState::kDone) continue;
+    for (std::uint32_t m : rt.ready[n]) {
+      if (rt.contrib[m] == ContribState::kReady)
+        rt.contrib[m] = ContribState::kWaiting;
+    }
+    rt.ready[n].clear();
+    rt.ready_bytes[n] = 0.0;
+  }
+}
+
+void JobRun::on_suspected(cluster::NodeId n) {
+  if (state_ != RunState::kRunning) return;
+  if (env_.slots == nullptr) {
+    free_map_slots_[n] = 0;
+    free_reduce_slots_[n] = 0;
+  }
+  // Drop all speculative duplicates: any of them may be running on, or
+  // reading from, the suspected node (mirrors on_compute_failed).
+  std::vector<std::uint32_t> dup_tasks;
+  for (const auto& [m, dup] : duplicates_) dup_tasks.push_back(m);
+  for (std::uint32_t m : dup_tasks) cancel_duplicate(m);
+  std::vector<std::uint32_t> rdup_tasks;
+  for (const auto& [r, dup] : reduce_duplicates_) rdup_tasks.push_back(r);
+  for (std::uint32_t r : rdup_tasks) cancel_reduce_duplicate(r);
+
+  for (auto& t : maps_) {
+    if (t.node == n &&
+        (t.state == MapState::kStarting || t.state == MapState::kReading ||
+         t.state == MapState::kComputing ||
+         t.state == MapState::kWriting)) {
+      cancel_task_work(t);
+      t.state = MapState::kFrozen;
+      // Unlike a real compute failure, the broker never saw a cluster
+      // event for a suspicion: hand the frozen task's slot back
+      // explicitly (may_acquire's detector gate keeps it off node n).
+      if (env_.slots != nullptr) env_.slots->release(n, SlotKind::kMap);
+      blame_node(n);
+    }
+  }
+  for (std::uint32_t r = 0; r < reduces_.size(); ++r) {
+    ReduceTask& rt = reduces_[r];
+    if (rt.node == n &&
+        (rt.state == ReduceState::kStarting ||
+         rt.state == ReduceState::kFetching ||
+         rt.state == ReduceState::kComputing ||
+         rt.state == ReduceState::kWriting)) {
+      cancel_task_work(rt);
+      cancel_fetches_of_reducer(r);
+      rt.state = ReduceState::kFrozen;
+      if (env_.slots != nullptr) env_.slots->release(n, SlotKind::kReduce);
+      blame_node(n);
+    }
+  }
+  // Suspicion is a master-side belief: in-flight writes TO the node
+  // physically proceed, but nothing new fetches FROM it.
+  halt_fetches_from(n);
+}
+
+void JobRun::on_node_reconciled(cluster::NodeId n) {
+  if (state_ != RunState::kRunning) return;
+  // The suspicion zeroed the node's private slot complement; restore it
+  // (broker mode: the shared inventory was never touched — the
+  // may_acquire gate simply lifts once the detector clears n).
+  if (env_.slots == nullptr && env_.cluster.compute_alive(n) &&
+      env_.cluster.is_compute_node(n)) {
+    free_map_slots_[n] = env_.cluster.spec().map_slots;
+    free_reduce_slots_[n] = env_.cluster.spec().reduce_slots;
+  }
+  // Readopt persisted outputs whose spurious re-execution has not
+  // committed yet: cancel the replacement work and restore the task to
+  // its pre-suspicion terminal state, leaving the DFS and map-output
+  // ledgers exactly as if the node had never been suspected.
+  for (std::uint32_t m = 0; m < maps_.size(); ++m) {
+    MapTask& t = maps_[m];
+    if (!t.spurious) continue;
+    if (t.state == MapState::kDone || t.state == MapState::kReused) {
+      t.spurious = false;  // replacement already committed; keep it
+      continue;
+    }
+    const MapOutput* out = env_.map_outputs.find(t.key(spec_.logical_id));
+    if (out == nullptr || out->lost || !source_serving(out->node)) continue;
+    cancel_duplicate(m);
+    if (t.state == MapState::kPending) {
+      auto it = std::find(pending_maps_.begin(), pending_maps_.end(), m);
+      if (it != pending_maps_.end()) pending_maps_.erase(it);
+    } else if (t.state != MapState::kFrozen) {  // frozen holds no slot
+      cancel_task_work(t);
+      put_map_slot(t.node);
+    }
+    ++t.epoch;
+    t.state = t.executed ? MapState::kDone : MapState::kReused;
+    t.node = out->node;
+    t.read_src = cluster::kInvalidNode;
+    t.spurious = false;
+    RCMP_CHECK(maps_remaining_ > 0);
+    --maps_remaining_;
+    on_mapper_available(m);
+  }
+  // Contributions that rewound to waiting when n stopped serving (but
+  // whose tasks were never reset) re-buffer now.
+  on_source_reachable(n);
+  schedule_tasks();
+  on_map_phase_maybe_done();
+}
+
+void JobRun::on_source_unreachable(cluster::NodeId n) {
+  if (state_ != RunState::kRunning) return;
+  halt_fetches_from(n);
+  // In-flight input reads sourced at n fail over to a serving replica
+  // (or requeue with backoff if none serves right now).
+  for (std::uint32_t m = 0; m < maps_.size(); ++m) {
+    MapTask& t = maps_[m];
+    if (t.state == MapState::kReading && t.read_src == n) {
+      if (t.flow != res::kInvalidFlow) {
+        env_.net.cancel_flow(t.flow);
+        t.flow = res::kInvalidFlow;
+      }
+      blame_node(n);
+      start_map_read(m);
+    }
+  }
+  // Speculative map duplicates do not track their read source; a
+  // partition event is rare enough to just drop any that are reading
+  // (speculation re-arms on the next check).
+  std::vector<std::uint32_t> doomed;
+  for (const auto& [m, dup] : duplicates_) {
+    if (dup.state == MapState::kReading) doomed.push_back(m);
+  }
+  for (std::uint32_t m : doomed) cancel_duplicate(m);
+  if (exhausted_retry_budget_) {
+    exhausted_retry_budget_ = false;
+    abort_data_loss();
+    return;
+  }
+  schedule_tasks();
+}
+
+void JobRun::on_source_reachable(cluster::NodeId n) {
+  if (state_ != RunState::kRunning) return;
+  // Persisted outputs on n serve again: re-buffer waiting contributions.
+  for (std::uint32_t m = 0; m < maps_.size(); ++m) {
+    const MapTask& t = maps_[m];
+    if (t.state != MapState::kDone && t.state != MapState::kReused)
+      continue;
+    const MapOutput* out = env_.map_outputs.find(t.key(spec_.logical_id));
+    if (out != nullptr && !out->lost && out->node == n) {
+      on_mapper_available(m);
+    }
+  }
+  if (maps_remaining_ == 0) flush_all_ready(/*force=*/true);
+  schedule_tasks();
 }
 
 // ---------------------------------------------------------------------
@@ -1372,6 +1810,7 @@ void JobRun::handle_corrupt_input(std::uint32_t m) {
 }
 
 void JobRun::handle_corrupt_map_output(std::uint32_t m) {
+  if (state_ != RunState::kRunning) return;
   MapTask& t = maps_[m];
   ++result_.corrupt_map_outputs_detected;
   RCMP_WARN() << "t=" << env_.sim.now() << " job " << spec_.name
@@ -1383,9 +1822,16 @@ void JobRun::handle_corrupt_map_output(std::uint32_t m) {
   env_.map_outputs.mark_lost(t.key(spec_.logical_id));
   scrub_ready_contribs(m);
   // Two reducers can detect the same corrupt output; only the first
-  // detection resets the mapper.
+  // detection resets the mapper (and blames the node whose disk served
+  // the corrupt bytes — the reset clears t.node).
   if (t.state == MapState::kDone || t.state == MapState::kReused) {
+    blame_node(t.node);
     reset_map_task(m);
+  }
+  if (exhausted_retry_budget_) {
+    exhausted_retry_budget_ = false;
+    abort_data_loss();
+    return;
   }
   schedule_tasks();
 }
@@ -1444,9 +1890,16 @@ void JobRun::teardown_all_work() {
     env_.sim.cancel(speculation_ev_);
     speculation_ev_ = sim::kInvalidEvent;
   }
+  if (retry_ev_ != sim::kInvalidEvent) {
+    env_.sim.cancel(retry_ev_);
+    retry_ev_ = sim::kInvalidEvent;
+  }
   std::vector<std::uint32_t> dup_tasks;
   for (const auto& [m, dup] : duplicates_) dup_tasks.push_back(m);
   for (std::uint32_t m : dup_tasks) cancel_duplicate(m);
+  std::vector<std::uint32_t> rdup_tasks;
+  for (const auto& [r, dup] : reduce_duplicates_) rdup_tasks.push_back(r);
+  for (std::uint32_t r : rdup_tasks) cancel_reduce_duplicate(r);
   for (auto& t : maps_) cancel_task_work(t);
   for (std::uint32_t r = 0; r < reduces_.size(); ++r) {
     cancel_task_work(reduces_[r]);

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "cluster/detector.hpp"
 #include "common/rng.hpp"
 #include "dfs/namenode.hpp"
 #include "mapred/job.hpp"
@@ -56,6 +57,11 @@ struct Env {
   /// 1-based chain tag stamped into trace events under multi-tenancy;
   /// 0 leaves events untagged (single-tenant exports are unchanged).
   std::uint16_t chain_tag = 0;
+  /// Optional heartbeat failure detector. nullptr (the default) keeps
+  /// the oracle detection model: the engine trusts storage_alive() alone
+  /// and never consults suspicion, quarantine, or retry backoff. Must be
+  /// last so existing positional aggregate initializers stay valid.
+  cluster::FailureDetector* detector = nullptr;
 };
 
 class JobRun {
@@ -102,6 +108,26 @@ class JobRun {
   /// replication path) or reports that required data is gone.
   FailureOutcome on_detected_failure(cluster::NodeId n);
 
+  /// Detector mode: the master (possibly falsely) suspects `n` dead.
+  /// Freezes its tasks and stops trusting data served from it — all
+  /// master-side bookkeeping; the node's physical state is untouched, so
+  /// on_node_reconciled() can undo everything.
+  void on_suspected(cluster::NodeId n);
+
+  /// Detector mode: a suspected node heartbeated again before its
+  /// replacement work committed. Re-admit its slots and persisted map
+  /// outputs, cancelling spurious re-executions still in flight.
+  void on_node_reconciled(cluster::NodeId n);
+
+  /// Detector mode: node `n` became unreachable (network partition).
+  /// In-flight reads/fetches sourced there fail over to surviving
+  /// replicas or re-queue with retry backoff; writes are unaffected
+  /// (see detector.hpp: the data plane models partitions read-side).
+  void on_source_unreachable(cluster::NodeId n);
+
+  /// Detector mode: the partition healed; data on `n` serves again.
+  void on_source_reachable(cluster::NodeId n);
+
   /// Cancel the run: all in-flight work stops, partial output partitions
   /// and this attempt's persisted map outputs are discarded (the paper's
   /// RCMP "discards the partial results computed before the failure").
@@ -146,6 +172,15 @@ class JobRun {
     SimTime start_time = -1.0;
     SimTime end_time = -1.0;
     bool executed = false;  // ran (at least once) in this attempt
+
+    // Detector-mode resilience state (untouched without a detector).
+    std::uint32_t attempts = 0;   // re-queues charged to this task
+    SimTime not_before = 0.0;     // retry backoff gate
+    cluster::NodeId read_src = cluster::kInvalidNode;  // current input source
+    /// The task is being re-executed only because its intact persisted
+    /// output sits on a suspected/unreachable node; reconciliation can
+    /// cancel the re-execution and readopt the output.
+    bool spurious = false;
 
     /// Map-output identity: the partition coordinate encodes which
     /// input file the block belongs to (multi-input DAG jobs).
@@ -203,6 +238,10 @@ class JobRun {
 
     SimTime start_time = -1.0;
     SimTime end_time = -1.0;
+
+    // Detector-mode resilience state (untouched without a detector).
+    std::uint32_t attempts = 0;  // re-queues charged to this task
+    SimTime not_before = 0.0;    // retry backoff gate
   };
 
   /// A speculative duplicate of a running map task. The duplicate races
@@ -216,6 +255,16 @@ class JobRun {
     sim::EventId ev = sim::kInvalidEvent;
     double out_bytes = 0.0;
     std::vector<std::vector<Record>> staged_buckets;  // payload mode
+  };
+
+  /// A speculative duplicate of a reducer stuck in its compute phase.
+  /// The duplicate re-pulls the already-fetched bytes from the
+  /// original's node and redoes the compute; first to finish wins.
+  struct ReduceDuplicate {
+    std::uint64_t token = 0;  // stale-callback guard
+    cluster::NodeId node = cluster::kInvalidNode;
+    res::FlowId flow = res::kInvalidFlow;
+    sim::EventId ev = sim::kInvalidEvent;
   };
 
   struct FetchFlow {
@@ -247,7 +296,15 @@ class JobRun {
   // --- map task state machine ----------------------------------------
   cluster::NodeId pick_read_source(
       const std::vector<cluster::NodeId>& locs, cluster::NodeId reader);
+  /// alive_locations() filtered by source_serving() — replicas the
+  /// master would actually read from right now.
+  std::vector<cluster::NodeId> serving_locations(
+      std::uint64_t block_id) const;
   void map_startup_done(std::uint32_t m, std::uint32_t epoch);
+  /// Dispatch (or re-dispatch after a source failover) the input read of
+  /// a map task holding a slot. Freezes on total loss; re-queues with
+  /// backoff when replicas exist but none currently serves.
+  void start_map_read(std::uint32_t m);
   void map_read_done(std::uint32_t m, std::uint32_t epoch);
   void map_compute_done(std::uint32_t m, std::uint32_t epoch);
   void map_write_done(std::uint32_t m, std::uint32_t epoch);
@@ -268,6 +325,15 @@ class JobRun {
   void cancel_duplicate(std::uint32_t m);
   Duplicate* find_dup(std::uint32_t m, std::uint64_t token);
 
+  // --- reducer speculation (EngineConfig::speculative_reducers) --------
+  void speculate_reducers();
+  void launch_reduce_duplicate(std::uint32_t r, cluster::NodeId node);
+  void rdup_startup_done(std::uint32_t r, std::uint64_t token);
+  void rdup_pull_done(std::uint32_t r, std::uint64_t token);
+  void rdup_compute_done(std::uint32_t r, std::uint64_t token);
+  void cancel_reduce_duplicate(std::uint32_t r);
+  ReduceDuplicate* find_rdup(std::uint32_t r, std::uint64_t token);
+
   // --- shuffle ---------------------------------------------------------
   void mark_contrib_ready(std::uint32_t r, std::uint32_t m);
   double contrib_bytes(std::uint32_t r, std::uint32_t m) const;
@@ -280,6 +346,9 @@ class JobRun {
   void reduce_startup_done(std::uint32_t r, std::uint32_t epoch);
   void maybe_start_reduce_compute(std::uint32_t r);
   void reduce_compute_done(std::uint32_t r, std::uint32_t epoch);
+  /// Post-compute tail shared by the original and a winning duplicate:
+  /// sort/merge + reduce UDF (payload mode), output sizing, DFS write.
+  void finish_reduce_compute(std::uint32_t r);
   void start_reduce_write(std::uint32_t r);
   void write_next_block(std::uint32_t r, std::uint32_t epoch);
   void block_write_done(std::uint32_t r, std::uint32_t epoch);
@@ -300,6 +369,25 @@ class JobRun {
   /// Return every still-buffered (kReady) contribution of mapper `m` to
   /// kWaiting, unwinding the ready-buffer accounting.
   void scrub_ready_contribs(std::uint32_t m);
+
+  // --- detector-mode resilience ----------------------------------------
+  /// Would the master read persisted data from `n` right now? Storage
+  /// alive AND reachable AND not suspected. Quarantine deliberately does
+  /// not affect serving (blacklisted nodes keep their data useful).
+  bool source_serving(cluster::NodeId n) const;
+  /// Cancel fetch flows sourced at `n` and rewind its buffered
+  /// contributions (the fetch part of a disk loss, without the ledger
+  /// effects) — used by suspicion and unreachability.
+  void halt_fetches_from(cluster::NodeId n);
+  /// Charge one attempt and compute the retry backoff gate. Returns
+  /// false when the attempt budget is exhausted (caller escalates).
+  /// No-op (always true) without a detector.
+  bool charge_attempt(std::uint32_t& attempts, SimTime& not_before);
+  /// Charge a failed task attempt against `n`'s quarantine statistics.
+  void blame_node(cluster::NodeId n);
+  /// One pending wake-up for backoff-deferred tasks; keeps only the
+  /// earliest deadline armed.
+  void arm_retry_poke(SimTime when);
 
   // --- lifecycle -------------------------------------------------------
   void on_map_phase_maybe_done();
@@ -372,6 +460,17 @@ class JobRun {
   sim::EventId speculation_ev_ = sim::kInvalidEvent;
   double completed_map_time_sum_ = 0.0;
   std::uint32_t completed_map_count_ = 0;
+  std::unordered_map<std::uint32_t, ReduceDuplicate> reduce_duplicates_;
+  double completed_reduce_time_sum_ = 0.0;
+  std::uint32_t completed_reduce_count_ = 0;
+
+  // Detector-mode resilience (all dormant without env_.detector).
+  sim::EventId retry_ev_ = sim::kInvalidEvent;
+  SimTime retry_at_ = 0.0;
+  /// Set when a task spent its attempt budget; the enclosing recovery
+  /// path escalates (kNeedsAbort / abort_data_loss) instead of tearing
+  /// the run down mid-iteration.
+  bool exhausted_retry_budget_ = false;
 };
 
 }  // namespace rcmp::mapred

@@ -82,6 +82,14 @@ struct RecomputeDirective {
 
 struct EngineConfig {
   /// Master's failure-detection timeout (paper: 30 s).
+  ///
+  /// DEPRECATED as a per-job knob: detection latency is a property of
+  /// the cluster's failure detector, not of one job. When a
+  /// cluster::FailureDetector is attached (DetectorConfig::enabled),
+  /// this value only serves as the fallback for a negative
+  /// DetectorConfig::suspicion_timeout, preserving the paper's 30 s
+  /// presets; without a detector it keeps its historical meaning (the
+  /// oracle's fixed kill-to-detection delay).
   SimTime detect_timeout = 30.0;
   /// Per-task start-up cost (JVM spawn, task localization).
   SimTime task_startup = 1.0;
@@ -137,6 +145,24 @@ struct EngineConfig {
   SimTime speculative_check_interval = 10.0;
   /// Don't speculate before this many mappers completed (baseline).
   std::uint32_t speculative_min_completed = 3;
+  /// Extend speculation to reducers (including recompute-split reduce
+  /// tasks): a kComputing reducer whose elapsed time exceeds
+  /// `speculative_slowness` times the average completed reducer duration
+  /// gets a duplicate that re-pulls the fetched bytes and races the
+  /// original's compute phase. Requires speculative_execution.
+  bool speculative_reducers = false;
+
+  /// Detector-mode task resilience (all no-ops without an attached
+  /// cluster::FailureDetector, keeping oracle runs bit-identical):
+  /// a task re-queued after a failed attempt may not start again before
+  /// an exponential backoff of
+  ///   retry_backoff_base * retry_backoff_factor^(attempt-1)
+  /// seconds, and a task exceeding `max_task_attempts` attempts
+  /// escalates to the middleware (abort + replan) instead of retrying
+  /// forever against a persistently bad node. 0 = unlimited attempts.
+  std::uint32_t max_task_attempts = 4;
+  SimTime retry_backoff_base = 2.0;
+  double retry_backoff_factor = 2.0;
 
   /// Payload-mode record footprint used to convert records <-> bytes.
   Bytes record_bytes = 256;

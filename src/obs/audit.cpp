@@ -138,6 +138,42 @@ void Auditor::check_storage(std::vector<std::string>* violations) {
   }
 }
 
+std::string Auditor::ledger_digest(cluster::NodeId n) const {
+  std::ostringstream os;
+  if (refs_.dfs != nullptr) os << "dfs=" << refs_.dfs->used_on_node(n);
+  const auto emit_store = [&](const mapred::MapOutputStore* store) {
+    if (store == nullptr) return;
+    os << ";out=" << store->used_on_node(n);
+  };
+  emit_store(refs_.map_outputs);
+  for (const mapred::MapOutputStore* store : refs_.tenant_stores) {
+    emit_store(store);
+  }
+  return os.str();
+}
+
+void Auditor::note_suspicion(cluster::NodeId n) {
+  suspicion_digests_[n] = ledger_digest(n);
+}
+
+void Auditor::check_reconcile(cluster::NodeId n) {
+  const auto it = suspicion_digests_.find(n);
+  if (it == suspicion_digests_.end()) return;
+  const std::string before = std::move(it->second);
+  suspicion_digests_.erase(it);
+  const std::string after = ledger_digest(n);
+  if (before != after) {
+    std::ostringstream os;
+    os << "reconciled false suspicion of node " << n
+       << " drifted the suspect's storage ledgers: at suspicion {"
+       << before << "} but after reconcile {" << after
+       << "} — its persisted data was not re-admitted intact";
+    fail(AuditPoint::kFailure, {os.str()});
+  }
+  ++reconcile_checks_;
+  obs_.metrics.add("audit.reconcile_checks");
+}
+
 void Auditor::fail(AuditPoint point,
                    const std::vector<std::string>& violations) const {
   obs_.metrics.add("audit.violations", violations.size());

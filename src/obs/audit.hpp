@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -62,6 +63,28 @@ class Auditor {
   /// the first violating pass. Normally invoked through the hooks.
   void run_checks(AuditPoint point);
 
+  /// Deterministic snapshot of node `n`'s storage ledger entries: its
+  /// DFS usage plus its share of each map-output store. Two equal
+  /// digests mean the node's ledgers are byte-identical. Scoped to one
+  /// node on purpose — the rest of the cluster legitimately makes
+  /// progress while `n` is suspected, but nothing may touch the
+  /// suspect's own persisted bytes.
+  std::string ledger_digest(cluster::NodeId n) const;
+
+  /// Record node `n`'s ledger digest at the instant it was suspected.
+  /// Pairs with check_reconcile: a reconciled false suspicion must
+  /// leave the suspect's ledgers exactly as they were when suspicion
+  /// was raised — its data was re-admitted, not re-created or dropped.
+  void note_suspicion(cluster::NodeId n);
+
+  /// Compare the current digest against the one captured at suspicion
+  /// time; throws AuditError on drift. No-op when `n` was never noted
+  /// (a real failure, or the check is disarmed).
+  void check_reconcile(cluster::NodeId n);
+
+  /// Reconcile-digest comparisons that passed.
+  std::uint64_t reconcile_checks() const { return reconcile_checks_; }
+
  private:
   void check_event_queue(std::vector<std::string>* violations);
   void check_storage(std::vector<std::string>* violations);
@@ -72,7 +95,10 @@ class Auditor {
   Observability& obs_;
   std::uint64_t checks_run_ = 0;
   std::uint64_t reuse_checks_ = 0;
+  std::uint64_t reconcile_checks_ = 0;
   SimTime last_audit_now_ = 0.0;
+  /// Ledger digests captured at suspicion time, by suspected node.
+  std::unordered_map<cluster::NodeId, std::string> suspicion_digests_;
 };
 
 }  // namespace rcmp::obs

@@ -53,6 +53,9 @@ const char* event_type_name(EventType t) {
     case EventType::kSlotGrant: return "slot_grant";
     case EventType::kChainAdmit: return "chain_admit";
     case EventType::kChainDone: return "chain_done";
+    case EventType::kSuspect: return "suspect";
+    case EventType::kReconcile: return "reconcile";
+    case EventType::kQuarantine: return "quarantine";
   }
   return "unknown";
 }

@@ -45,14 +45,20 @@ enum class EventType : std::uint8_t {
   kSlotGrant = 13,   // multi-tenant scheduler granted a compute slot
   kChainAdmit = 14,  // scheduler admitted a chain to the cluster
   kChainDone = 15,   // chain left the scheduler (completed or failed)
+  kSuspect = 16,     // detector suspected a node (kind: 0 dead, 1 false)
+  kReconcile = 17,   // suspected node heartbeated again; suspicion lifted
+  kQuarantine = 18,  // node blacklisted for repeated task failures
 };
 
 /// Interpretation of TraceEvent::kind per event type.
 inline constexpr std::uint8_t kKindMap = 0;      // task events
 inline constexpr std::uint8_t kKindReduce = 1;   // task events
-inline constexpr std::uint8_t kKindKill = 0;     // failure events
-inline constexpr std::uint8_t kKindCompute = 1;  // failure events
-inline constexpr std::uint8_t kKindDisk = 2;     // failure events
+inline constexpr std::uint8_t kKindKill = 0;       // failure events
+inline constexpr std::uint8_t kKindCompute = 1;    // failure events
+inline constexpr std::uint8_t kKindDisk = 2;       // failure events
+inline constexpr std::uint8_t kKindPartition = 3;  // failure events
+inline constexpr std::uint8_t kKindDeadSuspect = 0;   // suspect events
+inline constexpr std::uint8_t kKindFalseSuspect = 1;  // suspect events
 inline constexpr std::uint8_t kKindReplan = 0;   // replan events
 inline constexpr std::uint8_t kKindRestart = 1;  // replan events
 inline constexpr std::uint8_t kKindMapSlot = 0;     // slot-grant events

@@ -36,12 +36,29 @@ MultiScenario::MultiScenario(MultiScenarioConfig cfg)
     auditor_ = std::make_unique<obs::Auditor>(refs, obs_);
   }
 
+  if (cfg_.base.detector.enabled) {
+    detector_ = std::make_unique<cluster::FailureDetector>(
+        sim_, cluster_, cfg_.base.detector, cfg_.base.engine.detect_timeout,
+        &obs_);
+    if (cfg_.base.detector.audit_reconcile && auditor_ != nullptr) {
+      detector_->on_detection(
+          [this](cluster::NodeId n, cluster::DetectionKind kind) {
+            if (kind == cluster::DetectionKind::kFalseSuspicion) {
+              auditor_->note_suspicion(n);
+            }
+          });
+      detector_->on_reconcile(
+          [this](cluster::NodeId n) { auditor_->check_reconcile(n); });
+    }
+  }
+
   // The scheduler's failure/recover handlers register now — before any
   // middleware's — so slot books settle first on every failure.
   scheduler_ = std::make_unique<core::ChainScheduler>(
       sim_, cluster_, dfs_, &obs_,
       core::ChainScheduler::Config{cfg_.max_concurrent,
                                    cfg_.shared_storage_budget});
+  if (detector_ != nullptr) scheduler_->set_detector(detector_.get());
 
   for (std::uint32_t c = 0; c < cfg_.chains; ++c) {
     scheduler_->add_chain(weight_of(c), cfg_.base.chain_length,
@@ -75,8 +92,10 @@ SimTime MultiScenario::submit_time(std::uint32_t chain) const {
 }
 
 mapred::Env MultiScenario::env(std::uint32_t chain) {
-  return mapred::Env{sim_,      net_,      cluster_, dfs_,
-                     *stores_[chain], payloads_, &obs_};
+  mapred::Env e{sim_,      net_,      cluster_, dfs_,
+                *stores_[chain], payloads_, &obs_};
+  e.detector = detector_.get();
+  return e;
 }
 
 void MultiScenario::generate_input(std::uint32_t chain) {
@@ -113,6 +132,8 @@ void MultiScenario::start(core::StrategyConfig strategy) {
                  "MultiScenario is one-shot; construct a fresh one");
   started_ = true;
   results_.resize(cfg_.chains);
+  chains_remaining_ = cfg_.chains;
+  if (detector_ != nullptr) detector_->start();
 
   for (std::uint32_t c = 0; c < cfg_.chains; ++c) {
     core::TenantContext tenant{scheduler_.get(), c};
@@ -130,8 +151,13 @@ void MultiScenario::start(core::StrategyConfig strategy) {
   }
   for (std::uint32_t c = 0; c < cfg_.chains; ++c) {
     scheduler_->submit(c, submit_time(c), [this, c] {
-      middlewares_[c]->run(
-          [this, c](const core::ChainResult& r) { results_[c] = r; });
+      middlewares_[c]->run([this, c](const core::ChainResult& r) {
+        results_[c] = r;
+        // Last chain decided: silence heartbeats so the sim drains.
+        if (--chains_remaining_ == 0 && detector_ != nullptr) {
+          detector_->stop();
+        }
+      });
     });
   }
 }
@@ -156,6 +182,7 @@ std::vector<core::ChainResult> MultiScenario::run_chaos(
     core::StrategyConfig strategy, cluster::FaultSchedule schedule) {
   chaos_ = std::make_unique<cluster::ChaosEngine>(
       cluster_, std::move(schedule), rng_.fork_seed());
+  chaos_->set_detector(detector_.get());
   chaos_->set_partition_corrupter(
       [this](Rng& rng) { return corrupt_random_partition(rng); });
   chaos_->set_map_output_corrupter([this](Rng& rng) {

@@ -67,6 +67,8 @@ class MultiScenario {
   dfs::NameNode& dfs() { return dfs_; }
   obs::Observability& obs() { return obs_; }
   obs::Auditor* auditor() { return auditor_.get(); }
+  /// Null when base.detector.enabled is false.
+  cluster::FailureDetector* detector() { return detector_.get(); }
   core::ChainScheduler& scheduler() { return *scheduler_; }
   cluster::ChaosEngine* chaos() { return chaos_.get(); }
   const MultiScenarioConfig& config() const { return cfg_; }
@@ -108,6 +110,10 @@ class MultiScenario {
   // the scheduler and middlewares (which emit through it).
   obs::Observability obs_;
   std::unique_ptr<obs::Auditor> auditor_;
+  /// Constructed (when enabled) before the scheduler and middlewares so
+  /// its cluster handlers run first: suspicion state is settled before
+  /// slot books and engines react to a failure.
+  std::unique_ptr<cluster::FailureDetector> detector_;
   Rng rng_;
 
   ChainMapper mapper_;
@@ -121,6 +127,8 @@ class MultiScenario {
   std::vector<std::unique_ptr<core::Middleware>> middlewares_;
   std::unique_ptr<cluster::ChaosEngine> chaos_;
   std::uint32_t global_ordinal_ = 0;
+  /// Chains still running; the detector stops when it reaches zero.
+  std::uint32_t chains_remaining_ = 0;
   std::vector<core::ChainResult> results_;
   bool started_ = false;
   bool finished_ = false;

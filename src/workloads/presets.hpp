@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "cluster/cluster.hpp"
+#include "cluster/detector.hpp"
 #include "common/units.hpp"
 #include "mapred/job.hpp"
 
@@ -36,6 +37,12 @@ struct ScenarioConfig {
   /// Payload mode: materialize real records (sizes shrink accordingly;
   /// use the payload presets, not STIC/DCO, when enabling).
   bool payload = false;
+
+  /// Heartbeat failure detection (cluster/detector.hpp). Disabled by
+  /// default: the scenario keeps the paper's oracle model and every
+  /// pre-detector run stays bit-identical. A negative
+  /// detector.suspicion_timeout inherits engine.detect_timeout.
+  cluster::DetectorConfig detector;
 
   /// Install the invariant auditor (obs/audit.hpp): every job boundary
   /// and failure event recounts the storage ledgers, re-derives the

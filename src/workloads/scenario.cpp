@@ -18,6 +18,24 @@ Scenario::Scenario(ScenarioConfig cfg)
         obs::Auditor::Refs{&sim_, &net_, &cluster_, &dfs_, &map_outputs_},
         obs_);
   }
+  if (cfg_.detector.enabled) {
+    detector_ = std::make_unique<cluster::FailureDetector>(
+        sim_, cluster_, cfg_.detector, cfg_.engine.detect_timeout, &obs_);
+    if (cfg_.detector.audit_reconcile && auditor_ != nullptr) {
+      // Registered before the middleware's handlers (run() constructs
+      // it later), so the digest is captured before the engine reacts
+      // to the suspicion and checked before it re-adopts outputs —
+      // both of which must leave the ledgers untouched anyway.
+      detector_->on_detection(
+          [this](cluster::NodeId n, cluster::DetectionKind kind) {
+            if (kind == cluster::DetectionKind::kFalseSuspicion) {
+              auditor_->note_suspicion(n);
+            }
+          });
+      detector_->on_reconcile(
+          [this](cluster::NodeId n) { auditor_->check_reconcile(n); });
+    }
+  }
 
   generate_input();
 
@@ -90,6 +108,7 @@ core::ChainResult Scenario::run_chaos(core::StrategyConfig strategy,
 
   chaos_ = std::make_unique<cluster::ChaosEngine>(
       cluster_, std::move(schedule), rng_.fork_seed());
+  chaos_->set_detector(detector_.get());
   chaos_->set_partition_corrupter(
       [this](Rng& rng) { return corrupt_random_partition(rng); });
   chaos_->set_map_output_corrupter(
@@ -101,8 +120,14 @@ core::ChainResult Scenario::run_chaos(core::StrategyConfig strategy,
 }
 
 core::ChainResult Scenario::drive_to_completion() {
+  if (detector_ != nullptr) detector_->start();
   core::ChainResult result;
-  middleware_->run([&result](const core::ChainResult& r) { result = r; });
+  middleware_->run([this, &result](const core::ChainResult& r) {
+    result = r;
+    // Silence heartbeats once the chain is decided so the simulation
+    // can drain instead of ticking forever.
+    if (detector_ != nullptr) detector_->stop();
+  });
   sim_.run();
   RCMP_CHECK_MSG(middleware_->finished(),
                  "simulation drained before the chain completed "

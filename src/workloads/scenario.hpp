@@ -40,8 +40,10 @@ class Scenario {
 
   // --- introspection for tests and benches ---------------------------
   mapred::Env env() {
-    return mapred::Env{sim_,         net_,       cluster_, dfs_,
-                       map_outputs_, payloads_, &obs_};
+    mapred::Env e{sim_,         net_,       cluster_, dfs_,
+                  map_outputs_, payloads_, &obs_};
+    e.detector = detector_.get();
+    return e;
   }
   sim::Simulation& sim() { return sim_; }
   cluster::Cluster& cluster() { return cluster_; }
@@ -56,6 +58,8 @@ class Scenario {
   obs::Observability& obs() { return obs_; }
   /// Null when ScenarioConfig::audit is false.
   obs::Auditor* auditor() { return auditor_.get(); }
+  /// Null when ScenarioConfig::detector.enabled is false.
+  cluster::FailureDetector* detector() { return detector_.get(); }
 
   /// Payload mode: checksum of the final job's output records.
   mapred::Checksum final_output_checksum();
@@ -82,6 +86,9 @@ class Scenario {
   // before the middleware (which installs a hook at construction).
   obs::Observability obs_;
   std::unique_ptr<obs::Auditor> auditor_;
+  /// Constructed (when enabled) before the middleware so its cluster
+  /// handlers run first: suspicion state is current when engines react.
+  std::unique_ptr<cluster::FailureDetector> detector_;
   Rng rng_;
 
   ChainMapper mapper_;

@@ -115,6 +115,83 @@ TEST(Differential, SurvivedChaosRunsMatchOracle) {
   EXPECT_GT(survived, 0u);
 }
 
+TEST(Differential, StragglersNeverCorruptResults) {
+  // Slowed-but-alive nodes (a hot CPU, a failing drive) change timing
+  // only: the output must stay byte-equal to the oracle, and — since
+  // stragglers keep heartbeating — the failure detector must never
+  // suspect one.
+  const auto cfg = testfx::chaos_config(/*nodes=*/8, /*chain=*/4);
+  mapred::Checksum oracle;
+  {
+    Scenario probe(cfg);
+    oracle = oracle_checksum(
+        gather_records(probe.payloads(), probe.dfs(), probe.input_file()),
+        cfg.chain_length);
+  }
+
+  const std::uint32_t seeds = testfx::fuzz_seed_count(4);
+  for (std::uint32_t seed = 0; seed < seeds; ++seed) {
+    for (auto s : {Strategy::kRcmpSplit, Strategy::kOptimistic}) {
+      auto run_cfg = cfg;
+      run_cfg.detector.enabled = true;
+      Scenario sc(run_cfg);
+      // Deterministic per-seed straggler assignment: one slow CPU, one
+      // degraded disk, never the same node.
+      const cluster::NodeId slow_cpu = seed % 8;
+      const cluster::NodeId bad_disk = (seed + 3) % 8;
+      sc.cluster().set_cpu_factor(slow_cpu, 4.0 + seed);
+      sc.cluster().degrade_disk(bad_disk, 3.0);
+      const auto r = sc.run(strat(s));
+      ASSERT_TRUE(r.completed) << "seed " << seed;
+      EXPECT_EQ(sc.final_output_checksum(), oracle)
+          << "seed " << seed << " strategy " << static_cast<int>(s);
+      ASSERT_NE(sc.detector(), nullptr);
+      EXPECT_EQ(sc.detector()->false_suspicions(), 0u) << "seed " << seed;
+      EXPECT_EQ(sc.obs().metrics.counter("audit.violations"), 0u);
+    }
+  }
+}
+
+TEST(Differential, SpeculationWinsAgainstStragglerStayCorrect) {
+  // With speculation armed, backup attempts beat the straggler's
+  // originals; winner-only registration keeps the output byte-equal to
+  // the oracle, and the per-run win counters roll up into the metrics
+  // registry.
+  auto cfg = workloads::payload_config(6, 3);
+  mapred::Checksum oracle;
+  {
+    Scenario probe(cfg);
+    oracle = oracle_checksum(
+        gather_records(probe.payloads(), probe.dfs(), probe.input_file()),
+        cfg.chain_length);
+  }
+
+  cfg.detector.enabled = true;
+  cfg.engine.speculative_execution = true;
+  cfg.engine.speculative_reducers = true;
+  cfg.engine.speculative_slowness = 1.2;
+  cfg.engine.speculative_check_interval = 0.2;
+  cfg.engine.map_cpu_rate = 2e6;  // compute-dominant at payload scale
+  cfg.engine.reduce_cpu_rate = 2e6;
+  Scenario sc(cfg);
+  sc.cluster().set_cpu_factor(0, 300.0);
+  const auto r = sc.run(strat(Strategy::kRcmpSplit));
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(sc.final_output_checksum(), oracle);
+
+  std::uint32_t launched = 0, won = 0;
+  for (const auto& run : r.runs) {
+    launched += run.speculative_launched;
+    won += run.speculative_won;
+  }
+  EXPECT_GT(launched, 0u);
+  EXPECT_GT(won, 0u);
+  EXPECT_GE(launched, won);
+  EXPECT_EQ(sc.obs().metrics.counter("jobs.speculative.launched"),
+            launched);
+  EXPECT_EQ(sc.obs().metrics.counter("jobs.speculative.won"), won);
+}
+
 TEST(Differential, FaultFreeMultiTenantMatchesOracle) {
   const auto cfg = multi_config(/*chains=*/2, /*nodes=*/6,
                                 /*chain_length=*/3, /*records_per_node=*/96);
