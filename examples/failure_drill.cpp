@@ -26,12 +26,39 @@
 #include <string>
 
 #include "cluster/chaos.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "workloads/scenario.hpp"
 
 namespace {
 
 using namespace rcmp;
+
+// Resilience policy applied to every drill (--policy); empty = the
+// static baseline. Oracle receives each drill's own fault ordinals.
+std::string g_policy_name;                 // NOLINT
+core::PolicyParams g_policy_params;        // NOLINT
+
+core::StrategyConfig drill_strategy(
+    std::vector<std::uint32_t> fault_ordinals = {}) {
+  core::StrategyConfig strategy;
+  strategy.strategy = core::Strategy::kRcmpSplit;
+  if (!g_policy_name.empty()) {
+    core::PolicyParams params = g_policy_params;
+    params.oracle_fault_ordinals = std::move(fault_ordinals);
+    strategy.policy = core::make_policy(g_policy_name, params);
+  }
+  return strategy;
+}
+
+std::vector<std::uint32_t> schedule_ordinals(
+    const cluster::FaultSchedule& schedule) {
+  std::vector<std::uint32_t> ordinals;
+  for (const auto& ev : schedule.events) {
+    ordinals.push_back(ev.at_job_ordinal);
+  }
+  return ordinals;
+}
 
 mapred::Checksum reference_for(const workloads::ScenarioConfig& config,
                                double* clean_time) {
@@ -97,15 +124,37 @@ int main(int argc, char** argv) {
       use_detector = true;
       detcfg.quarantine_threshold =
           static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--policy" && has_value) {
+      g_policy_name = argv[++i];
+    } else if (arg == "--atlas-risk-threshold" && has_value) {
+      g_policy_params.atlas.risk_threshold = std::atof(argv[++i]);
+    } else if (arg == "--atlas-decay" && has_value) {
+      g_policy_params.atlas.decay = std::atof(argv[++i]);
+    } else if (arg == "--spec-cost-ratio" && has_value) {
+      g_policy_params.binocular.cost_ratio = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: failure_drill [--trace PATH] [--metrics PATH]\n"
                    "                     [--detector]\n"
                    "                     [--heartbeat-interval SECONDS]\n"
                    "                     [--suspicion-timeout SECONDS]\n"
-                   "                     [--quarantine-threshold N]\n");
+                   "                     [--quarantine-threshold N]\n"
+                   "                     [--policy "
+                   "static|oracle|atlas|binocular]\n"
+                   "                     [--atlas-risk-threshold X]\n"
+                   "                     [--atlas-decay X]\n"
+                   "                     [--spec-cost-ratio X]\n");
       return 2;
     }
+  }
+  // Validate the policy knobs up front (ConfigError, like any other bad
+  // flag) instead of dying mid-drill.
+  try {
+    core::make_policy(g_policy_name.empty() ? "static" : g_policy_name,
+                      g_policy_params);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "failure_drill: %s\n", e.what());
+    return 2;
   }
   detcfg.enabled = use_detector;
   // Reject bad knobs here with a clean exit instead of letting the
@@ -148,8 +197,7 @@ int main(int argc, char** argv) {
   Table t({"drill", "failures", "jobs started", "slowdown", "output"});
   for (const Drill& d : drills) {
     workloads::Scenario scenario(config);
-    core::StrategyConfig strategy;
-    strategy.strategy = core::Strategy::kRcmpSplit;
+    const core::StrategyConfig strategy = drill_strategy(d.failures);
     cluster::FailurePlan plan;
     plan.at_job_ordinals = d.failures;
     const auto result = scenario.run(strategy, plan);
@@ -221,8 +269,8 @@ int main(int argc, char** argv) {
       drill_config.trace_capacity = 1 << 20;
     }
     workloads::Scenario scenario(drill_config);
-    core::StrategyConfig strategy;
-    strategy.strategy = core::Strategy::kRcmpSplit;
+    const core::StrategyConfig strategy =
+        drill_strategy(schedule_ordinals(d.schedule));
     const auto result = scenario.run_chaos(strategy, d.schedule);
     const auto& counts = scenario.chaos()->counts();
     const bool ok =
@@ -266,8 +314,8 @@ int main(int argc, char** argv) {
     const auto schedule = cluster::schedule_from_trace(trace, opt, seed);
 
     workloads::Scenario scenario(chaos_config);
-    core::StrategyConfig strategy;
-    strategy.strategy = core::Strategy::kRcmpSplit;
+    const core::StrategyConfig strategy =
+        drill_strategy(schedule_ordinals(schedule));
     const auto result = scenario.run_chaos(strategy, schedule);
     const auto& counts = scenario.chaos()->counts();
     const bool ok =
@@ -312,8 +360,8 @@ int main(int argc, char** argv) {
             "ttd (s)", "slowdown", "output"});
   for (const DetectorDrill& d : det_drills) {
     workloads::Scenario scenario(det_config);
-    core::StrategyConfig strategy;
-    strategy.strategy = core::Strategy::kRcmpSplit;
+    const core::StrategyConfig strategy =
+        drill_strategy(schedule_ordinals(d.schedule));
     const auto result = scenario.run_chaos(strategy, d.schedule);
     const cluster::FailureDetector& det = *scenario.detector();
     const bool ok =

@@ -47,6 +47,16 @@ void usage() {
       "  --hybrid-dynamic             dynamic hybrid (checkpoint "
       "interval)\n"
       "  --no-reuse                   do not reuse persisted map outputs\n"
+      "policy (adaptive overrides on top of the static strategy):\n"
+      "  --policy NAME                static|oracle|atlas|binocular\n"
+      "                               (oracle reads the --fail plan)\n"
+      "  --atlas-risk-threshold X     risk score that opens a bad window\n"
+      "  --atlas-decay X              per-boundary risk decay, in [0, 1)\n"
+      "  --policy-replication N       replicas at a policy replication\n"
+      "                               point (default 2)\n"
+      "  --spec-cost-ratio X          binocular: race a duplicate only\n"
+      "                               when expected remaining time\n"
+      "                               exceeds X times its cost\n"
       "failures:\n"
       "  --fail N                     inject a failure at job ordinal N\n"
       "                               (repeatable)\n"
@@ -93,6 +103,9 @@ int main(int argc, char** argv) {
   bool nodes_set = false;
   std::string trace_path;
   std::string metrics_path;
+  std::string policy_name;
+  core::PolicyParams policy_params;
+  bool policy_knob_set = false;
 
   auto next_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) die(std::string("missing value for ") + argv[i]);
@@ -170,6 +183,22 @@ int main(int argc, char** argv) {
       strategy.hybrid_dynamic = true;
     } else if (arg == "--no-reuse") {
       strategy.reuse_map_outputs = false;
+    } else if (arg == "--policy") {
+      policy_name = next_value(i);
+    } else if (arg == "--atlas-risk-threshold") {
+      policy_params.atlas.risk_threshold = std::atof(next_value(i));
+      policy_knob_set = true;
+    } else if (arg == "--atlas-decay") {
+      policy_params.atlas.decay = std::atof(next_value(i));
+      policy_knob_set = true;
+    } else if (arg == "--policy-replication") {
+      policy_params.replication = static_cast<std::uint32_t>(
+          std::atoi(next_value(i)));
+      policy_params.atlas.replication = policy_params.replication;
+      policy_knob_set = true;
+    } else if (arg == "--spec-cost-ratio") {
+      policy_params.binocular.cost_ratio = std::atof(next_value(i));
+      policy_knob_set = true;
     } else if (arg == "--fail") {
       failures.at_job_ordinals.push_back(
           static_cast<std::uint32_t>(std::atoi(next_value(i))));
@@ -210,6 +239,13 @@ int main(int argc, char** argv) {
   std::optional<workloads::Scenario> scenario;
   core::ChainResult result;
   try {
+    // A policy knob without --policy still gets validated (against the
+    // inert static shim), so a typo'd threshold fails fast either way.
+    if (!policy_name.empty() || policy_knob_set) {
+      policy_params.oracle_fault_ordinals = failures.at_job_ordinals;
+      strategy.policy = core::make_policy(
+          policy_name.empty() ? "static" : policy_name, policy_params);
+    }
     scenario.emplace(cfg);
     result = scenario->run(strategy, failures);
   } catch (const ConfigError& e) {
@@ -253,6 +289,14 @@ int main(int argc, char** argv) {
       std::printf(", last time-to-detect %.1f s", d->last_time_to_detect());
     }
     std::printf("\n");
+  }
+  if (result.policy_decisions > 0 || result.policy_pre_replications > 0 ||
+      result.policy_speculation_gated > 0) {
+    std::printf(
+        "\npolicy %s: %u decision(s), %u pre-replication(s), "
+        "%u speculation launch(es) gated\n",
+        policy_name.c_str(), result.policy_decisions,
+        result.policy_pre_replications, result.policy_speculation_gated);
   }
   std::printf(
       "\nchain %s in %.1f simulated seconds — %u jobs started, "

@@ -1,0 +1,202 @@
+#include "analysis/backtest.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "obs/obs.hpp"
+#include "workloads/scenario.hpp"
+
+namespace rcmp::analysis {
+
+std::vector<std::uint32_t> fault_ordinals(
+    const cluster::FaultSchedule& schedule) {
+  std::vector<std::uint32_t> ordinals;
+  ordinals.reserve(schedule.events.size());
+  for (const cluster::FaultEvent& ev : schedule.events) {
+    ordinals.push_back(ev.at_job_ordinal);
+  }
+  std::sort(ordinals.begin(), ordinals.end());
+  ordinals.erase(std::unique(ordinals.begin(), ordinals.end()),
+                 ordinals.end());
+  return ordinals;
+}
+
+PolicyScore run_scene(const BacktestScene& scene,
+                      const std::string& policy_name,
+                      const core::PolicyParams& params) {
+  PolicyScore score;
+  score.scene = scene.name;
+  score.policy = policy_name.empty() ? "static" : policy_name;
+
+  core::StrategyConfig strategy = scene.strategy;
+  core::PolicyParams scene_params = params;
+  scene_params.oracle_fault_ordinals = fault_ordinals(scene.schedule);
+  strategy.policy = core::make_policy(score.policy, scene_params);
+
+  workloads::Scenario sc(scene.scenario);
+  core::ChainResult result;
+  try {
+    result = sc.run_chaos(strategy, scene.schedule);
+  } catch (const obs::AuditError&) {
+    // The run is disqualified, but its partial counters still tell the
+    // scoreboard what the policy was doing when the invariant broke.
+    ++score.violations;
+    result = sc.middleware().result();
+    result.completed = false;
+  }
+
+  score.completed = result.completed;
+  score.makespan = result.total_time;
+  score.jobs_started = result.jobs_started;
+  score.replans = result.replans;
+  score.restarts = result.restarts;
+  score.failures_observed = result.failures_observed;
+  score.peak_storage = result.peak_storage;
+  score.replication_points = result.replication_points;
+  score.policy_decisions = result.policy_decisions;
+  score.policy_pre_replications = result.policy_pre_replications;
+  score.policy_speculation_gated = result.policy_speculation_gated;
+  for (const mapred::JobResult& run : result.runs) {
+    if (run.status != mapred::JobResult::Status::kCompleted) {
+      score.wasted_work_seconds += run.duration();
+    }
+  }
+  return score;
+}
+
+BacktestReport run_backtest(const std::vector<BacktestScene>& scenes,
+                            const std::vector<std::string>& policies,
+                            const core::PolicyParams& params) {
+  BacktestReport report;
+  report.rows.reserve(scenes.size() * policies.size());
+  for (const BacktestScene& scene : scenes) {
+    for (const std::string& policy : policies) {
+      report.rows.push_back(run_scene(scene, policy, params));
+    }
+  }
+  return report;
+}
+
+std::vector<BacktestScene> default_corpus(std::uint64_t seed) {
+  // Small virtual-size scenario: long enough (8 jobs) that a mid-chain
+  // replication point visibly shortens recomputation cascades, small
+  // enough that the whole corpus replays in seconds.
+  workloads::ScenarioConfig base = workloads::tiny_config(8, 8);
+  base.seed = seed;
+  base.detector.enabled = true;
+  // Storage loss is permanent here (no re-replication): the source
+  // input needs enough replicas to survive the heaviest scene's kills.
+  base.input_replication = 5;
+
+  core::StrategyConfig rcmp;  // kRcmpSplit, replication 1 — the paper
+  std::vector<BacktestScene> scenes;
+
+  {
+    BacktestScene s;
+    s.name = "calm";
+    s.scenario = base;
+    s.strategy = rcmp;
+    scenes.push_back(std::move(s));
+  }
+  {
+    BacktestScene s;
+    s.name = "single-kill";
+    s.scenario = base;
+    s.strategy = rcmp;
+    s.schedule.events.push_back(
+        {cluster::FaultMode::kKill, /*at_job_ordinal=*/3, /*delay=*/10.0});
+    scenes.push_back(std::move(s));
+  }
+  {
+    // Failure-heavy: an early kill announces the bad window, then more
+    // land deep in the chain. NO-SPLIT recomputation (initial task
+    // granularity) is the configuration where persistence points really
+    // matter: a policy that replicates after the first signal stops the
+    // later full-speed cascades near the failure point, while the
+    // static baseline recomputes the whole prefix each time.
+    BacktestScene s;
+    s.name = "failure-heavy";
+    s.scenario = base;
+    s.strategy = rcmp;
+    s.strategy.strategy = core::Strategy::kRcmpNoSplit;
+    // Replication points reclaim the persisted prefix (the paper's
+    // proposed extension): reclaimed outputs cannot be damaged, so a
+    // policy's point truly stops cascades. Inert for the static
+    // baseline, which never places a point.
+    s.strategy.reclaim_after_replication = true;
+    s.scenario.chain_length = 12;
+    for (const std::uint32_t ordinal : {6u, 14u, 22u}) {
+      s.schedule.events.push_back({cluster::FaultMode::kKill, ordinal,
+                                   /*delay=*/10.0});
+    }
+    scenes.push_back(std::move(s));
+  }
+  {
+    // Pure heartbeat jitter: no data is ever lost; an adaptive policy
+    // must not burn storage (or makespan) chasing false positives.
+    BacktestScene s;
+    s.name = "jitter";
+    s.scenario = base;
+    s.strategy = rcmp;
+    cluster::FaultEvent hb;
+    hb.mode = cluster::FaultMode::kHeartbeatLoss;
+    hb.at_job_ordinal = 2;
+    hb.delay = 5.0;
+    hb.downtime = 4.0;  // shorter than the suspicion timeout
+    s.schedule.events.push_back(hb);
+    hb.at_job_ordinal = 4;
+    s.schedule.events.push_back(hb);
+    scenes.push_back(std::move(s));
+  }
+  return scenes;
+}
+
+std::string scoreboard_json(const BacktestReport& report) {
+  std::ostringstream os;
+  os << "{\n  \"scoreboard\": [\n";
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const PolicyScore& r = report.rows[i];
+    char makespan[64];
+    char wasted[64];
+    std::snprintf(makespan, sizeof(makespan), "%.6f", r.makespan);
+    std::snprintf(wasted, sizeof(wasted), "%.6f",
+                  r.wasted_work_seconds);
+    os << "    {\"scene\": \"" << r.scene << "\", \"policy\": \""
+       << r.policy << "\", \"completed\": "
+       << (r.completed ? "true" : "false") << ", \"makespan\": "
+       << makespan << ", \"jobs_started\": " << r.jobs_started
+       << ", \"replans\": " << r.replans << ", \"restarts\": "
+       << r.restarts << ", \"failures\": " << r.failures_observed
+       << ", \"wasted_work_seconds\": " << wasted
+       << ", \"peak_storage_bytes\": " << r.peak_storage
+       << ", \"replication_points\": " << r.replication_points
+       << ", \"policy_decisions\": " << r.policy_decisions
+       << ", \"pre_replications\": " << r.policy_pre_replications
+       << ", \"speculation_gated\": " << r.policy_speculation_gated
+       << ", \"violations\": " << r.violations << "}"
+       << (i + 1 < report.rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+std::string scoreboard_table(const BacktestReport& report) {
+  Table t({"scene", "policy", "ok", "makespan", "replans", "restarts",
+           "wasted", "peak MB", "repl pts", "decisions", "viol"});
+  for (const PolicyScore& r : report.rows) {
+    t.add_row({r.scene, r.policy, r.completed ? "yes" : "NO",
+               Table::num(r.makespan), std::to_string(r.replans),
+               std::to_string(r.restarts),
+               Table::num(r.wasted_work_seconds),
+               Table::num(static_cast<double>(r.peak_storage) /
+                          (1024.0 * 1024.0)),
+               std::to_string(r.replication_points),
+               std::to_string(r.policy_decisions),
+               std::to_string(r.violations)});
+  }
+  return t.to_string();
+}
+
+}  // namespace rcmp::analysis

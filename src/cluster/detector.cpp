@@ -28,6 +28,7 @@ FailureDetector::FailureDetector(sim::Simulation& sim, Cluster& cluster,
   const std::uint32_t n = cluster_.size();
   hb_ev_.assign(n, sim::kInvalidEvent);
   deadline_ev_.assign(n, sim::kInvalidEvent);
+  last_hb_.assign(n, -1.0);
   hb_blocked_until_.assign(n, 0.0);
   fail_time_.assign(n, -1.0);
   suspect_time_.assign(n, -1.0);
@@ -107,13 +108,20 @@ void FailureDetector::heartbeat_arrived(NodeId n) {
     record_detection_latency(n);
     deliver(n, DetectionKind::kStorageLoss);
   }
-  arm_deadline(n);
+  // Lazy deadline: only record the sighting — the pending deadline
+  // re-checks recency when it fires, so a healthy node costs the master
+  // one no-op wakeup per timeout window instead of a cancel + re-arm
+  // per heartbeat. Re-arm only when no deadline is pending (a suspicion
+  // consumed it and this heartbeat just reconciled).
+  last_hb_[n] = sim_.now();
+  if (deadline_ev_[n] == sim::kInvalidEvent) arm_deadline(n);
 }
 
 void FailureDetector::arm_deadline(NodeId n) {
   cancel_deadline(n);
-  deadline_ev_[n] =
-      sim_.schedule_after(suspicion_timeout_, [this, n] { deadline_fired(n); });
+  last_hb_[n] = sim_.now();
+  deadline_ev_[n] = sim_.schedule_at(sim_.now() + suspicion_timeout_,
+                                     [this, n] { deadline_fired(n); });
 }
 
 void FailureDetector::cancel_deadline(NodeId n) {
@@ -125,6 +133,16 @@ void FailureDetector::cancel_deadline(NodeId n) {
 void FailureDetector::deadline_fired(NodeId n) {
   deadline_ev_[n] = sim::kInvalidEvent;
   if (stopped_ || suspected_[n]) return;
+  // Not overdue: a heartbeat arrived since this deadline was armed.
+  // Re-arm at the exact instant the latest sighting goes stale —
+  // schedule_at(last_hb + timeout) reproduces the suspicion times of
+  // the eager cancel-and-rearm scheme bit for bit.
+  const SimTime due = last_hb_[n] + suspicion_timeout_;
+  if (due > sim_.now()) {
+    deadline_ev_[n] =
+        sim_.schedule_at(due, [this, n] { deadline_fired(n); });
+    return;
+  }
   ++suspicions_;
   const bool node_dead = !cluster_.compute_alive(n);
   const bool false_suspicion = !node_dead;
@@ -228,6 +246,7 @@ void FailureDetector::drop_heartbeats(NodeId n, SimTime duration) {
 void FailureDetector::record_task_failure(NodeId n) {
   RCMP_CHECK(n < cluster_.size());
   ++task_failures_[n];
+  max_task_failures_ = std::max(max_task_failures_, task_failures_[n]);
   if (quarantined_[n] || cfg_.quarantine_threshold == 0) return;
   if (task_failures_[n] < cfg_.quarantine_threshold) return;
   // Never blacklist the last schedulable compute node: a fully

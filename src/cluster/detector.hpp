@@ -166,6 +166,9 @@ class FailureDetector {
   std::uint32_t reconciliations() const { return reconciliations_; }
   std::uint32_t quarantines() const { return quarantines_; }
   std::uint32_t task_failures(NodeId n) const { return task_failures_[n]; }
+  /// Highest per-node failed-attempt count so far — the ATLAS failure-
+  /// likelihood signal adaptive policies consume, O(1).
+  std::uint32_t max_task_failures() const { return max_task_failures_; }
   /// Detection latency of the most recent real detection (failure to
   /// master action); negative before the first one.
   SimTime last_time_to_detect() const { return last_time_to_detect_; }
@@ -194,6 +197,11 @@ class FailureDetector {
   // Per-node state, indexed by NodeId.
   std::vector<sim::EventId> hb_ev_;        // next emission (node side)
   std::vector<sim::EventId> deadline_ev_;  // suspicion deadline (master)
+  /// Last heartbeat sighting. Deadlines are *lazy*: a heartbeat only
+  /// records its arrival here, and the pending deadline re-checks
+  /// recency when it fires — so the master's sweep work scales with
+  /// overdue/suspected nodes, not with heartbeats x nodes.
+  std::vector<SimTime> last_hb_;
   std::vector<SimTime> hb_blocked_until_;  // chaos heartbeat suppression
   std::vector<SimTime> fail_time_;         // last physical failure
   std::vector<SimTime> suspect_time_;      // when suspicion was raised
@@ -203,6 +211,7 @@ class FailureDetector {
   /// delivered by the next heartbeat or folded into a suspicion.
   std::vector<bool> pending_loss_;
   std::vector<std::uint32_t> task_failures_;
+  std::uint32_t max_task_failures_ = 0;
 
   std::vector<DetectionHandler> detection_handlers_;
   std::vector<ReconcileHandler> reconcile_handlers_;

@@ -49,6 +49,35 @@ Middleware::Middleware(mapred::Env env, ChainSpec chain,
       if (current_ != nullptr && current_->running()) current_->poke();
     });
   }
+  if (strategy_.policy != nullptr && !strategy_.policy->inert()) {
+    // Per-chain clone: adaptive state never leaks across the chains of
+    // a multi-tenant run or across reruns of one StrategyConfig. The
+    // engine-side seams (retry budget, speculation gate) are installed
+    // on env_ before any JobRun copies it.
+    policy_ = strategy_.policy->clone();
+    env_.retry_budget = [this](std::uint32_t attempts) -> std::uint32_t {
+      (void)attempts;
+      apply_policy_decision(
+          policy_->on_task_retry(
+              policy_context(current_logical_, current_recompute_)),
+          PolicyHook::kTaskRetry, current_logical_);
+      return policy_max_attempts_ != kPolicyKeep
+                 ? policy_max_attempts_
+                 : engine_cfg_.max_task_attempts;
+    };
+    env_.reduce_spec_gate =
+        [this](const mapred::ReduceSpecCandidate& cand) {
+          const bool launch = policy_->allow_reduce_speculation(
+              policy_context(current_logical_, current_recompute_), cand);
+          if (!launch) {
+            ++result_.policy_speculation_gated;
+            if (env_.obs != nullptr) {
+              env_.obs->metrics.add(tag_ + "policy.speculation_gated");
+            }
+          }
+          return launch;
+        };
+  }
   if (strategy_.strategy == Strategy::kReplication) {
     RCMP_CHECK_MSG(strategy_.replication >= 2,
                    "kReplication needs replication >= 2 to survive "
@@ -138,14 +167,129 @@ std::uint32_t Middleware::file_replication(std::uint32_t logical) const {
 }
 
 std::uint32_t Middleware::split_factor_now() const {
+  if (policy_split_override_ > 0) return policy_split_override_;
   if (strategy_.strategy != Strategy::kRcmpSplit) return 1;
   if (strategy_.split_factor > 0) return strategy_.split_factor;
   // Surviving compute nodes - 1 (the paper's 8 on STIC, 59 on DCO).
   return std::max(1u, env_.cluster.alive_compute_count() - 1);
 }
 
+PolicyContext Middleware::policy_context(std::uint32_t next_logical,
+                                         bool recompute) const {
+  PolicyContext ctx;
+  ctx.now = env_.sim.now();
+  ctx.jobs_total = static_cast<std::uint32_t>(chain_.jobs.size());
+  for (const bool done : completed_once_) {
+    if (done) ++ctx.jobs_completed;
+  }
+  ctx.next_logical = next_logical;
+  ctx.recompute = recompute;
+  ctx.jobs_started = next_ordinal_ - 1;
+  ctx.replans = result_.replans;
+  ctx.restarts = result_.restarts;
+  ctx.failures_observed = result_.failures_observed;
+  ctx.avg_job_time =
+      job_time_count_ > 0 ? job_time_sum_ / job_time_count_ : 0.0;
+  ctx.alive_compute = env_.cluster.alive_compute_count();
+  ctx.cluster_size = env_.cluster.size();
+  ctx.active_chains = tenant_.scheduler != nullptr
+                          ? tenant_.scheduler->active_chains()
+                          : 0;
+  if (env_.detector != nullptr) {
+    const cluster::FailureDetector& d = *env_.detector;
+    ctx.detector_attached = true;
+    ctx.heartbeats_received = d.heartbeats_received();
+    ctx.heartbeats_dropped = d.heartbeats_dropped();
+    ctx.suspicions = d.suspicions();
+    ctx.false_suspicions = d.false_suspicions();
+    ctx.reconciliations = d.reconciliations();
+    ctx.quarantines = d.quarantines();
+    ctx.worst_node_task_failures = d.max_task_failures();
+  }
+  ctx.storage_used =
+      tenant_.scheduler != nullptr
+          ? tenant_.scheduler->storage_total()
+          : env_.dfs.total_used() + env_.map_outputs.total_used();
+  ctx.storage_budget = strategy_.storage_budget;
+  return ctx;
+}
+
+void Middleware::apply_policy_decision(const PolicyDecision& d,
+                                       PolicyHook hook,
+                                       std::uint32_t job) {
+  if (!d.overrides()) return;  // keep-everything: no counter, no event
+  ++result_.policy_decisions;
+  if (d.mode >= 0) strategy_.strategy = static_cast<Strategy>(d.mode);
+  if (d.split_factor != kPolicyKeep) {
+    policy_split_override_ = d.split_factor;
+  }
+  if (d.replicate_now) {
+    policy_replicate_next_ = true;
+    policy_replication_ = d.replication != kPolicyKeep ? d.replication : 2;
+  }
+  if (d.speculate_reducers >= 0) policy_speculate_ = d.speculate_reducers;
+  if (d.max_task_attempts != kPolicyKeep) {
+    policy_max_attempts_ = d.max_task_attempts;
+  }
+  if (d.retry_backoff_base >= 0.0) {
+    policy_backoff_base_ = d.retry_backoff_base;
+  }
+  if (env_.obs != nullptr) {
+    env_.obs->metrics.add(tag_ + "policy.decisions");
+    env_.obs->metrics.add(tag_ + "policy.decisions." +
+                          policy_hook_name(hook));
+    env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kPolicyDecision,
+                          static_cast<std::uint8_t>(hook), obs::kNoField,
+                          job, obs::kNoField,
+                          d.replicate_now ? 1.0 : 0.0, chain_tag());
+  }
+}
+
+void Middleware::apply_policy_replication(const PlannedSubmission& sub) {
+  if (!policy_replicate_next_) return;
+  // Mirror the dynamic-hybrid constraints: only an initial-style run
+  // whose output is not already replicated can become a point. The
+  // flag stays pending across ineligible submissions (the recompute
+  // runs of a replan, already-replicated outputs), so a bad-window
+  // decision lands on the recompute frontier — the first initial run
+  // after the failure — instead of evaporating mid-replan.
+  if (sub.recompute ||
+      env_.dfs.replication(files_[sub.logical_id]) != 1) {
+    return;
+  }
+  policy_replicate_next_ = false;
+  const Bytes used =
+      tenant_.scheduler != nullptr
+          ? tenant_.scheduler->storage_total()
+          : env_.dfs.total_used() + env_.map_outputs.total_used();
+  env_.dfs.set_replication(files_[sub.logical_id], policy_replication_);
+  ++result_.replication_points;
+  ++result_.policy_pre_replications;
+  if (env_.obs != nullptr) {
+    // The auditor cross-checks budget legality (and throws on an
+    // over-budget decision) before the point is traced.
+    env_.obs->check_policy_replication(used, strategy_.storage_budget);
+    env_.obs->metrics.add(tag_ + "policy.pre_replications");
+    env_.obs->tracer.emit(env_.sim.now(),
+                          obs::EventType::kReplicationPoint, 1,
+                          obs::kNoField, sub.logical_id, obs::kNoField,
+                          0.0, chain_tag());
+  }
+  RCMP_INFO() << "t=" << env_.sim.now() << " middleware: policy "
+              << policy_->name() << " pre-replicates output of job "
+              << sub.logical_id << " x" << policy_replication_;
+}
+
 void Middleware::run(std::function<void(const ChainResult&)> on_complete) {
   on_complete_ = std::move(on_complete);
+  if (policy_ != nullptr) {
+    // Chain admission: in tenant mode run() is invoked by the shared
+    // scheduler's admission callback, so the hook fires at true
+    // admission time there too.
+    apply_policy_decision(
+        policy_->on_chain_admission(policy_context(0, false)),
+        PolicyHook::kChainAdmission, 0);
+  }
   std::vector<PlannerJobState> states(chain_.jobs.size());
   for (const PlannedSubmission& s : plan_chain(states)) queue_.push_back(s);
   submit_next();
@@ -197,6 +341,16 @@ void Middleware::submit_next() {
 
   const JobTemplate& tpl = chain_.jobs[sub.logical_id];
   ++attempt_count_[sub.logical_id];
+  current_logical_ = sub.logical_id;
+  current_recompute_ = sub.recompute;
+
+  if (policy_ != nullptr) {
+    apply_policy_decision(
+        policy_->on_job_boundary(
+            policy_context(sub.logical_id, sub.recompute)),
+        PolicyHook::kJobBoundary, sub.logical_id);
+    apply_policy_replication(sub);
+  }
 
   // Dynamic hybrid (§IV-C future work): decide, per job, whether its
   // output becomes a replication point — checkpoint-interval spacing.
@@ -251,8 +405,24 @@ void Middleware::submit_next() {
     sample_storage();
     env_.obs->audit(obs::AuditPoint::kJobStart);
   }
+  mapred::EngineConfig run_cfg = engine_cfg_;
+  if (policy_ != nullptr) {
+    if (policy_speculate_ == 1) {
+      // Reducer speculation needs the periodic speculation check.
+      run_cfg.speculative_execution = true;
+      run_cfg.speculative_reducers = true;
+    } else if (policy_speculate_ == 0) {
+      run_cfg.speculative_reducers = false;
+    }
+    if (policy_max_attempts_ != kPolicyKeep) {
+      run_cfg.max_task_attempts = policy_max_attempts_;
+    }
+    if (policy_backoff_base_ >= 0.0) {
+      run_cfg.retry_backoff_base = policy_backoff_base_;
+    }
+  }
   auto run = std::make_unique<mapred::JobRun>(
-      env_, std::move(spec), std::move(dir), engine_cfg_, ordinal,
+      env_, std::move(spec), std::move(dir), run_cfg, ordinal,
       rng_.fork_seed(),
       [this](mapred::JobRun& r) { on_run_done(r); });
   current_ = run.get();
@@ -424,6 +594,10 @@ void Middleware::replan() {
     env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kReplan,
                           obs::kKindReplan, obs::kNoField, obs::kNoField,
                           result_.replans, 0.0, chain_tag());
+  }
+  if (policy_ != nullptr) {
+    apply_policy_decision(policy_->on_failure(policy_context(0, true)),
+                          PolicyHook::kFailure, obs::kNoField);
   }
   if (strategy_.max_replans > 0 &&
       result_.replans > strategy_.max_replans) {

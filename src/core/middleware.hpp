@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/planner.hpp"
+#include "core/policy.hpp"
 #include "core/strategy.hpp"
 #include "mapred/engine.hpp"
 
@@ -108,6 +109,13 @@ struct ChainResult {
   /// Max bytes of DFS blocks + persisted map outputs observed at job
   /// boundaries (storage cost of persistence, §IV-C).
   Bytes peak_storage = 0;
+  /// Policy engine (StrategyConfig::policy): hook decisions that
+  /// overrode the static strategy, pre-replications the policy
+  /// triggered, and speculation launches its cost model vetoed. All
+  /// zero under the default static shim.
+  std::uint32_t policy_decisions = 0;
+  std::uint32_t policy_pre_replications = 0;
+  std::uint32_t policy_speculation_gated = 0;
 };
 
 class Middleware {
@@ -163,6 +171,16 @@ class Middleware {
   /// (Young's optimal checkpoint interval)?
   bool should_replicate_now() const;
   std::uint32_t split_factor_now() const;
+  /// Snapshot for a policy hook (policy_ is non-null when called).
+  PolicyContext policy_context(std::uint32_t next_logical,
+                               bool recompute) const;
+  /// Fold a hook's decision into the pending overrides; count and trace
+  /// it when it actually overrides something.
+  void apply_policy_decision(const PolicyDecision& d, PolicyHook hook,
+                             std::uint32_t job);
+  /// Consume a pending replicate-now for this submission (budget-checked
+  /// by the auditor through the observability hook).
+  void apply_policy_replication(const PlannedSubmission& sub);
   std::uint32_t file_replication(std::uint32_t logical) const;
   /// Resolved dependency list of a job (explicit deps, or the implicit
   /// linear predecessor / source input).
@@ -187,6 +205,22 @@ class Middleware {
   TenantContext tenant_;
   /// Metric-name prefix: "" single-tenant, "t<chain>." under a scheduler.
   std::string tag_;
+
+  /// Per-chain clone of StrategyConfig::policy; null when no policy (or
+  /// the inert static shim) is attached — every policy call site checks
+  /// this first, so the static path stays bit-identical to pre-policy
+  /// builds.
+  std::unique_ptr<IPolicy> policy_;
+  // Pending policy overrides (kPolicyKeep / -1 / 0 = keep static).
+  std::uint32_t policy_split_override_ = 0;
+  bool policy_replicate_next_ = false;
+  std::uint32_t policy_replication_ = 2;
+  std::int8_t policy_speculate_ = -1;
+  std::uint32_t policy_max_attempts_ = kPolicyKeep;
+  double policy_backoff_base_ = -1.0;
+  // What the retry/speculation seams report against (the running job).
+  std::uint32_t current_logical_ = 0;
+  bool current_recompute_ = false;
 
   std::vector<dfs::FileId> files_;          // output file per logical job
   std::vector<bool> completed_once_;

@@ -890,6 +890,15 @@ void JobRun::speculate_reducers() {
     if (rt.state != ReduceState::kComputing) continue;
     if (env_.sim.now() - rt.start_time <= threshold) continue;
     if (reduce_duplicates_.count(r) > 0) continue;
+    if (env_.reduce_spec_gate) {
+      ReduceSpecCandidate cand;
+      cand.reducer = r;
+      cand.elapsed = env_.sim.now() - rt.start_time;
+      cand.avg_reduce_time = avg;
+      cand.fetched_bytes = rt.fetched_bytes;
+      cand.startup_cost = cfg_.startup_cost();
+      if (!env_.reduce_spec_gate(cand)) continue;
+    }
 
     cluster::NodeId target = cluster::kInvalidNode;
     for (std::uint32_t step = 0; step < env_.cluster.size(); ++step) {
@@ -1582,7 +1591,10 @@ bool JobRun::charge_attempt(std::uint32_t& attempts, SimTime& not_before) {
       cfg_.retry_backoff_factor,
       static_cast<double>(std::min(attempts, 8u) - 1));
   not_before = env_.sim.now() + cfg_.retry_backoff_base * growth;
-  return cfg_.max_task_attempts == 0 || attempts < cfg_.max_task_attempts;
+  const std::uint32_t budget = env_.retry_budget
+                                   ? env_.retry_budget(attempts)
+                                   : cfg_.max_task_attempts;
+  return budget == 0 || attempts < budget;
 }
 
 void JobRun::blame_node(cluster::NodeId n) {

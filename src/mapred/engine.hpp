@@ -59,9 +59,19 @@ struct Env {
   std::uint16_t chain_tag = 0;
   /// Optional heartbeat failure detector. nullptr (the default) keeps
   /// the oracle detection model: the engine trusts storage_alive() alone
-  /// and never consults suspicion, quarantine, or retry backoff. Must be
-  /// last so existing positional aggregate initializers stay valid.
+  /// and never consults suspicion, quarantine, or retry backoff. Must
+  /// stay after the positional members so existing aggregate
+  /// initializers stay valid.
   cluster::FailureDetector* detector = nullptr;
+  /// Policy seams, installed by core::Middleware (mapred cannot depend
+  /// on core). Unset functions keep the exact pre-policy behavior.
+  ///
+  /// Consulted per prospective reducer-speculation launch after the
+  /// slowness test passes; returning false vetoes the duplicate.
+  std::function<bool(const ReduceSpecCandidate&)> reduce_spec_gate = {};
+  /// Consulted per task-attempt charge for the effective attempt budget
+  /// (0 = unlimited); unset uses EngineConfig::max_task_attempts.
+  std::function<std::uint32_t(std::uint32_t attempts)> retry_budget = {};
 };
 
 class JobRun {

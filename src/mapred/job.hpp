@@ -179,6 +179,22 @@ struct EngineConfig {
   }
 };
 
+/// One prospective reducer-speculation launch, offered through
+/// Env::reduce_spec_gate to the policy layer's cost model before any
+/// slot is spent. The engine's slowness test has already passed; the
+/// gate decides whether racing a duplicate is actually worth the cost.
+struct ReduceSpecCandidate {
+  std::uint32_t reducer = 0;
+  /// How long the original has been in its compute phase.
+  SimTime elapsed = 0.0;
+  /// Mean duration of reducers completed so far in this job.
+  double avg_reduce_time = 0.0;
+  /// Shuffle bytes a duplicate re-pulls from the original's local disk.
+  double fetched_bytes = 0.0;
+  /// Fixed startup the duplicate pays before doing useful work.
+  SimTime startup_cost = 0.0;
+};
+
 struct TaskTiming {
   bool is_map = true;
   std::uint32_t index = 0;     // task index within its kind

@@ -26,6 +26,9 @@ Auditor::Auditor(const Refs& refs, Observability& obs)
     throw AuditError("invariant audit failed (reported violation):\n  - " +
                      what);
   };
+  obs_.policy_replication_hook = [this](Bytes used, Bytes budget) {
+    check_policy_replication(used, budget);
+  };
   obs_.reuse_hook = [this](const ReuseCheck& rc) {
     ++reuse_checks_;
     obs_.metrics.add("audit.reuse_checks");
@@ -172,6 +175,19 @@ void Auditor::check_reconcile(cluster::NodeId n) {
   }
   ++reconcile_checks_;
   obs_.metrics.add("audit.reconcile_checks");
+}
+
+void Auditor::check_policy_replication(Bytes used, Bytes budget) {
+  if (budget != 0 && used > budget) {
+    std::ostringstream os;
+    os << "policy pre-replication over budget: " << used
+       << " bytes of persisted state already exceed the " << budget
+       << "-byte storage budget — a policy must not add replicas it has "
+          "no headroom for";
+    fail(AuditPoint::kJobStart, {os.str()});
+  }
+  ++policy_replication_checks_;
+  obs_.metrics.add("audit.policy_replication_checks");
 }
 
 void Auditor::fail(AuditPoint point,

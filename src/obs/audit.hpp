@@ -85,6 +85,17 @@ class Auditor {
   /// Reconcile-digest comparisons that passed.
   std::uint64_t reconcile_checks() const { return reconcile_checks_; }
 
+  /// Validate one policy-triggered pre-replication: at decision time the
+  /// persisted-state footprint must have been within the storage budget
+  /// (0 = unlimited). Throws AuditError otherwise. Normally invoked
+  /// through Observability::check_policy_replication.
+  void check_policy_replication(Bytes used, Bytes budget);
+
+  /// Pre-replication budget-legality checks that passed.
+  std::uint64_t policy_replication_checks() const {
+    return policy_replication_checks_;
+  }
+
  private:
   void check_event_queue(std::vector<std::string>* violations);
   void check_storage(std::vector<std::string>* violations);
@@ -96,6 +107,7 @@ class Auditor {
   std::uint64_t checks_run_ = 0;
   std::uint64_t reuse_checks_ = 0;
   std::uint64_t reconcile_checks_ = 0;
+  std::uint64_t policy_replication_checks_ = 0;
   SimTime last_audit_now_ = 0.0;
   /// Ledger digests captured at suspicion time, by suspected node.
   std::unordered_map<cluster::NodeId, std::string> suspicion_digests_;

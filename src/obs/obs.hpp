@@ -66,6 +66,10 @@ struct Observability {
   std::function<void()> storage_sample_hook;
   /// Installed by the auditor: record a violation report (throws).
   std::function<void(const std::string&)> violation_hook;
+  /// Installed by the auditor: verify a policy-triggered pre-replication
+  /// was budget-legal (storage used at decision time vs. the configured
+  /// budget; 0 budget = unlimited).
+  std::function<void(Bytes used, Bytes budget)> policy_replication_hook;
 
   // Null-safe dispatch used by the emitting layers.
   void audit(AuditPoint p) {
@@ -79,6 +83,9 @@ struct Observability {
   }
   void report_violation(const std::string& what) {
     if (violation_hook) violation_hook(what);
+  }
+  void check_policy_replication(Bytes used, Bytes budget) {
+    if (policy_replication_hook) policy_replication_hook(used, budget);
   }
 };
 

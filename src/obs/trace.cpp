@@ -56,6 +56,7 @@ const char* event_type_name(EventType t) {
     case EventType::kSuspect: return "suspect";
     case EventType::kReconcile: return "reconcile";
     case EventType::kQuarantine: return "quarantine";
+    case EventType::kPolicyDecision: return "policy_decision";
   }
   return "unknown";
 }

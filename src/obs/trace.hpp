@@ -48,6 +48,8 @@ enum class EventType : std::uint8_t {
   kSuspect = 16,     // detector suspected a node (kind: 0 dead, 1 false)
   kReconcile = 17,   // suspected node heartbeated again; suspicion lifted
   kQuarantine = 18,  // node blacklisted for repeated task failures
+  kPolicyDecision = 19,  // a policy hook overrode the static strategy
+                         // (kind: the PolicyHook that fired)
 };
 
 /// Interpretation of TraceEvent::kind per event type.
