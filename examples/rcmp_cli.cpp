@@ -47,6 +47,15 @@ void usage() {
       "  --hybrid-dynamic             dynamic hybrid (checkpoint "
       "interval)\n"
       "  --no-reuse                   do not reuse persisted map outputs\n"
+      "memory tier (DESIGN.md §13):\n"
+      "  --ram-gb X                   per-node RAM capacity in GiB\n"
+      "                               (default 0 = tier disabled)\n"
+      "  --mem-cost-ratio X           memory bandwidth as a multiple of\n"
+      "                               disk bandwidth (default 100)\n"
+      "  --memory-tier                keep intermediate outputs\n"
+      "                               memory-resident (three-way hybrid\n"
+      "                               with --hybrid-dynamic; needs\n"
+      "                               --ram-gb)\n"
       "policy (adaptive overrides on top of the static strategy):\n"
       "  --policy NAME                static|oracle|atlas|binocular\n"
       "                               (oracle reads the --fail plan)\n"
@@ -183,6 +192,13 @@ int main(int argc, char** argv) {
       strategy.hybrid_dynamic = true;
     } else if (arg == "--no-reuse") {
       strategy.reuse_map_outputs = false;
+    } else if (arg == "--ram-gb") {
+      cfg.cluster.ram_bytes =
+          static_cast<Bytes>(std::atof(next_value(i)) * kGiB);
+    } else if (arg == "--mem-cost-ratio") {
+      cfg.cluster.mem_cost_ratio = std::atof(next_value(i));
+    } else if (arg == "--memory-tier") {
+      strategy.memory_tier = true;
     } else if (arg == "--policy") {
       policy_name = next_value(i);
     } else if (arg == "--atlas-risk-threshold") {
@@ -232,6 +248,20 @@ int main(int argc, char** argv) {
     }
   }
   if (nodes_set && cfg.cluster.nodes < 2) die("need at least 2 nodes");
+  if (strategy.memory_tier && cfg.cluster.ram_bytes == 0) {
+    die("--memory-tier needs a RAM capacity (--ram-gb)");
+  }
+  if (cfg.detector.enabled && cfg.detector.suspicion_timeout < 0.0) {
+    // The negative default inherits EngineConfig::detect_timeout — a
+    // deprecation shim (cluster/detector.hpp). Warn so scripted runs
+    // migrate to an explicit cluster-wide timeout before the shim goes.
+    std::fprintf(stderr,
+                 "rcmp_sim: warning: --detector without "
+                 "--suspicion-timeout inherits the per-job engine "
+                 "detect timeout (%.1f s); this inheritance is "
+                 "deprecated — pass --suspicion-timeout explicitly\n",
+                 cfg.engine.detect_timeout);
+  }
 
   // Infeasible combinations (replication > nodes, impossible failure
   // plans, ...) are validated by the library; report them like any

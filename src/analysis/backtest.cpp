@@ -23,6 +23,19 @@ std::vector<std::uint32_t> fault_ordinals(
   return ordinals;
 }
 
+void fault_knowledge(const cluster::FaultSchedule& schedule,
+                     std::vector<std::uint32_t>* ordinals,
+                     std::vector<std::uint32_t>* kinds) {
+  ordinals->clear();
+  kinds->clear();
+  ordinals->reserve(schedule.events.size());
+  kinds->reserve(schedule.events.size());
+  for (const cluster::FaultEvent& ev : schedule.events) {
+    ordinals->push_back(ev.at_job_ordinal);
+    kinds->push_back(static_cast<std::uint32_t>(ev.mode));
+  }
+}
+
 PolicyScore run_scene(const BacktestScene& scene,
                       const std::string& policy_name,
                       const core::PolicyParams& params) {
@@ -32,7 +45,8 @@ PolicyScore run_scene(const BacktestScene& scene,
 
   core::StrategyConfig strategy = scene.strategy;
   core::PolicyParams scene_params = params;
-  scene_params.oracle_fault_ordinals = fault_ordinals(scene.schedule);
+  fault_knowledge(scene.schedule, &scene_params.oracle_fault_ordinals,
+                  &scene_params.oracle_fault_kinds);
   strategy.policy = core::make_policy(score.policy, scene_params);
 
   workloads::Scenario sc(scene.scenario);

@@ -74,6 +74,13 @@ struct BacktestReport {
 std::vector<std::uint32_t> fault_ordinals(
     const cluster::FaultSchedule& schedule);
 
+/// The schedule's raw per-event (ordinal, fault-mode) knowledge, aligned
+/// index-by-index and unsorted — what the oracle needs to tell a
+/// data-destroying kill apart from benign heartbeat jitter.
+void fault_knowledge(const cluster::FaultSchedule& schedule,
+                     std::vector<std::uint32_t>* ordinals,
+                     std::vector<std::uint32_t>* kinds);
+
 /// Replay one scene under one named policy ("static" may also be spelled
 /// "" — both run the inert shim). Oracle automatically receives the
 /// scene's fault ordinals.

@@ -17,9 +17,10 @@ Cluster::Cluster(sim::Simulation& sim, res::FlowNetwork& net,
   // Pre-size the flow network: 3 links per node plus the fabric and the
   // per-rack uplink/downlink pair; the steady-state flow population is
   // bounded by a few transfers per node (map read, spill, shuffle, DFS
-  // pipeline).
+  // pipeline). The memory tier adds one more link per node when on.
   const std::size_t nlinks =
-      3u * spec_.nodes + 1u + (spec_.racks > 1 ? 2u * spec_.racks : 0u);
+      3u * spec_.nodes + 1u + (spec_.racks > 1 ? 2u * spec_.racks : 0u) +
+      (spec_.ram_bytes > 0 ? spec_.nodes : 0u);
   net_.reserve(nlinks, 8u * spec_.nodes);
   sim_.reserve_events(8u * spec_.nodes + 64u);
 
@@ -48,6 +49,21 @@ Cluster::Cluster(sim::Simulation& sim, res::FlowNetwork& net,
       rack_down_.push_back(
           net_.add_link({"rack_down/" + tag, rack_bw, 0.0}));
     }
+  }
+  if (spec_.ram_bytes > 0) {
+    // Memory-tier links go *after* every disk-model link so that a run
+    // with ram_bytes == 0 keeps the exact pre-tier link-id layout (the
+    // byte-identity guarantee for disabled runs).
+    RCMP_CHECK_MSG(spec_.mem_cost_ratio >= 1.0,
+                   "mem_cost_ratio must be >= 1");
+    mem_.reserve(spec_.nodes);
+    for (std::uint32_t n = 0; n < spec_.nodes; ++n) {
+      mem_.push_back(
+          net_.add_link({"mem/n" + std::to_string(n),
+                         spec_.disk_bw * spec_.mem_cost_ratio, 0.0}));
+    }
+    ram_.resize(spec_.nodes);
+    ram_used_.assign(spec_.nodes, 0);
   }
 
   RCMP_CHECK_MSG(spec_.storage_nodes < spec_.nodes,
@@ -132,9 +148,51 @@ void Cluster::recount_alive() {
   for (NodeId n = 0; n < spec_.nodes; ++n) alive_count_ += alive(n);
 }
 
+bool Cluster::ram_try_charge(NodeId n, std::uint32_t ns,
+                             std::uint64_t id, Bytes bytes) {
+  if (!ram_enabled()) return false;
+  RCMP_CHECK(n < spec_.nodes);
+  auto& node_ram = ram_[n];
+  const RamKey key{ns, id};
+  auto it = node_ram.find(key);
+  if (it != node_ram.end()) {
+    ++it->second.refs;  // de-dup: already resident, shared for free
+    return true;
+  }
+  if (ram_used_[n] + bytes > spec_.ram_bytes) return false;
+  node_ram.emplace(key, RamEntry{bytes, 1});
+  ram_used_[n] += bytes;
+  return true;
+}
+
+void Cluster::ram_discharge(NodeId n, std::uint32_t ns,
+                            std::uint64_t id) {
+  if (!ram_enabled()) return;
+  RCMP_CHECK(n < spec_.nodes);
+  auto& node_ram = ram_[n];
+  auto it = node_ram.find(RamKey{ns, id});
+  if (it == node_ram.end()) return;
+  if (--it->second.refs == 0) {
+    RCMP_CHECK(ram_used_[n] >= it->second.bytes);
+    ram_used_[n] -= it->second.bytes;
+    node_ram.erase(it);
+  }
+}
+
+void Cluster::ram_clear_node(NodeId n) {
+  if (!ram_enabled()) return;
+  RCMP_CHECK(n < spec_.nodes);
+  ram_[n].clear();
+  ram_used_[n] = 0;
+}
+
 void Cluster::dispatch_failure(const FailureEvent& ev) {
   ++failure_epoch_[ev.node];
   recount_alive();
+  // Process memory dies with the process: wipe the node's RAM tier
+  // before subscribers run, so storage layers observe the physical
+  // truth when they reconcile their ledgers.
+  if (ev.lost_compute) ram_clear_node(ev.node);
   if (tracer_ != nullptr) {
     const std::uint8_t kind = ev.whole_node()  ? obs::kKindKill
                               : ev.lost_compute ? obs::kKindCompute
@@ -210,15 +268,40 @@ Cluster::Path Cluster::path_disk_write(NodeId n) const {
   return Path{{disk_[n]}, {spec_.disk_write_penalty}};
 }
 
+Cluster::Path Cluster::path_tier_read(NodeId n, StorageTier tier) const {
+  if (tier == StorageTier::kMemory) return Path{{mem_[n]}, {1.0}};
+  return path_disk_read(n);
+}
+
+Cluster::Path Cluster::path_tier_write(NodeId n,
+                                       StorageTier tier) const {
+  if (tier == StorageTier::kMemory) return Path{{mem_[n]}, {1.0}};
+  return path_disk_write(n);
+}
+
 Cluster::Path Cluster::path_transfer(NodeId src, NodeId dst,
                                      bool read_src_disk,
                                      bool write_dst_disk) const {
+  return path_transfer(src, dst, read_src_disk, write_dst_disk,
+                       StorageTier::kDisk, StorageTier::kDisk);
+}
+
+Cluster::Path Cluster::path_transfer(NodeId src, NodeId dst,
+                                     bool read_src, bool write_dst,
+                                     StorageTier src_tier,
+                                     StorageTier dst_tier) const {
   Path path;
   auto add = [&path](res::LinkId l, double w) {
     path.links.push_back(l);
     path.weights.push_back(w);
   };
-  if (read_src_disk) add(disk_[src], 1.0);
+  if (read_src) {
+    if (src_tier == StorageTier::kMemory) {
+      add(mem_[src], 1.0);
+    } else {
+      add(disk_[src], 1.0);
+    }
+  }
   if (src != dst) {
     add(up_[src], 1.0);
     if (!rack_up_.empty() && rack_of(src) != rack_of(dst)) {
@@ -232,7 +315,13 @@ Cluster::Path Cluster::path_transfer(NodeId src, NodeId dst,
     }
     add(down_[dst], 1.0);
   }
-  if (write_dst_disk) add(disk_[dst], spec_.disk_write_penalty);
+  if (write_dst) {
+    if (dst_tier == StorageTier::kMemory) {
+      add(mem_[dst], 1.0);  // memory writes carry no journaling penalty
+    } else {
+      add(disk_[dst], spec_.disk_write_penalty);
+    }
+  }
   return path;  // possibly empty: memory-to-memory on one node
 }
 

@@ -22,8 +22,10 @@
 // link paths used by the engine for each kind of transfer.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/units.hpp"
@@ -35,6 +37,12 @@ namespace rcmp::cluster {
 
 using NodeId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// Where a persisted byte lives. Memory is ~100x faster than disk but
+/// volatile: it dies with the *process* (compute failure), while disk
+/// contents die only with the drive. The tier of a replica therefore
+/// decides both its transfer path and its liveness predicate.
+enum class StorageTier : std::uint8_t { kDisk = 0, kMemory = 1 };
 
 struct ClusterSpec {
   std::uint32_t nodes = 10;
@@ -61,6 +69,15 @@ struct ClusterSpec {
 
   std::uint32_t map_slots = 1;
   std::uint32_t reduce_slots = 1;
+
+  /// Per-node RAM available for the in-memory storage tier (M3R-style
+  /// ~100x-cheaper persistence, PAPERS.md). 0 disables the tier
+  /// entirely: no mem links are created and runs stay byte-identical to
+  /// the disk-only model.
+  Bytes ram_bytes = 0;
+  /// Memory bandwidth relative to disk: mem link rate = disk_bw *
+  /// mem_cost_ratio. M3R's headline number is ~100x.
+  double mem_cost_ratio = 100.0;
 
   /// Non-collocated deployments (paper SII: "Our contributions directly
   /// apply also to the non-collocated case where storage and
@@ -188,6 +205,35 @@ class Cluster {
   res::LinkId nic_down(NodeId n) const { return down_[n]; }
   res::LinkId fabric() const { return fabric_; }
   bool has_rack_links() const { return !rack_up_.empty(); }
+  /// Memory-tier link; only valid when ram_enabled().
+  res::LinkId mem(NodeId n) const { return mem_[n]; }
+
+  // --- memory-tier ledger --------------------------------------------
+  //
+  // The cluster owns the physical RAM budget so that every consumer
+  // (DFS blocks, per-chain map-output stores) charges against the same
+  // per-node pool. Entries are keyed by (namespace, id) and refcounted:
+  // a second charge for a key already resident is de-duplication — the
+  // bytes are held once, shared across chains — and always succeeds.
+  bool ram_enabled() const { return spec_.ram_bytes > 0; }
+  Bytes ram_capacity() const { return spec_.ram_bytes; }
+  Bytes ram_used(NodeId n) const {
+    return ram_used_.empty() ? 0 : ram_used_[n];
+  }
+  /// Charge `bytes` of RAM on `n` under (ns, id). Returns false when the
+  /// tier is disabled or the node lacks headroom *and* the key is not
+  /// already resident (the caller must then spill to disk). A charge
+  /// for a resident key bumps its refcount and is free.
+  bool ram_try_charge(NodeId n, std::uint32_t ns, std::uint64_t id,
+                      Bytes bytes);
+  /// Drop one reference to (ns, id) on `n`; frees the bytes when the
+  /// last reference goes. No-op when the key is absent (idempotent —
+  /// a compute failure may have wiped the node wholesale already).
+  void ram_discharge(NodeId n, std::uint32_t ns, std::uint64_t id);
+  /// RAM is process memory: a compute failure loses everything resident
+  /// on the node at once. Called internally on every lost_compute
+  /// failure, before handlers fire.
+  void ram_clear_node(NodeId n);
 
   /// A link path with aligned work weights (disk writes are penalized
   /// by ClusterSpec::disk_write_penalty).
@@ -200,6 +246,10 @@ class Cluster {
   Path path_disk_read(NodeId n) const;
   /// Path for a task on `n` writing to its local disk.
   Path path_disk_write(NodeId n) const;
+  /// Tier-dispatched local read/write: disk paths as above, or the mem
+  /// link (no write penalty) for the memory tier.
+  Path path_tier_read(NodeId n, StorageTier tier) const;
+  Path path_tier_write(NodeId n, StorageTier tier) const;
 
   /// Path for moving bytes from src to dst. read_src_disk: bytes
   /// originate on src's disk (vs. src memory); write_dst_disk: bytes are
@@ -208,6 +258,11 @@ class Cluster {
   /// twice, charging read + write against the same spindle.
   Path path_transfer(NodeId src, NodeId dst, bool read_src_disk,
                      bool write_dst_disk) const;
+  /// Tiered overload: each touched endpoint goes through its tier's
+  /// storage link (memory endpoints carry no write penalty).
+  Path path_transfer(NodeId src, NodeId dst, bool read_src,
+                     bool write_dst, StorageTier src_tier,
+                     StorageTier dst_tier) const;
 
   sim::Simulation& sim() { return sim_; }
   res::FlowNetwork& net() { return net_; }
@@ -220,11 +275,33 @@ class Cluster {
   void dispatch_failure(const FailureEvent& ev);
   void recount_alive();
 
+  struct RamKey {
+    std::uint32_t ns;
+    std::uint64_t id;
+    bool operator==(const RamKey& o) const {
+      return ns == o.ns && id == o.id;
+    }
+  };
+  struct RamKeyHash {
+    std::size_t operator()(const RamKey& k) const {
+      std::size_t h = std::hash<std::uint64_t>{}(k.id);
+      return h ^ (std::hash<std::uint32_t>{}(k.ns) + 0x9e3779b9u +
+                  (h << 6) + (h >> 2));
+    }
+  };
+  struct RamEntry {
+    Bytes bytes = 0;
+    std::uint32_t refs = 0;
+  };
+
   sim::Simulation& sim_;
   res::FlowNetwork& net_;
   ClusterSpec spec_;
   std::vector<res::LinkId> disk_, up_, down_;
   std::vector<res::LinkId> rack_up_, rack_down_;  // per rack (if > 1)
+  std::vector<res::LinkId> mem_;  // per node, only when ram_enabled()
+  std::vector<std::unordered_map<RamKey, RamEntry, RamKeyHash>> ram_;
+  std::vector<Bytes> ram_used_;
   res::LinkId fabric_ = 0;
   std::vector<bool> compute_up_, storage_up_, reachable_;
   std::vector<std::uint64_t> failure_epoch_;

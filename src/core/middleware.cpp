@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -152,6 +153,16 @@ Middleware::Middleware(mapred::Env env, ChainSpec chain,
   if (env_.obs != nullptr && !env_.obs->storage_sample_hook) {
     env_.obs->storage_sample_hook = [this] { sample_storage(); };
   }
+
+  // Memory-tier spill observability. Under multi-tenancy the per-chain
+  // store hook is exact; the shared DFS hook is last-installer-wins
+  // (the spill itself is global, only the chain tag may mis-attribute).
+  if (env_.cluster.ram_enabled() && env_.obs != nullptr) {
+    env_.dfs.set_spill_hook(
+        [this](cluster::NodeId n, Bytes b) { note_spill(n, b); });
+    env_.map_outputs.set_spill_hook(
+        [this](cluster::NodeId n, Bytes b) { note_spill(n, b); });
+  }
 }
 
 std::uint32_t Middleware::file_replication(std::uint32_t logical) const {
@@ -227,6 +238,7 @@ void Middleware::apply_policy_decision(const PolicyDecision& d,
     policy_replicate_next_ = true;
     policy_replication_ = d.replication != kPolicyKeep ? d.replication : 2;
   }
+  if (d.tier >= 0) policy_tier_ = d.tier;
   if (d.speculate_reducers >= 0) policy_speculate_ = d.speculate_reducers;
   if (d.max_task_attempts != kPolicyKeep) {
     policy_max_attempts_ = d.max_task_attempts;
@@ -258,6 +270,28 @@ void Middleware::apply_policy_replication(const PlannedSubmission& sub) {
     return;
   }
   policy_replicate_next_ = false;
+  if (policy_tier_ ==
+          static_cast<std::int8_t>(cluster::StorageTier::kMemory) &&
+      env_.cluster.ram_enabled()) {
+    // The policy asked for a memory-tier persistence point instead of
+    // durable replicas: no storage cost, RAM-speed reuse, volatile.
+    policy_tier_ = -1;
+    env_.dfs.set_file_tier(files_[sub.logical_id],
+                           cluster::StorageTier::kMemory);
+    if (env_.obs != nullptr) {
+      env_.obs->metrics.add(tag_ + "policy.memory_points");
+      env_.obs->metrics.add("storage.tier.promotions");
+      env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kPromote, 1,
+                            obs::kNoField, sub.logical_id, obs::kNoField,
+                            0.0, chain_tag());
+    }
+    RCMP_INFO() << "t=" << env_.sim.now() << " middleware: policy "
+                << policy_->name()
+                << " persists output of job " << sub.logical_id
+                << " to the memory tier";
+    return;
+  }
+  policy_tier_ = -1;
   const Bytes used =
       tenant_.scheduler != nullptr
           ? tenant_.scheduler->storage_total()
@@ -352,10 +386,18 @@ void Middleware::submit_next() {
     apply_policy_replication(sub);
   }
 
-  // Dynamic hybrid (§IV-C future work): decide, per job, whether its
-  // output becomes a replication point — checkpoint-interval spacing.
-  if (strategy_.is_rcmp() && strategy_.hybrid_dynamic && !sub.recompute &&
-      env_.dfs.replication(files_[sub.logical_id]) == 1 &&
+  // Persistence-tier choice for this job's output. With the memory
+  // tier off this is the original dynamic hybrid (§IV-C future work):
+  // per job, decide whether its output becomes a replication point —
+  // checkpoint-interval spacing. With StrategyConfig::memory_tier on,
+  // the decision is three-way: replicate (survives node loss), persist
+  // to disk (survives compute loss), or keep the output in cluster RAM
+  // (cheapest — dies with the writer's process), the durable choices
+  // each spaced by their own Young's interval.
+  const bool tier_eligible =
+      strategy_.is_rcmp() &&
+      env_.dfs.replication(files_[sub.logical_id]) == 1;
+  if (tier_eligible && strategy_.hybrid_dynamic && !sub.recompute &&
       should_replicate_now()) {
     env_.dfs.set_replication(files_[sub.logical_id],
                              strategy_.hybrid_replication);
@@ -369,6 +411,29 @@ void Middleware::submit_next() {
     RCMP_INFO() << "t=" << env_.sim.now()
                 << " middleware: dynamic hybrid replicates output of job "
                 << sub.logical_id;
+  } else if (tier_eligible && strategy_.memory_tier &&
+             env_.cluster.ram_enabled()) {
+    if (strategy_.hybrid_dynamic && !sub.recompute &&
+        should_persist_disk_now()) {
+      // Disk persistence point: leave the output on the disk tier; the
+      // interval timer resets when the run completes (on_run_done).
+      env_.dfs.set_file_tier(files_[sub.logical_id],
+                             cluster::StorageTier::kDisk);
+      RCMP_INFO() << "t=" << env_.sim.now()
+                  << " middleware: three-way hybrid persists output of "
+                     "job "
+                  << sub.logical_id << " to disk";
+    } else if (env_.dfs.file_tier(files_[sub.logical_id]) !=
+               cluster::StorageTier::kMemory) {
+      env_.dfs.set_file_tier(files_[sub.logical_id],
+                             cluster::StorageTier::kMemory);
+      if (env_.obs != nullptr) {
+        env_.obs->metrics.add("storage.tier.promotions");
+        env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kPromote, 0,
+                              obs::kNoField, sub.logical_id, obs::kNoField,
+                              0.0, chain_tag());
+      }
+    }
   }
 
   mapred::JobSpec spec;
@@ -385,6 +450,13 @@ void Middleware::submit_next() {
       (strategy_.strategy == Strategy::kRcmpScatter && sub.recompute)
           ? dfs::PlacementPolicy::kScatter
           : dfs::PlacementPolicy::kLocalFirst;
+  if (strategy_.is_rcmp() && strategy_.memory_tier &&
+      env_.cluster.ram_enabled()) {
+    // Persisted map outputs live in the mapper's RAM: shuffles and
+    // Fig. 5 reuse run at memory speed, spilling to disk under RAM
+    // pressure and dying with the process on compute failure.
+    spec.map_output_tier = cluster::StorageTier::kMemory;
+  }
 
   mapred::RecomputeDirective dir;
   if (sub.recompute) {
@@ -427,6 +499,7 @@ void Middleware::submit_next() {
       [this](mapred::JobRun& r) { on_run_done(r); });
   current_ = run.get();
   runs_.push_back(std::move(run));
+  update_pinned_jobs();
 
   for (auto& cb : start_observers_) cb(ordinal);
   current_->start();
@@ -435,6 +508,7 @@ void Middleware::submit_next() {
 void Middleware::on_run_done(mapred::JobRun& run) {
   RCMP_CHECK(&run == current_);
   current_ = nullptr;
+  update_pinned_jobs();  // the finished run leaves the recompute frontier
   const auto& res = run.result();
 
   if (res.status == mapred::JobResult::Status::kCompleted) {
@@ -451,6 +525,20 @@ void Middleware::on_run_done(mapred::JobRun& run) {
       time_since_repl_point_ = 0.0;
     } else {
       time_since_repl_point_ += res.duration();
+    }
+    if (strategy_.memory_tier) {
+      // Disk-durability timer for the three-way decision: replicated
+      // and disk-tier outputs both survive a compute failure.
+      const bool disk_durable =
+          repl > 1 ||
+          (env_.dfs.file_exists(files_[res.logical_id]) &&
+           env_.dfs.file_tier(files_[res.logical_id]) ==
+               cluster::StorageTier::kDisk);
+      if (disk_durable) {
+        time_since_disk_point_ = 0.0;
+      } else {
+        time_since_disk_point_ += res.duration();
+      }
     }
     sample_storage();
     enforce_storage_budget();
@@ -477,6 +565,19 @@ void Middleware::on_failure(const cluster::FailureEvent& ev) {
   // Physical effects are immediate: metadata reflects the lost replicas
   // and persisted outputs, and in-flight transfers touching the node
   // stop. The Master only *acts* after the detection timeout.
+  if (ev.lost_compute && env_.cluster.ram_enabled()) {
+    // The node's RAM died with its process: memory-tier blocks and map
+    // outputs on it are gone (the cluster already wiped the physical
+    // ledger in dispatch; reconcile the metadata here). Disk-tier state
+    // survives a pure compute failure.
+    const auto mem_reports = env_.dfs.on_compute_failure(ev.node);
+    for (const auto& r : mem_reports) {
+      RCMP_INFO() << "middleware: file " << r.file_name << " lost "
+                  << r.lost_partitions.size()
+                  << " memory-tier partition(s)";
+    }
+    env_.map_outputs.on_compute_failure(ev.node);
+  }
   if (ev.lost_storage) {
     const auto reports = env_.dfs.on_node_failure(ev.node);
     for (const auto& r : reports) {
@@ -657,6 +758,7 @@ void Middleware::replan() {
 
   queue_.clear();
   for (const auto& s : plan) queue_.push_back(s);
+  update_pinned_jobs();
   RCMP_INFO() << "t=" << env_.sim.now() << " middleware: replanned, "
               << queue_.size() << " submission(s) queued";
   submit_next();
@@ -703,6 +805,7 @@ void Middleware::wipe_and_restart() {
   std::vector<PlannerJobState> states(chain_.jobs.size());
   for (const PlannedSubmission& s : plan_chain(states))
     queue_.push_back(s);
+  update_pinned_jobs();  // a restart plan has no recompute frontier
   RCMP_INFO() << "t=" << env_.sim.now()
               << " middleware: full computation restart #"
               << result_.restarts;
@@ -748,6 +851,44 @@ bool Middleware::should_replicate_now() const {
   return time_since_repl_point_ + avg_job >= interval;
 }
 
+bool Middleware::should_persist_disk_now() const {
+  if (job_time_count_ == 0) return false;  // no cost estimate yet
+  const double avg_job = job_time_sum_ / job_time_count_;
+  if (!(avg_job > 0.0)) return false;
+  if (!(strategy_.node_failure_rate_per_day > 0.0)) return false;
+  // Same Young's shape as should_replicate_now, with the (much cheaper)
+  // disk-checkpoint cost — so disk points land more often than
+  // replication points, mirroring the tier cost ordering.
+  const double c = avg_job * strategy_.memory_disk_overhead;
+  const double mtbf_seconds =
+      86400.0 / (strategy_.node_failure_rate_per_day *
+                 std::max(1u, env_.cluster.alive_count()));
+  const double interval = std::sqrt(2.0 * c * mtbf_seconds);
+  if (!std::isfinite(interval)) return false;
+  return time_since_disk_point_ + avg_job >= interval;
+}
+
+void Middleware::update_pinned_jobs() {
+  std::unordered_set<std::uint32_t> pinned;
+  for (const PlannedSubmission& s : queue_) {
+    if (s.recompute) pinned.insert(s.logical_id);
+  }
+  if (current_ != nullptr && current_->running() && current_recompute_) {
+    pinned.insert(current_logical_);
+  }
+  env_.map_outputs.set_pinned_jobs(std::move(pinned));
+}
+
+void Middleware::note_spill(cluster::NodeId n, Bytes bytes) {
+  if (env_.obs == nullptr) return;
+  env_.obs->metrics.add("storage.tier.spills");
+  env_.obs->metrics.add("storage.tier.spilled_bytes",
+                        static_cast<double>(bytes));
+  env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kSpill, 0, n,
+                        obs::kNoField, obs::kNoField,
+                        static_cast<double>(bytes), chain_tag());
+}
+
 void Middleware::enforce_storage_budget() {
   // Under a shared budget the scheduler arbitrates across chains
   // (weighted shares, cross-chain victims); the per-chain budget below
@@ -763,6 +904,13 @@ void Middleware::enforce_storage_budget() {
         env_.dfs.total_used() + env_.map_outputs.total_used();
     if (used <= strategy_.storage_budget) break;
     if (env_.map_outputs.used_for_job(l) == 0) continue;
+    // Never evict a job on the live recompute frontier of an in-flight
+    // replan — its persisted outputs are the copies the replan counts
+    // on. The auditor cross-checks every victim choice.
+    if (env_.map_outputs.job_pinned(l)) continue;
+    if (env_.obs != nullptr) {
+      env_.obs->check_eviction(env_.map_outputs.job_pinned(l), l);
+    }
     const Bytes freed = env_.map_outputs.evict_upto(
         l, used - strategy_.storage_budget);
     if (freed > 0) {
@@ -795,6 +943,12 @@ void Middleware::sample_storage() {
                                 static_cast<double>(used));
     env_.obs->metrics.set_gauge(
         "storage.peak_bytes", static_cast<double>(result_.peak_storage));
+    if (env_.cluster.ram_enabled()) {
+      env_.obs->metrics.set_gauge(
+          "storage.tier.mem_bytes",
+          static_cast<double>(env_.dfs.total_mem_used() +
+                              env_.map_outputs.total_mem_used()));
+    }
   }
 }
 

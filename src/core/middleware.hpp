@@ -170,6 +170,16 @@ class Middleware {
   /// Dynamic hybrid: is it time for the next replication point
   /// (Young's optimal checkpoint interval)?
   bool should_replicate_now() const;
+  /// Three-way hybrid (memory tier on): is it time for the next disk
+  /// persistence point? Same Young's interval shape as replication,
+  /// with the (cheaper) disk-checkpoint cost.
+  bool should_persist_disk_now() const;
+  /// Pin the recompute frontier (queued recompute submissions plus the
+  /// running one) against storage eviction: evicting those persisted
+  /// map outputs would delete the copies an in-flight replan counts on.
+  void update_pinned_jobs();
+  /// Memory-tier bytes demoted to disk on node `n` (spill hook).
+  void note_spill(cluster::NodeId n, Bytes bytes);
   std::uint32_t split_factor_now() const;
   /// Snapshot for a policy hook (policy_ is non-null when called).
   PolicyContext policy_context(std::uint32_t next_logical,
@@ -215,6 +225,7 @@ class Middleware {
   std::uint32_t policy_split_override_ = 0;
   bool policy_replicate_next_ = false;
   std::uint32_t policy_replication_ = 2;
+  std::int8_t policy_tier_ = -1;
   std::int8_t policy_speculate_ = -1;
   std::uint32_t policy_max_attempts_ = kPolicyKeep;
   double policy_backoff_base_ = -1.0;
@@ -229,6 +240,9 @@ class Middleware {
 
   // Dynamic hybrid bookkeeping.
   double time_since_repl_point_ = 0.0;
+  /// Chain time since the last disk-durable output (three-way hybrid;
+  /// maintained only when the memory tier is on).
+  double time_since_disk_point_ = 0.0;
   double job_time_sum_ = 0.0;
   std::uint32_t job_time_count_ = 0;
 

@@ -2,9 +2,28 @@
 
 #include <algorithm>
 
+#include "cluster/chaos.hpp"
 #include "common/error.hpp"
 
 namespace rcmp::core {
+
+namespace {
+
+/// Does a fault of this kind (cluster::FaultMode value) destroy
+/// persisted data or kill a process holding it? Heartbeat loss and
+/// network partitions leave every byte intact — an oracle that
+/// replicates for them is paying for insurance against nothing.
+bool fault_destroys_data(std::uint32_t kind) {
+  switch (static_cast<cluster::FaultMode>(kind)) {
+    case cluster::FaultMode::kHeartbeatLoss:
+    case cluster::FaultMode::kNetworkPartition:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
 
 const char* policy_hook_name(PolicyHook h) {
   switch (h) {
@@ -21,9 +40,18 @@ const char* policy_hook_name(PolicyHook h) {
 // ---------------------------------------------------------------------
 
 OraclePolicy::OraclePolicy(std::vector<std::uint32_t> fault_ordinals,
-                           std::uint32_t replication)
-    : fault_ordinals_(std::move(fault_ordinals)),
-      replication_(replication) {
+                           std::uint32_t replication,
+                           std::vector<std::uint32_t> fault_kinds)
+    : replication_(replication) {
+  RCMP_CHECK_MSG(
+      fault_kinds.empty() || fault_kinds.size() == fault_ordinals.size(),
+      "oracle fault kinds must align with fault ordinals");
+  fault_ordinals_.reserve(fault_ordinals.size());
+  for (std::size_t i = 0; i < fault_ordinals.size(); ++i) {
+    if (fault_kinds.empty() || fault_destroys_data(fault_kinds[i])) {
+      fault_ordinals_.push_back(fault_ordinals[i]);
+    }
+  }
   std::sort(fault_ordinals_.begin(), fault_ordinals_.end());
   fault_ordinals_.erase(
       std::unique(fault_ordinals_.begin(), fault_ordinals_.end()),
@@ -189,10 +217,18 @@ std::shared_ptr<IPolicy> make_policy(const std::string& name,
   if (!(params.binocular.cost_ratio > 0.0)) {
     throw ConfigError("speculation cost ratio must be positive");
   }
+  if (!params.oracle_fault_kinds.empty() &&
+      params.oracle_fault_kinds.size() !=
+          params.oracle_fault_ordinals.size()) {
+    throw ConfigError(
+        "oracle fault kinds must be empty or match the fault ordinals "
+        "one-to-one");
+  }
   if (name == "static") return std::make_shared<StaticPolicy>();
   if (name == "oracle") {
     return std::make_shared<OraclePolicy>(params.oracle_fault_ordinals,
-                                          params.replication);
+                                          params.replication,
+                                          params.oracle_fault_kinds);
   }
   if (name == "atlas") {
     return std::make_shared<AtlasAdaptivePolicy>(params.atlas);

@@ -120,6 +120,12 @@ struct PolicyDecision {
   bool replicate_now = false;
   /// Replicas at that point; kPolicyKeep uses the built-in default (2).
   std::uint32_t replication = kPolicyKeep;
+  /// Storage tier for a replicate-now point (cluster::StorageTier
+  /// values): -1 keeps the default durable disk replicas; kMemory (1)
+  /// turns the point into a memory-tier persistence point instead — no
+  /// extra replicas, written and reread at RAM speed, but lost with the
+  /// writer's process. Ignored when the cluster has no RAM tier.
+  std::int8_t tier = -1;
   /// Reducer speculation aggressiveness: -1 keep, 0 force off, 1 on.
   std::int8_t speculate_reducers = -1;
   /// Per-task attempt budget for subsequent charges (0 = unlimited);
@@ -130,8 +136,8 @@ struct PolicyDecision {
 
   bool overrides() const {
     return mode >= 0 || split_factor != kPolicyKeep || replicate_now ||
-           speculate_reducers >= 0 || max_task_attempts != kPolicyKeep ||
-           retry_backoff_base >= 0.0;
+           tier >= 0 || speculate_reducers >= 0 ||
+           max_task_attempts != kPolicyKeep || retry_backoff_base >= 0.0;
   }
 };
 
@@ -179,10 +185,18 @@ class StaticPolicy final : public IPolicy {
 
 /// Future knowledge: pre-replicates the output written immediately
 /// before each scheduled fault ordinal.
+///
+/// `fault_kinds` (cluster::FaultMode values, aligned index-by-index
+/// with `fault_ordinals` before sorting) tells the oracle which faults
+/// actually destroy data: benign kinds — heartbeat loss, network
+/// partitions — never cost a replica, so a jitter-only schedule places
+/// zero replication points. An empty kinds vector treats every ordinal
+/// as destructive (the historical behavior).
 class OraclePolicy final : public IPolicy {
  public:
   explicit OraclePolicy(std::vector<std::uint32_t> fault_ordinals,
-                        std::uint32_t replication = 2);
+                        std::uint32_t replication = 2,
+                        std::vector<std::uint32_t> fault_kinds = {});
   const char* name() const override { return "oracle"; }
   std::unique_ptr<IPolicy> clone() const override {
     return std::make_unique<OraclePolicy>(*this);
@@ -190,7 +204,7 @@ class OraclePolicy final : public IPolicy {
   PolicyDecision on_job_boundary(const PolicyContext& ctx) override;
 
  private:
-  std::vector<std::uint32_t> fault_ordinals_;  // sorted, unique
+  std::vector<std::uint32_t> fault_ordinals_;  // data-destroying; sorted, unique
   std::uint32_t replication_;
 };
 
@@ -279,6 +293,11 @@ struct PolicyParams {
   /// Job ordinals at which faults arm (OraclePolicy's future knowledge;
   /// drivers fill it from the failure plan / chaos schedule).
   std::vector<std::uint32_t> oracle_fault_ordinals;
+  /// cluster::FaultMode values aligned with oracle_fault_ordinals, so
+  /// the oracle can skip benign (non-data-destroying) faults. Empty =
+  /// treat every ordinal as destructive; any other size must match
+  /// oracle_fault_ordinals (ConfigError otherwise).
+  std::vector<std::uint32_t> oracle_fault_kinds;
   std::uint32_t replication = 2;
 };
 

@@ -13,6 +13,7 @@ NameNode::NameNode(cluster::Cluster& cluster, Bytes block_size,
     : cluster_(cluster), block_size_(block_size), rng_(seed) {
   RCMP_CHECK_MSG(block_size_ > 0, "block size must be positive");
   used_per_node_.assign(cluster_.size(), 0);
+  mem_per_node_.assign(cluster_.size(), 0);
 }
 
 FileId NameNode::create_file(std::string name, std::uint32_t num_partitions,
@@ -66,6 +67,16 @@ void NameNode::set_replication(FileId f, std::uint32_t replication) {
                       " nodes");
   }
   files_[f].replication = replication;
+}
+
+void NameNode::set_file_tier(FileId f, cluster::StorageTier tier) {
+  RCMP_CHECK(file_exists(f));
+  files_[f].tier = tier;
+}
+
+cluster::StorageTier NameNode::file_tier(FileId f) const {
+  RCMP_CHECK(file_exists(f));
+  return files_[f].tier;
 }
 
 Bytes NameNode::file_size(FileId f) const {
@@ -152,12 +163,28 @@ std::vector<NameNode::PlannedBlock> NameNode::plan_write(
   if (size == 0) return plan;
   const std::uint64_t nblocks = ceil_div(size, block_size_);
   plan.reserve(nblocks);
+  // Memory placement: single replica in the writer's process RAM while
+  // plan-time headroom lasts; the remainder spills to disk placement.
+  // A replicated file always goes to disk — the replicas ARE the
+  // durability the caller asked for.
+  const bool want_mem = files_[f].tier == cluster::StorageTier::kMemory &&
+                        files_[f].replication == 1 &&
+                        cluster_.ram_enabled() &&
+                        cluster_.compute_alive(writer);
+  Bytes mem_headroom =
+      want_mem ? cluster_.ram_capacity() - cluster_.ram_used(writer) : 0;
   Bytes left = size;
   for (std::uint64_t b = 0; b < nblocks; ++b) {
     PlannedBlock pb;
     pb.size = std::min<Bytes>(left, block_size_);
     left -= pb.size;
-    pb.replicas = pick_replicas(writer, files_[f].replication, policy);
+    if (want_mem && pb.size <= mem_headroom) {
+      pb.tier = cluster::StorageTier::kMemory;
+      pb.replicas = {writer};
+      mem_headroom -= pb.size;
+    } else {
+      pb.replicas = pick_replicas(writer, files_[f].replication, policy);
+    }
     plan.push_back(std::move(pb));
   }
   return plan;
@@ -172,9 +199,25 @@ void NameNode::commit_partition(FileId f, PartitionIndex p,
     BlockInfo bi;
     bi.size = pb.size;
     bi.replicas = pb.replicas;
-    for (cluster::NodeId n : pb.replicas) used_per_node_[n] += pb.size;
+    bi.tier = pb.tier;
+    const std::uint64_t id = blocks_.size();
+    if (bi.tier == cluster::StorageTier::kMemory) {
+      RCMP_CHECK(bi.replicas.size() == 1);
+      const cluster::NodeId n = bi.replicas[0];
+      if (cluster_.ram_try_charge(n, kRamNamespaceDfs, id, pb.size)) {
+        mem_per_node_[n] += pb.size;
+      } else {
+        // RAM filled up between plan and commit (a concurrent writer
+        // won the headroom): spill this block to disk instead.
+        bi.tier = cluster::StorageTier::kDisk;
+        for (cluster::NodeId r : bi.replicas) used_per_node_[r] += pb.size;
+        if (spill_hook_) spill_hook_(n, pb.size);
+      }
+    } else {
+      for (cluster::NodeId n : pb.replicas) used_per_node_[n] += pb.size;
+    }
     blocks_.push_back(std::move(bi));
-    part.blocks.push_back(blocks_.size() - 1);
+    part.blocks.push_back(id);
     part.size += pb.size;
   }
   part.written = true;
@@ -186,14 +229,26 @@ void NameNode::clear_partition(FileId f, PartitionIndex p,
   RCMP_CHECK(p < files_[f].partitions.size());
   PartitionInfo& part = files_[f].partitions[p];
   for (std::uint64_t b : part.blocks) {
-    for (cluster::NodeId n : blocks_[b].replicas) {
-      if (cluster_.storage_alive(n)) {
-        RCMP_CHECK(used_per_node_[n] >= blocks_[b].size);
-        used_per_node_[n] -= blocks_[b].size;
+    BlockInfo& bi = blocks_[b];
+    if (bi.tier == cluster::StorageTier::kMemory) {
+      for (cluster::NodeId n : bi.replicas) {
+        if (cluster_.compute_alive(n)) {
+          RCMP_CHECK(mem_per_node_[n] >= bi.size);
+          mem_per_node_[n] -= bi.size;
+          cluster_.ram_discharge(n, kRamNamespaceDfs, b);
+        }
+      }
+      bi.tier = cluster::StorageTier::kDisk;
+    } else {
+      for (cluster::NodeId n : bi.replicas) {
+        if (cluster_.storage_alive(n)) {
+          RCMP_CHECK(used_per_node_[n] >= bi.size);
+          used_per_node_[n] -= bi.size;
+        }
       }
     }
-    blocks_[b].replicas.clear();
-    blocks_[b].size = 0;
+    bi.replicas.clear();
+    bi.size = 0;
   }
   part.blocks.clear();
   part.size = 0;
@@ -216,9 +271,15 @@ const BlockInfo& NameNode::block(std::uint64_t block_id) const {
 std::vector<cluster::NodeId> NameNode::alive_locations(
     std::uint64_t block_id) const {
   RCMP_CHECK(block_id < blocks_.size());
+  const BlockInfo& bi = blocks_[block_id];
   std::vector<cluster::NodeId> out;
-  for (cluster::NodeId n : blocks_[block_id].replicas) {
-    if (cluster_.storage_alive(n)) out.push_back(n);
+  for (cluster::NodeId n : bi.replicas) {
+    // Tier-dependent liveness: a memory replica needs the *process*
+    // alive, a disk replica needs the drive serving.
+    const bool live = bi.tier == cluster::StorageTier::kMemory
+                          ? cluster_.compute_alive(n)
+                          : cluster_.storage_alive(n);
+    if (live) out.push_back(n);
   }
   return out;
 }
@@ -254,8 +315,10 @@ std::vector<LossReport> NameNode::on_node_failure(cluster::NodeId dead) {
   // Account the dead node's stored bytes as gone.
   used_per_node_[dead] = 0;
 
-  // First pass: which written partitions had a replica on the lost disk
-  // (i.e. the loss is attributable to this failure event)?
+  // First pass: which written partitions had a disk replica on the lost
+  // drive (i.e. the loss is attributable to this failure event)? Memory
+  // replicas are untouched here: process RAM survives a disk swap, and
+  // whole-node kills wipe them through on_compute_failure.
   std::vector<std::vector<PartitionIndex>> touched(files_.size());
   for (FileId f = 0; f < files_.size(); ++f) {
     if (files_[f].deleted) continue;
@@ -264,6 +327,7 @@ std::vector<LossReport> NameNode::on_node_failure(cluster::NodeId dead) {
       const PartitionInfo& part = files_[f].partitions[p];
       if (!part.written) continue;
       for (std::uint64_t b : part.blocks) {
+        if (blocks_[b].tier != cluster::StorageTier::kDisk) continue;
         const auto& reps = blocks_[b].replicas;
         if (std::find(reps.begin(), reps.end(), dead) != reps.end()) {
           touched[f].push_back(p);
@@ -279,6 +343,7 @@ std::vector<LossReport> NameNode::on_node_failure(cluster::NodeId dead) {
   // loss) and for transient rejoins (a node returning with an empty disk
   // must not resurrect stale replicas).
   for (BlockInfo& bi : blocks_) {
+    if (bi.tier != cluster::StorageTier::kDisk) continue;
     bi.replicas.erase(std::remove(bi.replicas.begin(), bi.replicas.end(),
                                   dead),
                       bi.replicas.end());
@@ -304,6 +369,58 @@ std::vector<LossReport> NameNode::on_node_failure(cluster::NodeId dead) {
   return reports;
 }
 
+std::vector<LossReport> NameNode::on_compute_failure(cluster::NodeId dead) {
+  RCMP_CHECK(dead < mem_per_node_.size());
+  if (mem_per_node_[dead] == 0) return {};  // no memory replicas here
+  mem_per_node_[dead] = 0;
+
+  // Which written partitions held a memory replica in the dead process?
+  // The cluster wiped the physical RAM ledger already (dispatch_failure
+  // runs before handlers), so only the metadata needs stripping.
+  std::vector<std::vector<PartitionIndex>> touched(files_.size());
+  for (FileId f = 0; f < files_.size(); ++f) {
+    if (files_[f].deleted) continue;
+    for (PartitionIndex p = 0;
+         p < static_cast<PartitionIndex>(files_[f].partitions.size()); ++p) {
+      const PartitionInfo& part = files_[f].partitions[p];
+      if (!part.written) continue;
+      for (std::uint64_t b : part.blocks) {
+        if (blocks_[b].tier != cluster::StorageTier::kMemory) continue;
+        const auto& reps = blocks_[b].replicas;
+        if (std::find(reps.begin(), reps.end(), dead) != reps.end()) {
+          touched[f].push_back(p);
+          break;
+        }
+      }
+    }
+  }
+  for (BlockInfo& bi : blocks_) {
+    if (bi.tier != cluster::StorageTier::kMemory) continue;
+    bi.replicas.erase(std::remove(bi.replicas.begin(), bi.replicas.end(),
+                                  dead),
+                      bi.replicas.end());
+  }
+
+  std::vector<LossReport> reports;
+  for (FileId f = 0; f < files_.size(); ++f) {
+    LossReport report;
+    for (PartitionIndex p : touched[f]) {
+      if (!partition_available(f, p)) report.lost_partitions.push_back(p);
+    }
+    if (!report.lost_partitions.empty()) {
+      report.file = f;
+      report.file_name = files_[f].name;
+      reports.push_back(std::move(report));
+    }
+  }
+  if (!reports.empty()) {
+    RCMP_INFO() << "dfs: node " << dead << " compute failure lost "
+                << "memory-tier partitions in " << reports.size()
+                << " file(s)";
+  }
+  return reports;
+}
+
 Bytes NameNode::used_on_node(cluster::NodeId n) const {
   RCMP_CHECK(n < used_per_node_.size());
   return used_per_node_[n];
@@ -315,14 +432,33 @@ Bytes NameNode::total_used() const {
   return total;
 }
 
+Bytes NameNode::mem_used_on_node(cluster::NodeId n) const {
+  RCMP_CHECK(n < mem_per_node_.size());
+  return mem_per_node_[n];
+}
+
+Bytes NameNode::total_mem_used() const {
+  Bytes total = 0;
+  for (Bytes b : mem_per_node_) total += b;
+  return total;
+}
+
 std::vector<std::string> NameNode::audit_ledger() const {
-  // Ground truth: walk the block table. Replicas on storage-dead nodes
-  // are skipped, mirroring the liveness guard in clear_partition (and
-  // on_node_failure strips them anyway).
+  // Ground truth: walk the block table, recounting each tier against
+  // its own ledger. Replicas on tier-dead nodes are skipped, mirroring
+  // the liveness guards in clear_partition (and the failure handlers
+  // strip them anyway).
   std::vector<Bytes> recount(used_per_node_.size(), 0);
+  std::vector<Bytes> recount_mem(mem_per_node_.size(), 0);
   for (const BlockInfo& bi : blocks_) {
-    for (cluster::NodeId n : bi.replicas) {
-      if (cluster_.storage_alive(n)) recount[n] += bi.size;
+    if (bi.tier == cluster::StorageTier::kMemory) {
+      for (cluster::NodeId n : bi.replicas) {
+        if (cluster_.compute_alive(n)) recount_mem[n] += bi.size;
+      }
+    } else {
+      for (cluster::NodeId n : bi.replicas) {
+        if (cluster_.storage_alive(n)) recount[n] += bi.size;
+      }
     }
   }
   std::vector<std::string> out;
@@ -332,6 +468,13 @@ std::vector<std::string> NameNode::audit_ledger() const {
       os << "dfs storage ledger drifted on node " << n << ": ledger="
          << used_per_node_[n] << " B, block-table recount=" << recount[n]
          << " B";
+      out.push_back(os.str());
+    }
+    if (recount_mem[n] != mem_per_node_[n]) {
+      std::ostringstream os;
+      os << "dfs memory-tier ledger drifted on node " << n << ": ledger="
+         << mem_per_node_[n] << " B, block-table recount="
+         << recount_mem[n] << " B";
       out.push_back(os.str());
     }
   }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -32,6 +33,10 @@ using FileId = std::uint32_t;
 using PartitionIndex = std::uint32_t;
 inline constexpr FileId kInvalidFile = 0xffffffffu;
 
+/// Cluster RAM-ledger namespace for DFS blocks (ids are block ids).
+/// Map-output stores use namespaces >= 1.
+inline constexpr std::uint32_t kRamNamespaceDfs = 0;
+
 enum class PlacementPolicy {
   /// First replica on the writer node, remaining replicas on distinct
   /// random alive nodes (rack-aware when racks > 1). Hadoop's default.
@@ -46,6 +51,11 @@ enum class PlacementPolicy {
 struct BlockInfo {
   Bytes size = 0;
   std::vector<cluster::NodeId> replicas;  // all ever-placed replicas
+  /// Memory-tier blocks live in process RAM on their (single) replica
+  /// node: faster to read/write, but lost on *compute* failure and
+  /// never durable on a dead node — Fig. 5 reuse must not treat them
+  /// as persisted.
+  cluster::StorageTier tier = cluster::StorageTier::kDisk;
 };
 
 struct PartitionInfo {
@@ -89,14 +99,24 @@ class NameNode {
   /// file (existing blocks keep their replicas). Used by the dynamic
   /// hybrid policy to upgrade a job's output before it runs.
   void set_replication(FileId f, std::uint32_t replication);
+  /// Preferred tier for future writes into this file. Memory placement
+  /// only takes effect for replication == 1 (a replication point is a
+  /// durability point and always goes to disk) and when the cluster's
+  /// RAM tier is enabled; otherwise writes fall back to disk.
+  void set_file_tier(FileId f, cluster::StorageTier tier);
+  cluster::StorageTier file_tier(FileId f) const;
   Bytes file_size(FileId f) const;
 
   /// Plan replica placements for writing `size` bytes into a partition
   /// from `writer`. Does not mutate metadata — the engine uses the plan
-  /// to price the replication pipeline flows, then commits.
+  /// to price the replication pipeline flows, then commits. Memory-tier
+  /// blocks are planned onto the writer itself (partition-stable, so
+  /// iterative chains shuffle locally) while plan-time RAM headroom
+  /// lasts; the remainder of the write spills to disk placement.
   struct PlannedBlock {
     Bytes size = 0;
     std::vector<cluster::NodeId> replicas;
+    cluster::StorageTier tier = cluster::StorageTier::kDisk;
   };
   std::vector<PlannedBlock> plan_write(FileId f, cluster::NodeId writer,
                                        Bytes size, PlacementPolicy policy);
@@ -136,13 +156,31 @@ class NameNode {
 
   /// Partitions per file that became unavailable because of this node's
   /// death. Subscribed to Cluster::on_kill by the owner; also callable
-  /// directly from tests.
+  /// directly from tests. Strips *disk-tier* replicas only: a disk-only
+  /// failure leaves process RAM intact.
   std::vector<LossReport> on_node_failure(cluster::NodeId dead);
 
+  /// The memory-tier counterpart: a compute failure (or whole-node
+  /// kill) wipes the node's process RAM, so every memory-tier replica
+  /// there is gone. Returns the partitions that became unavailable.
+  /// Idempotent; a no-op when the node holds no memory replicas.
+  std::vector<LossReport> on_compute_failure(cluster::NodeId dead);
+
   /// Bytes of block replicas currently stored on a node (storage
-  /// accounting for the reclamation extension).
+  /// accounting for the reclamation extension). Disk tier only: the
+  /// shared storage budget governs disk, RAM has its own capacity.
   Bytes used_on_node(cluster::NodeId n) const;
   Bytes total_used() const;
+  /// Memory-tier bytes resident on a node / in total (mirror of the
+  /// cluster RAM ledger's DFS namespace, audited against it).
+  Bytes mem_used_on_node(cluster::NodeId n) const;
+  Bytes total_mem_used() const;
+
+  /// Observability hook fired when a commit demotes a planned
+  /// memory-tier block to disk because RAM filled up since the plan.
+  void set_spill_hook(std::function<void(cluster::NodeId, Bytes)> h) {
+    spill_hook_ = std::move(h);
+  }
 
   /// Invariant audit: recount per-node usage from the block table (the
   /// ground truth) and compare with the incrementally maintained
@@ -159,6 +197,7 @@ class NameNode {
   struct File {
     std::string name;
     std::uint32_t replication = 1;
+    cluster::StorageTier tier = cluster::StorageTier::kDisk;
     std::vector<PartitionInfo> partitions;
     bool deleted = false;
   };
@@ -173,6 +212,8 @@ class NameNode {
   std::vector<File> files_;
   std::vector<BlockInfo> blocks_;
   std::vector<Bytes> used_per_node_;
+  std::vector<Bytes> mem_per_node_;
+  std::function<void(cluster::NodeId, Bytes)> spill_hook_;
   std::uint64_t scatter_cursor_ = 0;
 };
 

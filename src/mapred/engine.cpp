@@ -525,8 +525,10 @@ void JobRun::start_map_read(std::uint32_t m) {
   const std::uint32_t epoch = t.epoch;
   res::FlowSpec fs;
   auto path = env_.cluster.path_transfer(src, t.node,
-                                         /*read_src_disk=*/true,
-                                         /*write_dst_disk=*/false);
+                                         /*read_src=*/true,
+                                         /*write_dst=*/false,
+                                         env_.dfs.block(t.block_id).tier,
+                                         cluster::StorageTier::kDisk);
   fs.path = std::move(path.links);
   fs.weights = std::move(path.weights);
   fs.bytes = t.input_bytes;
@@ -572,12 +574,19 @@ void JobRun::map_compute_done(std::uint32_t m, std::uint32_t epoch) {
 
   t.state = MapState::kWriting;
   res::FlowSpec fs;
-  auto path = env_.cluster.path_disk_write(t.node);
+  auto path = env_.cluster.path_tier_write(t.node, map_output_tier());
   fs.path = std::move(path.links);
   fs.weights = std::move(path.weights);
   fs.bytes = round_bytes(t.out_bytes);
   fs.on_complete = [this, m, epoch] { map_write_done(m, epoch); };
   t.flow = env_.net.start_flow(std::move(fs));
+}
+
+cluster::StorageTier JobRun::map_output_tier() const {
+  return (spec_.map_output_tier == cluster::StorageTier::kMemory &&
+          env_.cluster.ram_enabled())
+             ? cluster::StorageTier::kMemory
+             : cluster::StorageTier::kDisk;
 }
 
 void JobRun::run_map_udf(std::uint32_t m, MapOutput& out) const {
@@ -650,6 +659,7 @@ void JobRun::register_map_output(std::uint32_t m) {
     out.per_reducer_bytes.assign(
         spec_.num_reducers, t.out_bytes / spec_.num_reducers);
   }
+  out.tier = map_output_tier();
   const auto key = t.key(spec_.logical_id);
   env_.map_outputs.put(key, std::move(out));
   outputs_registered_.push_back(key);
@@ -786,8 +796,10 @@ void JobRun::dup_startup_done(std::uint32_t m, std::uint64_t token) {
   dup->state = MapState::kReading;
   res::FlowSpec fs;
   auto path = env_.cluster.path_transfer(src, dup->node,
-                                         /*read_src_disk=*/true,
-                                         /*write_dst_disk=*/false);
+                                         /*read_src=*/true,
+                                         /*write_dst=*/false,
+                                         env_.dfs.block(t.block_id).tier,
+                                         cluster::StorageTier::kDisk);
   fs.path = std::move(path.links);
   fs.weights = std::move(path.weights);
   fs.bytes = t.input_bytes;
@@ -831,7 +843,7 @@ void JobRun::dup_compute_done(std::uint32_t m, std::uint64_t token) {
   }
   dup->state = MapState::kWriting;
   res::FlowSpec fs;
-  auto path = env_.cluster.path_disk_write(dup->node);
+  auto path = env_.cluster.path_tier_write(dup->node, map_output_tier());
   fs.path = std::move(path.links);
   fs.weights = std::move(path.weights);
   fs.bytes = round_bytes(dup->out_bytes);
@@ -948,11 +960,14 @@ void JobRun::rdup_startup_done(std::uint32_t r, std::uint64_t token) {
     cancel_reduce_duplicate(r);
     return;
   }
-  // Re-pull the already-shuffled bytes from the original's local disk.
+  // Re-pull the already-shuffled bytes from the original's staging area
+  // (its local disk, or its RAM when the job shuffles in memory).
   res::FlowSpec fs;
   auto path = env_.cluster.path_transfer(rt.node, dup->node,
-                                         /*read_src_disk=*/true,
-                                         /*write_dst_disk=*/true);
+                                         /*read_src=*/true,
+                                         /*write_dst=*/true,
+                                         map_output_tier(),
+                                         map_output_tier());
   fs.path = std::move(path.links);
   fs.weights = std::move(path.weights);
   fs.bytes = round_bytes(rt.fetched_bytes);
@@ -1068,11 +1083,26 @@ void JobRun::flush_ready(std::uint32_t r, bool force) {
       ff.mapper_bytes.push_back(contrib_bytes(r, m));
     }
 
+    // Serve from memory only when every output in the batch is still
+    // resident — a partially-spilled batch streams at disk speed.
+    cluster::StorageTier src_tier = cluster::StorageTier::kDisk;
+    if (map_output_tier() == cluster::StorageTier::kMemory) {
+      src_tier = cluster::StorageTier::kMemory;
+      for (std::uint32_t m : ff.mappers) {
+        const MapOutput* out =
+            env_.map_outputs.find(maps_[m].key(spec_.logical_id));
+        if (out == nullptr || out->tier != cluster::StorageTier::kMemory) {
+          src_tier = cluster::StorageTier::kDisk;
+          break;
+        }
+      }
+    }
     const std::uint64_t token = next_fetch_token_++;
     res::FlowSpec fs;
     auto path = env_.cluster.path_transfer(src, rt.node,
-                                           /*read_src_disk=*/true,
-                                           /*write_dst_disk=*/true);
+                                           /*read_src=*/true,
+                                           /*write_dst=*/true, src_tier,
+                                           map_output_tier());
     fs.path = std::move(path.links);
     fs.weights = std::move(path.weights);
     fs.bytes = round_bytes(ff.bytes);
@@ -1298,8 +1328,10 @@ void JobRun::write_next_block(std::uint32_t r, std::uint32_t epoch) {
   for (cluster::NodeId rep : block.replicas) {
     res::FlowSpec fs;
     auto path = env_.cluster.path_transfer(rt.node, rep,
-                                           /*read_src_disk=*/false,
-                                           /*write_dst_disk=*/true);
+                                           /*read_src=*/false,
+                                           /*write_dst=*/true,
+                                           cluster::StorageTier::kDisk,
+                                           block.tier);
     fs.path = std::move(path.links);
     fs.weights = std::move(path.weights);
     fs.bytes = block.size;

@@ -320,6 +320,9 @@ class JobRun {
   void map_write_done(std::uint32_t m, std::uint32_t epoch);
   void complete_map_task(std::uint32_t m);
   void register_map_output(std::uint32_t m);
+  /// Effective tier for this job's persisted map outputs: the spec's
+  /// request, degraded to disk when the cluster has no RAM tier.
+  cluster::StorageTier map_output_tier() const;
   void on_mapper_available(std::uint32_t m);  // done or reused
   void reset_map_task(std::uint32_t m);
 

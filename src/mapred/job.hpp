@@ -45,6 +45,14 @@ struct JobSpec {
 
   dfs::PlacementPolicy output_placement = dfs::PlacementPolicy::kLocalFirst;
 
+  /// Tier for this job's *persisted map outputs* (the RCMP-specific
+  /// intermediate data). Memory keeps them in the mapper's process RAM
+  /// — shuffled and reused at memory speed, demoted to disk under RAM
+  /// pressure, lost with the process on compute failure. Ignored (disk)
+  /// when the cluster's RAM tier is disabled. The *job output* tier is
+  /// a DFS file property (NameNode::set_file_tier), not a JobSpec one.
+  cluster::StorageTier map_output_tier = cluster::StorageTier::kDisk;
+
   /// Payload-mode UDFs; both null for virtual-size-only jobs.
   const MapUdf* mapper = nullptr;
   const ReduceUdf* reducer = nullptr;

@@ -13,10 +13,23 @@ Bytes MapOutputStore::charged_bytes(const MapOutput& out) {
   return static_cast<Bytes>(std::llround(out.total_bytes));
 }
 
+void MapOutputStore::attach_ram(cluster::Cluster* cluster,
+                                std::uint32_t ram_namespace) {
+  RCMP_CHECK_MSG(ram_namespace >= 1,
+                 "RAM namespace 0 is reserved for the DFS");
+  ram_cluster_ = cluster;
+  ram_ns_ = ram_namespace;
+}
+
 void MapOutputStore::ledger_add(const MapOutputKey& key,
                                 const MapOutput& out) {
   const Bytes b = charged_bytes(out);
   if (b == 0) return;
+  if (out.tier == cluster::StorageTier::kMemory) {
+    total_mem_used_ += b;
+    node_mem_used_[out.node] += b;
+    return;
+  }
   total_used_ += b;
   job_used_[key.logical_job] += b;
   node_used_[out.node] += b;
@@ -26,6 +39,17 @@ void MapOutputStore::ledger_remove(const MapOutputKey& key,
                                    const MapOutput& out) {
   const Bytes b = charged_bytes(out);
   if (b == 0) return;
+  if (out.tier == cluster::StorageTier::kMemory) {
+    RCMP_CHECK(total_mem_used_ >= b);
+    total_mem_used_ -= b;
+    auto m = node_mem_used_.find(out.node);
+    RCMP_CHECK(m != node_mem_used_.end() && m->second >= b);
+    if ((m->second -= b) == 0) node_mem_used_.erase(m);
+    if (ram_cluster_ != nullptr) {
+      ram_cluster_->ram_discharge(out.node, ram_ns_, key.packed());
+    }
+    return;
+  }
   RCMP_CHECK(total_used_ >= b);
   total_used_ -= b;
   auto j = job_used_.find(key.logical_job);
@@ -34,6 +58,34 @@ void MapOutputStore::ledger_remove(const MapOutputKey& key,
   auto n = node_used_.find(out.node);
   RCMP_CHECK(n != node_used_.end() && n->second >= b);
   if ((n->second -= b) == 0) node_used_.erase(n);
+}
+
+void MapOutputStore::spill_node(cluster::NodeId node, Bytes need) {
+  // Oldest first (ascending key): an iterative chain keeps its newest
+  // outputs — the ones the next job shuffles — hot in RAM. Demotion is
+  // always safe, pinned or not: the bytes survive, just on disk.
+  std::vector<MapOutputKey> keys;
+  for (const auto& [key, out] : outputs_) {
+    if (out.tier == cluster::StorageTier::kMemory && !out.lost &&
+        out.node == node) {
+      keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const MapOutputKey& a, const MapOutputKey& b) {
+              return a.packed() < b.packed();
+            });
+  for (const MapOutputKey& key : keys) {
+    if (ram_cluster_->ram_used(node) + need <=
+        ram_cluster_->ram_capacity()) {
+      break;
+    }
+    MapOutput& out = outputs_.at(key);
+    ledger_remove(key, out);  // drops the RAM reference
+    out.tier = cluster::StorageTier::kDisk;
+    ledger_add(key, out);
+    if (spill_hook_) spill_hook_(node, charged_bytes(out));
+  }
 }
 
 void MapOutputStore::put(const MapOutputKey& key, MapOutput output) {
@@ -49,6 +101,24 @@ void MapOutputStore::put(const MapOutputKey& key, MapOutput output) {
   }
   auto [it, inserted] = outputs_.try_emplace(key);
   if (!inserted && !it->second.lost) ledger_remove(key, it->second);
+  if (output.tier == cluster::StorageTier::kMemory && !output.lost) {
+    const Bytes b = charged_bytes(output);
+    if (b == 0 || ram_cluster_ == nullptr ||
+        !ram_cluster_->ram_enabled()) {
+      output.tier = cluster::StorageTier::kDisk;
+    } else if (!ram_cluster_->ram_try_charge(output.node, ram_ns_,
+                                             key.packed(), b)) {
+      // Memory evicts to disk before anything is deleted: demote the
+      // oldest resident outputs, then retry; spill the new output
+      // itself when headroom still does not suffice.
+      spill_node(output.node, b);
+      if (!ram_cluster_->ram_try_charge(output.node, ram_ns_,
+                                        key.packed(), b)) {
+        output.tier = cluster::StorageTier::kDisk;
+        if (spill_hook_) spill_hook_(output.node, b);
+      }
+    }
+  }
   if (!output.lost) ledger_add(key, output);
   it->second = std::move(output);
 }
@@ -67,9 +137,16 @@ bool MapOutputStore::usable(const MapOutputKey& key,
                             const cluster::Cluster& cluster) const {
   const MapOutput* out = find(key);
   if (out == nullptr || out->lost) return false;
-  // Persisted data survives a compute-only failure of its node; only the
-  // storage side matters here.
-  if (!cluster.storage_alive(out->node)) return false;
+  // Tier-dependent liveness. Disk: persisted data survives a
+  // compute-only failure of its node, only the storage side matters.
+  // Memory: the bytes live in the producing process, so reuse is legal
+  // only while that process is alive — a memory output must never
+  // satisfy Fig. 5 reuse as if it were durable on a dead node.
+  if (out->tier == cluster::StorageTier::kMemory) {
+    if (!cluster.compute_alive(out->node)) return false;
+  } else if (!cluster.storage_alive(out->node)) {
+    return false;
+  }
   return out->input_layout_version == input_layout_version;
 }
 
@@ -146,9 +223,18 @@ void MapOutputStore::drop_job(std::uint32_t logical_job) {
 }
 
 Bytes MapOutputStore::evict_upto(std::uint32_t logical_job, Bytes bytes) {
+  // A pinned job's outputs may be the sole surviving copy on the live
+  // recompute frontier — deleting them would force a deeper cascade
+  // than the replan planned for (or lose the chain entirely).
+  if (job_pinned(logical_job)) return 0;
   std::vector<MapOutputKey> keys;
   for (const auto& [key, out] : outputs_) {
-    if (key.logical_job == logical_job && !out.lost) keys.push_back(key);
+    // Only disk-tier outputs are charged against the shared budget;
+    // memory outputs are reclaimed by demotion under RAM pressure.
+    if (key.logical_job == logical_job && !out.lost &&
+        out.tier == cluster::StorageTier::kDisk) {
+      keys.push_back(key);
+    }
   }
   std::sort(keys.begin(), keys.end(),
             [](const MapOutputKey& a, const MapOutputKey& b) {
@@ -167,7 +253,20 @@ Bytes MapOutputStore::evict_upto(std::uint32_t logical_job, Bytes bytes) {
 
 void MapOutputStore::on_node_failure(cluster::NodeId dead) {
   for (auto& [key, out] : outputs_) {
-    if (out.node == dead && !out.lost) {
+    if (out.node == dead && !out.lost &&
+        out.tier == cluster::StorageTier::kDisk) {
+      ledger_remove(key, out);
+      out.lost = true;
+    }
+  }
+}
+
+void MapOutputStore::on_compute_failure(cluster::NodeId dead) {
+  for (auto& [key, out] : outputs_) {
+    if (out.node == dead && !out.lost &&
+        out.tier == cluster::StorageTier::kMemory) {
+      // The cluster wiped the node's RAM ledger already; the discharge
+      // inside ledger_remove is an idempotent no-op.
       ledger_remove(key, out);
       out.lost = true;
     }
@@ -179,21 +278,32 @@ Bytes MapOutputStore::used_on_node(cluster::NodeId n) const {
   return it == node_used_.end() ? 0 : it->second;
 }
 
+Bytes MapOutputStore::mem_used_on_node(cluster::NodeId n) const {
+  auto it = node_mem_used_.find(n);
+  return it == node_mem_used_.end() ? 0 : it->second;
+}
+
 Bytes MapOutputStore::used_for_job(std::uint32_t logical_job) const {
   auto it = job_used_.find(logical_job);
   return it == job_used_.end() ? 0 : it->second;
 }
 
 std::vector<std::string> MapOutputStore::audit_ledger() const {
-  // Ground truth: rescan every stored, not-lost output.
+  // Ground truth: rescan every stored, not-lost output, per tier.
   Bytes total = 0;
+  Bytes total_mem = 0;
   std::unordered_map<std::uint32_t, Bytes> per_job;
   std::unordered_map<cluster::NodeId, Bytes> per_node;
+  std::unordered_map<cluster::NodeId, Bytes> per_node_mem;
   for (const auto& [key, out] : outputs_) {
     if (out.lost) continue;
     const Bytes b = charged_bytes(out);
-    total += b;
-    if (b != 0) {
+    if (b == 0) continue;
+    if (out.tier == cluster::StorageTier::kMemory) {
+      total_mem += b;
+      per_node_mem[out.node] += b;
+    } else {
+      total += b;
       per_job[key.logical_job] += b;
       per_node[out.node] += b;
     }
@@ -203,6 +313,12 @@ std::vector<std::string> MapOutputStore::audit_ledger() const {
     std::ostringstream os;
     os << "map-output ledger drifted: total ledger=" << total_used_
        << " B, recount=" << total << " B";
+    out.push_back(os.str());
+  }
+  if (total_mem != total_mem_used_) {
+    std::ostringstream os;
+    os << "map-output memory-tier ledger drifted: total ledger="
+       << total_mem_used_ << " B, recount=" << total_mem << " B";
     out.push_back(os.str());
   }
   auto compare = [&out](const char* what, const auto& ledger,
@@ -228,6 +344,7 @@ std::vector<std::string> MapOutputStore::audit_ledger() const {
   };
   compare("job", job_used_, per_job);
   compare("node", node_used_, per_node);
+  compare("node (memory tier)", node_mem_used_, per_node_mem);
   return out;
 }
 

@@ -18,8 +18,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -59,6 +61,10 @@ struct MapOutput {
   /// real record bytes instead). Invisible to usable(); only the
   /// shuffle-time verifier reacts.
   bool corrupt = false;
+  /// Memory-tier outputs live in the producing process's RAM: cheap to
+  /// persist and shuffle, but gone on compute failure (usable() checks
+  /// compute liveness for them) and demoted to disk under RAM pressure.
+  cluster::StorageTier tier = cluster::StorageTier::kDisk;
 };
 
 /// Verdict of a shuffle-time bucket integrity check. kMissingSum means
@@ -74,6 +80,18 @@ enum class BucketState : std::uint8_t {
 
 class MapOutputStore {
  public:
+  /// Enable the memory tier: charge memory-tier outputs against the
+  /// cluster's shared RAM ledger under `ram_namespace` (>= 1; namespace
+  /// 0 belongs to the DFS). Stores of chains that intentionally share
+  /// identical outputs may use the same namespace — the refcounted
+  /// ledger then holds each output's bytes once (cross-chain de-dup).
+  void attach_ram(cluster::Cluster* cluster, std::uint32_t ram_namespace);
+  bool ram_attached() const { return ram_cluster_ != nullptr; }
+
+  /// Stores a map output. A memory-tier output is charged to the RAM
+  /// ledger; under RAM pressure the oldest memory outputs on that node
+  /// are demoted (spilled) to disk first, and if headroom still does
+  /// not suffice the new output itself falls back to the disk tier.
   void put(const MapOutputKey& key, MapOutput output);
   bool contains(const MapOutputKey& key) const;
   /// nullptr if absent.
@@ -115,20 +133,51 @@ class MapOutputStore {
   /// over/under-evicts large stores). Eviction order is deterministic
   /// (descending key), i.e. roughly wave by wave from the latest
   /// mappers backwards — the paper's proposed "deleting persisted
-  /// outputs at the granularity of waves".
+  /// outputs at the granularity of waves". Only disk-tier outputs are
+  /// deleted (they are what the shared budget charges; memory outputs
+  /// are reclaimed by demotion under RAM pressure instead), and a
+  /// pinned job is never evicted — returns 0 for it.
   Bytes evict_upto(std::uint32_t logical_job, Bytes bytes);
 
-  /// Mark outputs stored on a dead node as lost (physical truth; the
-  /// engine learns about it only after the detection timeout).
+  /// Pin jobs whose outputs sit on the live recompute frontier of an
+  /// in-flight replan: they may be the sole surviving copy the replan
+  /// counts on, so eviction must not delete them. Replaces the previous
+  /// pin set; pass {} when the replan completes.
+  void set_pinned_jobs(std::unordered_set<std::uint32_t> jobs) {
+    pinned_jobs_ = std::move(jobs);
+  }
+  bool job_pinned(std::uint32_t logical_job) const {
+    return pinned_jobs_.count(logical_job) > 0;
+  }
+
+  /// Mark disk-tier outputs stored on a dead node as lost (physical
+  /// truth; the engine learns about it only after the detection
+  /// timeout). Memory-tier outputs survive a disk swap.
   void on_node_failure(cluster::NodeId dead);
+
+  /// Memory-tier counterpart: the node's process died, so every
+  /// memory-tier output there is lost. No-op without memory outputs.
+  void on_compute_failure(cluster::NodeId dead);
 
   // O(1) reads off the incrementally maintained integer ledger; each
   // output is charged llround(total_bytes) while present and not lost.
+  // Disk tier only — the shared storage budget governs disk; RAM is
+  // accounted separately below.
   Bytes used_on_node(cluster::NodeId n) const;
   Bytes total_used() const { return total_used_; }
   /// Bytes persisted for one logical job (eviction accounting).
   Bytes used_for_job(std::uint32_t logical_job) const;
+  /// Memory-tier bytes (mirror of this store's share of the cluster
+  /// RAM ledger, audited against it).
+  Bytes total_mem_used() const { return total_mem_used_; }
+  Bytes mem_used_on_node(cluster::NodeId n) const;
   std::size_t size() const { return outputs_.size(); }
+
+  /// Observability hook fired when RAM pressure demotes a memory-tier
+  /// output to disk (bytes spilled on that node).
+  void set_spill_hook(std::function<void(cluster::NodeId, Bytes)> h) {
+    spill_hook_ = std::move(h);
+  }
 
   /// Invariant audit: recount total / per-job / per-node usage from the
   /// stored outputs (the ground truth) and compare with the ledger.
@@ -151,13 +200,27 @@ class MapOutputStore {
 
   /// Integer bytes an output occupies in the ledger.
   static Bytes charged_bytes(const MapOutput& out);
+  /// Tier-dispatched ledger maintenance. ledger_remove of a memory
+  /// output also drops its RAM-ledger reference (idempotent — a
+  /// compute failure may have wiped the node wholesale already);
+  /// ledger_add does NOT charge RAM, put() handles that with its
+  /// spill/fallback logic.
   void ledger_add(const MapOutputKey& key, const MapOutput& out);
   void ledger_remove(const MapOutputKey& key, const MapOutput& out);
+  /// Demote the oldest memory-tier outputs on `node` to disk until RAM
+  /// headroom fits `need` more bytes (or none are left).
+  void spill_node(cluster::NodeId node, Bytes need);
 
   std::unordered_map<MapOutputKey, MapOutput, KeyHash> outputs_;
   Bytes total_used_ = 0;
   std::unordered_map<std::uint32_t, Bytes> job_used_;
   std::unordered_map<cluster::NodeId, Bytes> node_used_;
+  cluster::Cluster* ram_cluster_ = nullptr;
+  std::uint32_t ram_ns_ = 0;
+  Bytes total_mem_used_ = 0;
+  std::unordered_map<cluster::NodeId, Bytes> node_mem_used_;
+  std::unordered_set<std::uint32_t> pinned_jobs_;
+  std::function<void(cluster::NodeId, Bytes)> spill_hook_;
 };
 
 }  // namespace rcmp::mapred

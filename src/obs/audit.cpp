@@ -29,6 +29,9 @@ Auditor::Auditor(const Refs& refs, Observability& obs)
   obs_.policy_replication_hook = [this](Bytes used, Bytes budget) {
     check_policy_replication(used, budget);
   };
+  obs_.eviction_check_hook = [this](bool pinned, std::uint32_t job) {
+    check_eviction(pinned, job);
+  };
   obs_.reuse_hook = [this](const ReuseCheck& rc) {
     ++reuse_checks_;
     obs_.metrics.add("audit.reuse_checks");
@@ -139,14 +142,49 @@ void Auditor::check_storage(std::vector<std::string>* violations) {
       violations->push_back(os.str());
     }
   }
+  // Memory-tier cross-check: the cluster's physical RAM ledger against
+  // the consumers' logical mirrors. De-dup means physical <= logical
+  // (shared bytes are held once); physical above the logical sum, or
+  // above capacity, is a missed discharge / overcommit.
+  if (refs_.cluster != nullptr && refs_.cluster->ram_enabled()) {
+    for (cluster::NodeId n = 0; n < refs_.cluster->size(); ++n) {
+      const Bytes physical = refs_.cluster->ram_used(n);
+      Bytes logical = 0;
+      if (refs_.dfs != nullptr) logical += refs_.dfs->mem_used_on_node(n);
+      if (refs_.map_outputs != nullptr) {
+        logical += refs_.map_outputs->mem_used_on_node(n);
+      }
+      for (mapred::MapOutputStore* store : refs_.tenant_stores) {
+        if (store != nullptr) logical += store->mem_used_on_node(n);
+      }
+      if (physical > logical) {
+        std::ostringstream os;
+        os << "RAM ledger drifted on node " << n << ": physical="
+           << physical << " B exceeds the consumers' logical sum="
+           << logical << " B (missed discharge)";
+        violations->push_back(os.str());
+      }
+      if (physical > refs_.cluster->ram_capacity()) {
+        std::ostringstream os;
+        os << "RAM overcommitted on node " << n << ": " << physical
+           << " B resident over the " << refs_.cluster->ram_capacity()
+           << "-byte capacity";
+        violations->push_back(os.str());
+      }
+    }
+  }
 }
 
 std::string Auditor::ledger_digest(cluster::NodeId n) const {
   std::ostringstream os;
-  if (refs_.dfs != nullptr) os << "dfs=" << refs_.dfs->used_on_node(n);
+  if (refs_.dfs != nullptr) {
+    os << "dfs=" << refs_.dfs->used_on_node(n) << ",mem="
+       << refs_.dfs->mem_used_on_node(n);
+  }
   const auto emit_store = [&](const mapred::MapOutputStore* store) {
     if (store == nullptr) return;
-    os << ";out=" << store->used_on_node(n);
+    os << ";out=" << store->used_on_node(n) << ",mem="
+       << store->mem_used_on_node(n);
   };
   emit_store(refs_.map_outputs);
   for (const mapred::MapOutputStore* store : refs_.tenant_stores) {
@@ -175,6 +213,19 @@ void Auditor::check_reconcile(cluster::NodeId n) {
   }
   ++reconcile_checks_;
   obs_.metrics.add("audit.reconcile_checks");
+}
+
+void Auditor::check_eviction(bool pinned, std::uint32_t logical_job) {
+  ++eviction_checks_;
+  obs_.metrics.add("audit.eviction_checks");
+  if (pinned) {
+    std::ostringstream os;
+    os << "storage eviction chose job " << logical_job
+       << " whose outputs sit on the live recompute frontier of an "
+          "in-flight replan — deleting the sole surviving copy the "
+          "replan counts on";
+    fail(AuditPoint::kJobBoundary, {os.str()});
+  }
 }
 
 void Auditor::check_policy_replication(Bytes used, Bytes budget) {

@@ -96,6 +96,16 @@ class Auditor {
     return policy_replication_checks_;
   }
 
+  /// Validate one storage-eviction victim choice: evicting a job whose
+  /// outputs sit on the live recompute frontier of an in-flight replan
+  /// would delete the sole surviving copy the replan counts on. Throws
+  /// AuditError when `pinned` is true. Normally invoked through
+  /// Observability::check_eviction.
+  void check_eviction(bool pinned, std::uint32_t logical_job);
+
+  /// Eviction victim-legality checks that passed.
+  std::uint64_t eviction_checks() const { return eviction_checks_; }
+
  private:
   void check_event_queue(std::vector<std::string>* violations);
   void check_storage(std::vector<std::string>* violations);
@@ -108,6 +118,7 @@ class Auditor {
   std::uint64_t reuse_checks_ = 0;
   std::uint64_t reconcile_checks_ = 0;
   std::uint64_t policy_replication_checks_ = 0;
+  std::uint64_t eviction_checks_ = 0;
   SimTime last_audit_now_ = 0.0;
   /// Ledger digests captured at suspicion time, by suspected node.
   std::unordered_map<cluster::NodeId, std::string> suspicion_digests_;

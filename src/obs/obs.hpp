@@ -70,6 +70,12 @@ struct Observability {
   /// was budget-legal (storage used at decision time vs. the configured
   /// budget; 0 budget = unlimited).
   std::function<void(Bytes used, Bytes budget)> policy_replication_hook;
+  /// Installed by the auditor: validate one storage-eviction victim
+  /// choice before outputs are deleted. `pinned` = the job sits on the
+  /// live recompute frontier of an in-flight replan (evicting it would
+  /// delete the sole surviving copy the replan counts on — a violation).
+  std::function<void(bool pinned, std::uint32_t logical_job)>
+      eviction_check_hook;
 
   // Null-safe dispatch used by the emitting layers.
   void audit(AuditPoint p) {
@@ -86,6 +92,9 @@ struct Observability {
   }
   void check_policy_replication(Bytes used, Bytes budget) {
     if (policy_replication_hook) policy_replication_hook(used, budget);
+  }
+  void check_eviction(bool pinned, std::uint32_t logical_job) {
+    if (eviction_check_hook) eviction_check_hook(pinned, logical_job);
   }
 };
 

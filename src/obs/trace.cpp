@@ -57,6 +57,8 @@ const char* event_type_name(EventType t) {
     case EventType::kReconcile: return "reconcile";
     case EventType::kQuarantine: return "quarantine";
     case EventType::kPolicyDecision: return "policy_decision";
+    case EventType::kSpill: return "spill";
+    case EventType::kPromote: return "promote";
   }
   return "unknown";
 }

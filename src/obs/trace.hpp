@@ -50,6 +50,8 @@ enum class EventType : std::uint8_t {
   kQuarantine = 18,  // node blacklisted for repeated task failures
   kPolicyDecision = 19,  // a policy hook overrode the static strategy
                          // (kind: the PolicyHook that fired)
+  kSpill = 20,    // memory-tier bytes demoted to disk (value: bytes)
+  kPromote = 21,  // a job output was steered to the memory tier
 };
 
 /// Interpretation of TraceEvent::kind per event type.

@@ -25,6 +25,10 @@ MultiScenario::MultiScenario(MultiScenarioConfig cfg)
 
   for (std::uint32_t c = 0; c < cfg_.chains; ++c) {
     stores_.push_back(std::make_unique<mapred::MapOutputStore>());
+    // All chains share RAM namespace 1: identical persisted outputs
+    // (same packed key) are held once physically and refcounted, the
+    // cross-chain in-memory de-duplication of the memory tier.
+    if (cluster_.ram_enabled()) stores_.back()->attach_ram(&cluster_, 1);
   }
   if (cfg_.base.audit) {
     obs::Auditor::Refs refs;

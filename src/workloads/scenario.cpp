@@ -13,6 +13,9 @@ Scenario::Scenario(ScenarioConfig cfg)
       rng_(cfg_.seed) {
   if (cfg_.trace_capacity > 0) obs_.tracer.enable(cfg_.trace_capacity);
   cluster_.set_tracer(&obs_.tracer);
+  // RAM tier (ClusterSpec::ram_bytes > 0): the store charges the
+  // cluster's physical RAM ledger in namespace 1 (0 is the DFS).
+  if (cluster_.ram_enabled()) map_outputs_.attach_ram(&cluster_, 1);
   if (cfg_.audit) {
     auditor_ = std::make_unique<obs::Auditor>(
         obs::Auditor::Refs{&sim_, &net_, &cluster_, &dfs_, &map_outputs_},

@@ -12,6 +12,7 @@
 
 #include "cluster/chaos.hpp"
 #include "cluster/detector.hpp"
+#include "common/error.hpp"
 #include "core/scheduler.hpp"
 #include "fixtures.hpp"
 #include "workloads/scenario.hpp"
@@ -182,6 +183,17 @@ TEST(Detector, SuspicionTimeoutShimInheritsEngineDetectTimeout) {
   explicit_cfg.suspicion_timeout = 12.5;
   DetectorFixture b(/*nodes=*/2, explicit_cfg, /*fallback=*/30.0);
   EXPECT_DOUBLE_EQ(b.det.suspicion_timeout(), 12.5);
+}
+
+TEST(Detector, SuspicionTimeoutShimResolvingNonPositiveIsConfigError) {
+  // The deprecated negative-timeout inheritance (rcmp_cli warns on it)
+  // must still fail loudly when the inherited engine detect timeout is
+  // itself unusable — never silently arm a zero-second deadline.
+  DetectorConfig inherit;  // suspicion_timeout = -1 by default
+  EXPECT_THROW(DetectorFixture(/*nodes=*/2, inherit, /*fallback=*/0.0),
+               ConfigError);
+  EXPECT_THROW(DetectorFixture(/*nodes=*/2, inherit, /*fallback=*/-3.0),
+               ConfigError);
 }
 
 TEST(Detector, QuarantineAfterThresholdButNeverTheLastNode) {

@@ -25,6 +25,7 @@ namespace rcmp {
 namespace {
 
 using core::Strategy;
+using testfx::fail_at;
 using testfx::multi_config;
 using testfx::strat;
 using workloads::MultiScenario;
@@ -248,6 +249,133 @@ TEST(Differential, SurvivedMultiTenantChaosMatchesOracle) {
     }
   }
   EXPECT_GT(survived, 0u);
+}
+
+// --- memory-tier differential ----------------------------------------
+//
+// The RAM tier (DESIGN.md §13) changes *where* intermediate bytes live
+// and *when* they move, never *what* they are. Every scenario below —
+// spill under pressure, RAM wiped by a node kill, cross-chain eviction
+// of deduplicated memory blocks — must still produce the eager oracle's
+// checksum, and with the tier disabled the trace must be byte-identical
+// to the pre-tier code path.
+
+TEST(MemoryTierDifferential, ChaosWithSpillPressureMatchesOracle) {
+  auto cfg = testfx::chaos_config(/*nodes=*/8, /*chain=*/4);
+  mapred::Checksum oracle;
+  {
+    Scenario probe(cfg);
+    oracle = oracle_checksum(
+        gather_records(probe.payloads(), probe.dfs(), probe.input_file()),
+        cfg.chain_length);
+  }
+
+  // 16 KiB of RAM against a 64 KiB per-node working set: mid-shuffle
+  // spills are guaranteed, so the checksum exercises reads that cross
+  // the memory/disk boundary while chaos replans around them.
+  cfg.cluster.ram_bytes = 16 * 1024;
+  auto strategy = strat(Strategy::kRcmpSplit);
+  strategy.memory_tier = true;
+
+  cluster::RandomScheduleOptions opt;  // defaults: 4 mixed-mode events
+  const std::uint32_t seeds = testfx::fuzz_seed_count(8);
+  std::uint32_t survived = 0;
+  std::uint64_t spills = 0;
+  for (std::uint32_t seed = 0; seed < seeds; ++seed) {
+    Scenario sc(cfg);
+    const auto r =
+        sc.run_chaos(strategy, cluster::random_schedule(opt, 3000 + seed));
+    EXPECT_EQ(sc.obs().metrics.counter("audit.violations"), 0u);
+    spills += sc.obs().metrics.counter("storage.tier.spills");
+    if (!r.completed) continue;  // e.g. source input lost — legal
+    ++survived;
+    EXPECT_EQ(sc.final_output_checksum(), oracle) << "seed " << seed;
+  }
+  EXPECT_GT(survived, 0u);
+  EXPECT_GT(spills, 0u);
+}
+
+TEST(MemoryTierDifferential, RamLossOnNodeKillStaysCorrect) {
+  // Ample RAM, permanent kill mid-chain: the dead node's memory blocks
+  // vanish (volatile tier), the replanner must not treat them as
+  // durable reuse, and the recomputed output still matches the oracle.
+  auto cfg = testfx::chaos_config(/*nodes=*/8, /*chain=*/4);
+  mapred::Checksum oracle;
+  {
+    Scenario probe(cfg);
+    oracle = oracle_checksum(
+        gather_records(probe.payloads(), probe.dfs(), probe.input_file()),
+        cfg.chain_length);
+  }
+
+  cfg.cluster.ram_bytes = 1ULL << 30;
+  auto strategy = strat(Strategy::kRcmpSplit);
+  strategy.memory_tier = true;
+  Scenario sc(cfg);
+  const auto r = sc.run(strategy, fail_at({2}));
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.replans, 0u);
+  EXPECT_EQ(sc.final_output_checksum(), oracle);
+  EXPECT_EQ(sc.obs().metrics.counter("audit.violations"), 0u);
+}
+
+TEST(MemoryTierDifferential, CrossChainDedupEvictionStaysCorrect) {
+  // Two tenants over a shared input hold deduplicated in-memory blocks;
+  // a tight shared budget forces the scheduler to evict across chains
+  // (memory demotes to disk before deletion). Outputs must not drift.
+  auto cfg = multi_config(/*chains=*/2, /*nodes=*/6, /*chain_length=*/3,
+                          /*records_per_node=*/96);
+  cfg.base.cluster.ram_bytes = 8 * 1024;  // force spill + disk eviction
+  auto strategy = strat(Strategy::kRcmpSplit);
+  strategy.memory_tier = true;
+
+  Bytes peak = 0;
+  std::vector<mapred::Checksum> ref;
+  {
+    MultiScenario free_run(cfg);
+    const auto r = free_run.run(strategy);
+    ASSERT_TRUE(r[0].completed && r[1].completed);
+    peak = std::max(r[0].peak_storage, r[1].peak_storage);
+    ref.push_back(free_run.final_output_checksum(0));
+    ref.push_back(free_run.final_output_checksum(1));
+  }
+
+  cfg.shared_storage_budget = peak - peak / 4;
+  MultiScenario ms(cfg);
+  const auto r = ms.run(strategy);
+  ASSERT_TRUE(r[0].completed && r[1].completed);
+  EXPECT_GT(ms.scheduler().evicted_bytes(), 0u);
+  EXPECT_EQ(ms.final_output_checksum(0), ref[0]);
+  EXPECT_EQ(ms.final_output_checksum(1), ref[1]);
+  EXPECT_EQ(ms.obs().metrics.counter("audit.violations"), 0u);
+}
+
+TEST(MemoryTierDifferential, DisabledTierIsByteIdenticalToSeedPath) {
+  // The zero-cost contract: with ram_bytes = 0 (the default) the
+  // memory_tier strategy flag must be inert — same doubles, same
+  // trace bytes as the pre-tier code path, in clean and chaos runs.
+  auto traced = [](bool memory_tier, bool chaos) {
+    auto cfg = testfx::chaos_config(/*nodes=*/6, /*chain=*/4);
+    cfg.trace_capacity = 1 << 16;
+    Scenario sc(cfg);
+    auto strategy = strat(Strategy::kRcmpSplit);
+    strategy.memory_tier = memory_tier;
+    cluster::FaultSchedule sched;
+    if (chaos) {
+      sched.events.push_back(
+          {cluster::FaultMode::kKill, /*at_job_ordinal=*/2, /*delay=*/5.0});
+    }
+    const auto r = sc.run_chaos(strategy, sched);
+    EXPECT_TRUE(r.completed);
+    return std::make_pair(r.total_time, sc.obs().tracer.export_jsonl());
+  };
+  for (bool chaos : {false, true}) {
+    const auto off = traced(false, chaos);
+    const auto on = traced(true, chaos);
+    EXPECT_DOUBLE_EQ(on.first, off.first) << "chaos " << chaos;
+    EXPECT_FALSE(off.second.empty());
+    EXPECT_EQ(on.second, off.second) << "chaos " << chaos;
+  }
 }
 
 }  // namespace

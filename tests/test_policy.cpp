@@ -169,6 +169,47 @@ TEST(Backtest, AtlasPlacesNoPointsOnCleanScenes) {
   }
 }
 
+TEST(Backtest, OracleSkipsBenignFaultsOnJitterScene) {
+  // The jitter scene is two kHeartbeatLoss windows: no data is ever
+  // destroyed, so an oracle that reads fault *kinds* (not just
+  // ordinals) must place zero replication points and tie static
+  // exactly — the PR 6 scoreboard charged it two points here.
+  const auto scenes = analysis::default_corpus(42);
+  const auto& scene = corpus_scene(scenes, "jitter");
+  const auto statik = analysis::run_scene(scene, "static", {});
+  const auto oracle = analysis::run_scene(scene, "oracle", {});
+  ASSERT_TRUE(statik.completed);
+  ASSERT_TRUE(oracle.completed);
+  EXPECT_EQ(oracle.policy_pre_replications, 0u);
+  EXPECT_DOUBLE_EQ(oracle.makespan, statik.makespan);
+}
+
+TEST(OracleFaultKinds, BenignKindsCostNoPointsDestructiveStillDo) {
+  // Same heartbeat-loss schedule, same fault ordinal — the only
+  // difference is whether the oracle is told the fault kind. Without
+  // kinds (historical callers) it defensively buys a replica; with
+  // kinds it recognizes the benign event and spends nothing.
+  auto run_oracle = [](std::vector<std::uint32_t> kinds) {
+    auto cfg = chaos_config(/*nodes=*/8, /*chain=*/4);
+    Scenario s(cfg);
+    auto strategy = strat(core::Strategy::kRcmpSplit);
+    core::PolicyParams params;
+    params.oracle_fault_ordinals = {2};
+    params.oracle_fault_kinds = std::move(kinds);
+    strategy.policy = core::make_policy("oracle", params);
+    cluster::FaultSchedule sched;
+    sched.events.push_back({cluster::FaultMode::kHeartbeatLoss,
+                            /*at_job_ordinal=*/2, /*delay=*/5.0});
+    const auto r = s.run_chaos(strategy, sched);
+    EXPECT_TRUE(r.completed);
+    return r.policy_pre_replications;
+  };
+  const auto benign = static_cast<std::uint32_t>(
+      cluster::FaultMode::kHeartbeatLoss);
+  EXPECT_EQ(run_oracle({benign}), 0u);
+  EXPECT_GT(run_oracle({}), 0u);  // ordinal-only callers keep old behavior
+}
+
 TEST(Backtest, ScoreboardIsByteIdenticalAcrossSameSeedReruns) {
   const auto policies = core::builtin_policy_names();
   const auto r1 =
@@ -208,6 +249,10 @@ TEST(MakePolicy, ValidatesKnobsWithConfigError) {
   p = {};
   p.binocular.cost_ratio = 0.0;
   EXPECT_THROW(core::make_policy("binocular", p), ConfigError);
+  p = {};
+  p.oracle_fault_ordinals = {2, 5};
+  p.oracle_fault_kinds = {0};  // must be empty or align one-to-one
+  EXPECT_THROW(core::make_policy("oracle", p), ConfigError);
 }
 
 // --- auditor cross-check ---------------------------------------------

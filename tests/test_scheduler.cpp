@@ -9,6 +9,8 @@
 #include <string>
 
 #include "fixtures.hpp"
+#include "mapred/map_output_store.hpp"
+#include "obs/audit.hpp"
 #include "workloads/scenario.hpp"
 
 namespace rcmp {
@@ -209,6 +211,41 @@ TEST(Scheduler, SharedStorageBudgetEvictsAcrossChains) {
   // Eviction trades reuse for space, never correctness.
   EXPECT_EQ(ms.final_output_checksum(0), ref0);
   EXPECT_EQ(ms.final_output_checksum(1), ref1);
+}
+
+TEST(EvictionPinning, PinnedJobIsNeverEvicted) {
+  // Regression: eviction used to be able to select a job whose
+  // persisted outputs are the sole surviving copy on the recompute
+  // frontier of an in-flight replan — deleting them turns a bounded
+  // cascade into a restart. A pinned job now frees exactly nothing.
+  mapred::MapOutputStore store;
+  for (std::uint32_t job = 0; job < 2; ++job) {
+    mapred::MapOutput out;
+    out.node = job;
+    out.total_bytes = 1000.0;
+    store.put({/*logical_job=*/job, /*input_partition=*/0,
+               /*block_index=*/0},
+              std::move(out));
+  }
+  store.set_pinned_jobs({0});
+  EXPECT_TRUE(store.job_pinned(0));
+  EXPECT_EQ(store.evict_upto(0, 1 << 20), 0u);
+  EXPECT_EQ(store.used_for_job(0), 1000u);  // outputs untouched
+  EXPECT_EQ(store.evict_upto(1, 1 << 20), 1000u);  // unpinned job evicts
+  store.set_pinned_jobs({});
+  EXPECT_GT(store.evict_upto(0, 1 << 20), 0u);  // unpin re-enables
+}
+
+TEST(EvictionPinning, AuditorTripsOnPinnedVictimChoice) {
+  // Every victim choice passes through Observability::check_eviction;
+  // the auditor's hook throws on the old behavior (a pinned victim).
+  auto cfg = workloads::tiny_config(5, 3);
+  ASSERT_TRUE(cfg.audit);
+  Scenario s(cfg);
+  EXPECT_NO_THROW(s.obs().check_eviction(false, /*logical_job=*/2));
+  EXPECT_THROW(s.obs().check_eviction(true, /*logical_job=*/2),
+               obs::AuditError);
+  EXPECT_GE(s.obs().metrics.counter("audit.eviction_checks"), 2u);
 }
 
 TEST(Scheduler, TransientFailureRestoresSlotInventory) {
