@@ -56,6 +56,14 @@ void usage() {
       "                               memory-resident (three-way hybrid\n"
       "                               with --hybrid-dynamic; needs\n"
       "                               --ram-gb)\n"
+      "result cache (DESIGN.md §14):\n"
+      "  --result-cache               arm the fingerprint-keyed result\n"
+      "                               cache (publish + probe at every\n"
+      "                               admission/replan; needs\n"
+      "                               --dataset-id)\n"
+      "  --dataset-id N               non-zero dataset identity anchoring\n"
+      "                               the chain's fingerprints (equal ids\n"
+      "                               = byte-identical input contract)\n"
       "policy (adaptive overrides on top of the static strategy):\n"
       "  --policy NAME                static|oracle|atlas|binocular\n"
       "                               (oracle reads the --fail plan)\n"
@@ -199,6 +207,11 @@ int main(int argc, char** argv) {
       cfg.cluster.mem_cost_ratio = std::atof(next_value(i));
     } else if (arg == "--memory-tier") {
       strategy.memory_tier = true;
+    } else if (arg == "--result-cache") {
+      strategy.result_cache = true;
+    } else if (arg == "--dataset-id") {
+      cfg.dataset_id = static_cast<std::uint64_t>(
+          std::atoll(next_value(i)));
     } else if (arg == "--policy") {
       policy_name = next_value(i);
     } else if (arg == "--atlas-risk-threshold") {
@@ -250,6 +263,9 @@ int main(int argc, char** argv) {
   if (nodes_set && cfg.cluster.nodes < 2) die("need at least 2 nodes");
   if (strategy.memory_tier && cfg.cluster.ram_bytes == 0) {
     die("--memory-tier needs a RAM capacity (--ram-gb)");
+  }
+  if (strategy.result_cache && cfg.dataset_id == 0) {
+    die("--result-cache needs a dataset identity (--dataset-id)");
   }
   if (cfg.detector.enabled && cfg.detector.suspicion_timeout < 0.0) {
     // The negative default inherits EngineConfig::detect_timeout — a
@@ -327,6 +343,10 @@ int main(int argc, char** argv) {
         "%u speculation launch(es) gated\n",
         policy_name.c_str(), result.policy_decisions,
         result.policy_pre_replications, result.policy_speculation_gated);
+  }
+  if (strategy.result_cache) {
+    std::printf("\nresult cache: %u hit(s), %u publication(s)\n",
+                result.cache_hits, result.cache_published);
   }
   std::printf(
       "\nchain %s in %.1f simulated seconds — %u jobs started, "

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "core/result_cache.hpp"
 #include "core/scheduler.hpp"
 
 namespace rcmp::core {
@@ -109,6 +110,10 @@ Middleware::Middleware(mapred::Env env, ChainSpec chain,
   }
   completed_once_.assign(chain_.jobs.size(), false);
   attempt_count_.assign(chain_.jobs.size(), 0);
+  own_files_ = files_;
+  borrowed_.assign(chain_.jobs.size(), false);
+  published_.assign(chain_.jobs.size(), false);
+  compute_fingerprints();
 
   env_.cluster.on_failure(
       [this](const cluster::FailureEvent& ev) { on_failure(ev); });
@@ -175,6 +180,125 @@ std::uint32_t Middleware::file_replication(std::uint32_t logical) const {
     return strategy_.hybrid_replication;
   }
   return 1;
+}
+
+bool Middleware::cache_enabled() const {
+  return tenant_.result_cache != nullptr && strategy_.result_cache;
+}
+
+void Middleware::compute_fingerprints() {
+  fps_.assign(chain_.jobs.size(), 0);
+  if (!cache_enabled() || tenant_.dataset_id == 0) return;
+  std::uint64_t prev = 0;
+  for (std::uint32_t l = 0; l < chain_.jobs.size(); ++l) {
+    // Only a linear prefix of identified UDFs is cacheable: the chained
+    // fingerprint needs exactly one upstream identity, and an opaque
+    // (udf_id 0) or multi-input position breaks the chain for
+    // everything downstream of it.
+    const auto deps = deps_of(l);
+    const bool linear = deps.size() == 1 &&
+                        deps[0] == (l == 0 ? kSourceInput : l - 1);
+    if (!linear || chain_.jobs[l].udf_id == 0) return;
+    mapred::JobSpec shape;
+    shape.logical_id = l;
+    prev = ResultCache::fingerprint(prev, tenant_.dataset_id,
+                                    chain_.jobs[l].udf_id,
+                                    shape.partition_salt(),
+                                    chain_.jobs[l].num_reducers, l);
+    fps_[l] = prev;
+  }
+}
+
+bool Middleware::probe_and_borrow(std::uint32_t logical) {
+  if (fps_[logical] == 0 || borrowed_[logical]) return false;
+  ResultCache& cache = *tenant_.result_cache;
+  const ResultCache::Entry* e = cache.lookup(fps_[logical], chain_tag());
+  if (e == nullptr) return false;
+  if (e->file == files_[logical]) return false;  // our own output
+  cache.lease(fps_[logical]);
+  borrowed_[logical] = true;
+  files_[logical] = e->file;
+  completed_once_[logical] = true;
+  ++result_.cache_hits;
+  const Bytes bytes = env_.dfs.file_size(e->file);
+  RCMP_INFO() << "t=" << env_.sim.now() << " middleware: " << tag_
+              << "job " << logical
+              << " satisfied from the result cache (chain "
+              << e->owner_chain << ", " << bytes << " bytes)";
+  if (env_.obs != nullptr) {
+    env_.obs->metrics.add("cache.bytes_served",
+                          static_cast<double>(bytes));
+    env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kCacheHit, 0,
+                          obs::kNoField, logical, obs::kNoField,
+                          static_cast<double>(bytes), chain_tag());
+    // Differential cross-check: the auditor recomputes the whole
+    // satisfied prefix eagerly and compares checksums against the
+    // borrowed bytes (payload mode only — it skips virtual jobs).
+    obs::CacheHitCheck chc;
+    chc.input_file = source_input_;
+    chc.cached_file = e->file;
+    chc.position = logical;
+    chc.chain = chain_tag();
+    bool payload_mode = true;
+    for (std::uint32_t i = 0; i <= logical; ++i) {
+      const JobTemplate& t = chain_.jobs[i];
+      if (t.mapper == nullptr || t.reducer == nullptr) {
+        payload_mode = false;
+        break;
+      }
+      chc.mappers.push_back(t.mapper);
+      chc.reducers.push_back(t.reducer);
+      mapred::JobSpec shape;
+      shape.logical_id = i;
+      chc.udf_salts.push_back(shape.udf_salt());
+    }
+    if (payload_mode) env_.obs->check_cache_hit(chc);
+  }
+  return true;
+}
+
+void Middleware::revert_borrow(std::uint32_t logical) {
+  if (!borrowed_[logical]) return;
+  tenant_.result_cache->release(fps_[logical]);
+  borrowed_[logical] = false;
+  files_[logical] = own_files_[logical];
+  completed_once_[logical] = false;
+  if (!env_.dfs.file_exists(files_[logical])) {
+    files_[logical] = env_.dfs.create_file(
+        "out/" + chain_.jobs[logical].name, chain_.jobs[logical].num_reducers,
+        file_replication(logical));
+    own_files_[logical] = files_[logical];
+  }
+  RCMP_INFO() << "t=" << env_.sim.now() << " middleware: " << tag_
+              << "reverted cache borrow of job " << logical;
+}
+
+void Middleware::revalidate_borrows() {
+  if (!cache_enabled()) return;
+  for (std::uint32_t l = 0; l < chain_.jobs.size(); ++l) {
+    if (!borrowed_[l]) continue;
+    if (tenant_.result_cache->validate(fps_[l], files_[l])) continue;
+    // The borrowed bytes are gone, rewritten at a different granularity
+    // (Fig. 5) or demoted to volatile-only: recompute the position
+    // ourselves rather than consuming an illegal entry.
+    revert_borrow(l);
+  }
+}
+
+void Middleware::maybe_publish(std::uint32_t logical) {
+  if (!cache_enabled() || fps_[logical] == 0 || borrowed_[logical]) return;
+  const bool admit =
+      policy_cache_admit_ >= 0
+          ? policy_cache_admit_ == 1
+          : tenant_.result_cache->config().admit_by_default;
+  if (!admit) return;
+  const bool is_final = logical + 1 == chain_.jobs.size();
+  if (tenant_.result_cache->publish(fps_[logical], files_[logical],
+                                    tenant_.chain_id, logical, is_final,
+                                    chain_tag())) {
+    published_[logical] = true;
+    ++result_.cache_published;
+  }
 }
 
 std::uint32_t Middleware::split_factor_now() const {
@@ -246,6 +370,7 @@ void Middleware::apply_policy_decision(const PolicyDecision& d,
   if (d.retry_backoff_base >= 0.0) {
     policy_backoff_base_ = d.retry_backoff_base;
   }
+  if (d.cache_admit >= 0) policy_cache_admit_ = d.cache_admit;
   if (env_.obs != nullptr) {
     env_.obs->metrics.add(tag_ + "policy.decisions");
     env_.obs->metrics.add(tag_ + "policy.decisions." +
@@ -325,7 +450,16 @@ void Middleware::run(std::function<void(const ChainResult&)> on_complete) {
         PolicyHook::kChainAdmission, 0);
   }
   std::vector<PlannerJobState> states(chain_.jobs.size());
-  for (const PlannedSubmission& s : plan_chain(states)) queue_.push_back(s);
+  if (cache_enabled()) {
+    auto plan = plan_chain_with_cache(states, [this](std::uint32_t j) {
+      return probe_and_borrow(j);
+    });
+    for (PlannedSubmission& s : plan.submissions)
+      queue_.push_back(std::move(s));
+  } else {
+    for (const PlannedSubmission& s : plan_chain(states))
+      queue_.push_back(s);
+  }
   submit_next();
 }
 
@@ -516,6 +650,11 @@ void Middleware::on_run_done(mapred::JobRun& run) {
     if (!res.was_recompute) {
       job_time_sum_ += res.duration();
       ++job_time_count_;
+      // Fresh full output at initial granularity: offer it to the
+      // shared result cache. Recompute runs never publish — their
+      // layout may be split (Fig. 5) and their fingerprint already has
+      // an authoritative first writer.
+      maybe_publish(res.logical_id);
     }
     const std::uint32_t repl =
         env_.dfs.file_exists(files_[res.logical_id])
@@ -720,6 +859,12 @@ void Middleware::replan() {
     return;
   }
 
+  // Borrowed cache entries must survive the replan on their own merits:
+  // DFS ground truth may have killed, rewritten (Fig. 5) or demoted
+  // their bytes, in which case the position reverts to this chain's own
+  // file and recomputes below.
+  revalidate_borrows();
+
   std::vector<PlannerJobState> states(chain_.jobs.size());
   for (std::uint32_t l = 0; l < chain_.jobs.size(); ++l) {
     states[l].completed_once = completed_once_[l];
@@ -731,7 +876,15 @@ void Middleware::replan() {
       }
     }
   }
-  auto plan = plan_chain(states);
+  std::vector<PlannedSubmission> plan;
+  if (cache_enabled()) {
+    auto cached = plan_chain_with_cache(states, [this](std::uint32_t j) {
+      return probe_and_borrow(j);
+    });
+    plan = std::move(cached.submissions);
+  } else {
+    plan = plan_chain(states);
+  }
 
   // Feasibility: every submission's inputs must exist (they may be
   // damaged only if an earlier submission regenerates them). Reclaimed
@@ -775,6 +928,28 @@ void Middleware::wipe_and_restart() {
                           result_.restarts, 0.0, chain_tag());
   }
   for (std::uint32_t l = 0; l < chain_.jobs.size(); ++l) {
+    // Never wipe another chain's file: hand borrowed entries back first
+    // so the loop below only ever touches this chain's own outputs.
+    if (borrowed_[l]) revert_borrow(l);
+    if (published_[l]) {
+      const ResultCache::Entry* e = tenant_.result_cache->find(fps_[l]);
+      if (e != nullptr && e->file == files_[l] && e->leases > 0) {
+        // Borrowers hold the bytes: donate the file to the cache (the
+        // data is still correct — only this chain is starting over) and
+        // restart into a fresh file.
+        tenant_.result_cache->detach(fps_[l]);
+        files_[l] = env_.dfs.create_file("out/" + chain_.jobs[l].name,
+                                         chain_.jobs[l].num_reducers,
+                                         file_replication(l));
+        own_files_[l] = files_[l];
+      } else {
+        // No borrower: the restart reuses (and clears) the file, so the
+        // cached entry dies with it.
+        tenant_.result_cache->invalidate_file(
+            files_[l], CacheInvalidation::kOwnerRestart, chain_tag());
+      }
+      published_[l] = false;
+    }
     if (env_.dfs.file_exists(files_[l])) {
       for (std::uint32_t p = 0; p < env_.dfs.num_partitions(files_[l]);
            ++p) {
@@ -786,6 +961,7 @@ void Middleware::wipe_and_restart() {
       files_[l] = env_.dfs.create_file("out/" + chain_.jobs[l].name,
                                        chain_.jobs[l].num_reducers,
                                        file_replication(l));
+      own_files_[l] = files_[l];
     }
     env_.map_outputs.drop_job(l);
     completed_once_[l] = false;
@@ -816,6 +992,25 @@ void Middleware::reclaim_storage(std::uint32_t replication_point) {
   // Everything strictly before the replication point can go: cascades
   // will never revert past a surviving replicated output (§IV-C).
   for (std::uint32_t l = 0; l < replication_point; ++l) {
+    if (borrowed_[l]) {
+      // Borrowed input no longer needed: hand the entry back untouched
+      // (the file belongs to its owner, not to this chain's reclaim).
+      tenant_.result_cache->release(fps_[l]);
+      borrowed_[l] = false;
+      files_[l] = own_files_[l];
+    }
+    if (published_[l]) {
+      const ResultCache::Entry* e = tenant_.result_cache->find(fps_[l]);
+      if (e != nullptr && e->file == files_[l] && e->leases > 0) {
+        // Borrowers depend on the bytes: keep the file (and the entry)
+        // alive instead of reclaiming it.
+        env_.map_outputs.drop_job(l);
+        continue;
+      }
+      tenant_.result_cache->invalidate_file(
+          files_[l], CacheInvalidation::kFileLost, chain_tag());
+      published_[l] = false;
+    }
     if (env_.dfs.file_exists(files_[l])) {
       for (std::uint32_t p = 0; p < env_.dfs.num_partitions(files_[l]);
            ++p) {
@@ -926,6 +1121,16 @@ void Middleware::enforce_storage_budget() {
                   << " (storage budget)";
     }
   }
+  // Still over budget after map-output eviction: fall through to the
+  // result cache — delete the backing files of finished tenants'
+  // unleased entries, oldest first. Leased entries and final outputs
+  // stay protected (sole-surviving-copy rule).
+  if (cache_enabled()) {
+    while (env_.dfs.total_used() + env_.map_outputs.total_used() >
+           strategy_.storage_budget) {
+      if (tenant_.result_cache->evict_one() == 0) break;
+    }
+  }
 }
 
 void Middleware::sample_storage() {
@@ -977,6 +1182,12 @@ void Middleware::publish_metrics() {
               static_cast<double>(result_.evicted_jobs));
   m.set_gauge(tag_ + "chain.peak_storage_bytes",
               static_cast<double>(result_.peak_storage));
+  if (cache_enabled()) {
+    m.set_gauge(tag_ + "chain.cache_hits",
+                static_cast<double>(result_.cache_hits));
+    m.set_gauge(tag_ + "chain.cache_published",
+                static_cast<double>(result_.cache_published));
+  }
   for (const auto& r : result_.runs) {
     m.add(tag_ + "jobs.mappers_executed", r.mappers_executed);
     m.add(tag_ + "jobs.mappers_reused", r.mappers_reused);
@@ -1003,6 +1214,12 @@ void Middleware::fail_chain(ChainResult::FailReason reason,
   result_.jobs_started = next_ordinal_ - 1;
   result_.runs.clear();
   for (const auto& run : runs_) result_.runs.push_back(run->result());
+  if (cache_enabled()) {
+    for (std::uint32_t l = 0; l < chain_.jobs.size(); ++l) {
+      if (borrowed_[l]) tenant_.result_cache->release(fps_[l]);
+    }
+    tenant_.result_cache->owner_finished(tenant_.chain_id);
+  }
   publish_metrics();
   if (env_.obs != nullptr) {
     sample_storage();
@@ -1028,6 +1245,15 @@ void Middleware::finish_chain() {
   RCMP_INFO() << "t=" << env_.sim.now() << " middleware: chain complete ("
               << result_.jobs_started << " jobs started, "
               << result_.failures_observed << " failures)";
+  if (cache_enabled()) {
+    // Leases drop (the chain consumed what it borrowed) and this
+    // chain's own entries become eviction-eligible; its final output
+    // stays protected by the is_final rule.
+    for (std::uint32_t l = 0; l < chain_.jobs.size(); ++l) {
+      if (borrowed_[l]) tenant_.result_cache->release(fps_[l]);
+    }
+    tenant_.result_cache->owner_finished(tenant_.chain_id);
+  }
   publish_metrics();
   if (env_.obs != nullptr) {
     sample_storage();

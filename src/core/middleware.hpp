@@ -29,6 +29,7 @@
 namespace rcmp::core {
 
 class ChainScheduler;
+class ResultCache;
 
 /// Sentinel dependency: read the externally generated source input.
 inline constexpr std::uint32_t kSourceInput = 0xffffffffu;
@@ -40,6 +41,14 @@ inline constexpr std::uint32_t kSourceInput = 0xffffffffu;
 struct TenantContext {
   ChainScheduler* scheduler = nullptr;
   std::uint32_t chain_id = 0;
+  /// Shared fingerprint-keyed result cache (null = no cache; also
+  /// requires StrategyConfig::result_cache to take effect).
+  ResultCache* result_cache = nullptr;
+  /// Identity of the source input's *content*. Chains reading
+  /// byte-identical inputs must share it; 0 = unknown content, which
+  /// disables caching for the chain (a fingerprint built on an unknown
+  /// dataset could collide across different inputs).
+  std::uint64_t dataset_id = 0;
 };
 
 /// One job (DAG node). Dependencies name the upstream jobs whose
@@ -56,6 +65,10 @@ struct JobTemplate {
   double reduce_output_ratio = 1.0;
   const mapred::MapUdf* mapper = nullptr;
   const mapred::ReduceUdf* reducer = nullptr;
+  /// Stable identity of the UDF pair for the result cache: two jobs
+  /// with the same udf_id must compute the same function. 0 = opaque
+  /// (the job, and everything downstream of it, is uncacheable).
+  std::uint64_t udf_id = 0;
 };
 
 /// A multi-job computation: a DAG of jobs in topological order. The
@@ -116,6 +129,11 @@ struct ChainResult {
   std::uint32_t policy_decisions = 0;
   std::uint32_t policy_pre_replications = 0;
   std::uint32_t policy_speculation_gated = 0;
+  /// Result cache (TenantContext::result_cache): chain positions whose
+  /// output was borrowed from the shared cache instead of computed, and
+  /// completed outputs this chain published for other tenants.
+  std::uint32_t cache_hits = 0;
+  std::uint32_t cache_published = 0;
 };
 
 class Middleware {
@@ -192,6 +210,29 @@ class Middleware {
   /// by the auditor through the observability hook).
   void apply_policy_replication(const PlannedSubmission& sub);
   std::uint32_t file_replication(std::uint32_t logical) const;
+  /// Result cache (all no-ops when cache_enabled() is false, keeping
+  /// cache-off runs bit-identical to pre-cache builds).
+  bool cache_enabled() const;
+  /// Precompute the chained structural fingerprint of every cacheable
+  /// position (0 = uncacheable: unknown dataset, opaque UDF, or a
+  /// non-linear position — and everything downstream of one).
+  void compute_fingerprints();
+  /// Planner probe: on a usable cache entry for position `logical`,
+  /// borrow it (substitute the cached file for the job's output, lease
+  /// the entry, trace the hit, hand the auditor its differential
+  /// cross-check) and report true so the planner cuts the plan there.
+  bool probe_and_borrow(std::uint32_t logical);
+  /// Undo a borrow: point the position back at this chain's own (still
+  /// empty or stale) file and release the lease. The position reverts
+  /// to not-completed so the next plan recomputes it.
+  void revert_borrow(std::uint32_t logical);
+  /// Replan-time ground-truth check: every borrowed entry must still be
+  /// durable and legal; reverted otherwise.
+  void revalidate_borrows();
+  /// Publish a completed initial output to the shared cache when the
+  /// position is cacheable and admission (config default or policy
+  /// override) allows it.
+  void maybe_publish(std::uint32_t logical);
   /// Resolved dependency list of a job (explicit deps, or the implicit
   /// linear predecessor / source input).
   std::vector<std::uint32_t> deps_of(std::uint32_t logical) const;
@@ -229,6 +270,7 @@ class Middleware {
   std::int8_t policy_speculate_ = -1;
   std::uint32_t policy_max_attempts_ = kPolicyKeep;
   double policy_backoff_base_ = -1.0;
+  std::int8_t policy_cache_admit_ = -1;
   // What the retry/speculation seams report against (the running job).
   std::uint32_t current_logical_ = 0;
   bool current_recompute_ = false;
@@ -237,6 +279,14 @@ class Middleware {
   std::vector<bool> completed_once_;
   std::vector<std::uint32_t> attempt_count_;
   std::uint32_t reclaimed_below_ = 0;  // files with id < this are deleted
+
+  // Result-cache bookkeeping (all empty/false when cache_enabled() is
+  // false). files_[l] aliases another chain's file while borrowed_[l];
+  // own_files_[l] keeps this chain's original file for reverts.
+  std::vector<std::uint64_t> fps_;   // structural fingerprint, 0 = none
+  std::vector<dfs::FileId> own_files_;
+  std::vector<bool> borrowed_;
+  std::vector<bool> published_;
 
   // Dynamic hybrid bookkeeping.
   double time_since_repl_point_ = 0.0;

@@ -30,4 +30,29 @@ std::vector<PlannedSubmission> plan_chain(
   return plan;
 }
 
+CacheAwarePlan plan_chain_with_cache(
+    const std::vector<PlannerJobState>& jobs,
+    const std::function<bool(std::uint32_t)>& cache_probe) {
+  CacheAwarePlan out;
+  out.submissions = plan_chain(jobs);
+  if (out.submissions.empty() || !cache_probe) return out;
+  // Deepest-first: each base submission marks a position whose output
+  // is needed but unavailable; the deepest cache hit supplies that
+  // output wholesale, and in a linear chain nothing above the cut
+  // consumes any output below it, so everything at or below the hit is
+  // dropped from the plan.
+  for (auto it = out.submissions.rbegin(); it != out.submissions.rend();
+       ++it) {
+    if (!cache_probe(it->logical_id)) continue;
+    out.satisfied = it->logical_id;
+    std::vector<PlannedSubmission> kept;
+    for (auto& sub : out.submissions) {
+      if (sub.logical_id > out.satisfied) kept.push_back(std::move(sub));
+    }
+    out.submissions = std::move(kept);
+    break;
+  }
+  return out;
+}
+
 }  // namespace rcmp::core

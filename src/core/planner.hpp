@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace rcmp::core {
@@ -44,5 +45,29 @@ struct PlannedSubmission {
 /// before the job runs.
 std::vector<PlannedSubmission> plan_chain(
     const std::vector<PlannerJobState>& jobs);
+
+/// plan_chain_with_cache borrowed nothing.
+inline constexpr std::uint32_t kNoCacheHit = 0xffffffffu;
+
+struct CacheAwarePlan {
+  std::vector<PlannedSubmission> submissions;
+  /// Deepest chain position satisfied from the shared result cache;
+  /// kNoCacheHit when the plan borrows nothing. When set, every base
+  /// submission at or below this position was eliminated — the
+  /// middleware substitutes the cached file for that job's output.
+  std::uint32_t satisfied = kNoCacheHit;
+};
+
+/// Cache-aware variant of plan_chain for linear chains. `cache_probe(j)`
+/// answers whether the shared result cache holds a durable, legal copy
+/// of job j's output. Probing is deepest-first over the base plan's
+/// submission positions, so a whole-prefix hit resolves in O(1): the
+/// first (deepest) hit eliminates every submission at or below it — in
+/// a linear chain nothing above the cut consumes any output below it
+/// except the cut job's own, which the cache supplies. A null probe
+/// (or one that always misses) reproduces plan_chain exactly.
+CacheAwarePlan plan_chain_with_cache(
+    const std::vector<PlannerJobState>& jobs,
+    const std::function<bool(std::uint32_t)>& cache_probe);
 
 }  // namespace rcmp::core

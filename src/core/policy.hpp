@@ -133,11 +133,15 @@ struct PolicyDecision {
   std::uint32_t max_task_attempts = kPolicyKeep;
   /// Base retry backoff in seconds; negative keeps the engine's.
   double retry_backoff_base = -1.0;
+  /// Result-cache admission of the just-completed output: -1 keeps the
+  /// cache's admit_by_default, 0 vetoes publication, 1 forces it.
+  std::int8_t cache_admit = -1;
 
   bool overrides() const {
     return mode >= 0 || split_factor != kPolicyKeep || replicate_now ||
            tier >= 0 || speculate_reducers >= 0 ||
-           max_task_attempts != kPolicyKeep || retry_backoff_base >= 0.0;
+           max_task_attempts != kPolicyKeep || retry_backoff_base >= 0.0 ||
+           cache_admit >= 0;
   }
 };
 

@@ -1,0 +1,225 @@
+#include "core/result_cache.hpp"
+
+#include "common/hash.hpp"
+
+namespace rcmp::core {
+
+ResultCache::ResultCache(dfs::NameNode& dfs, sim::Simulation& sim,
+                         obs::Observability* obs, ResultCacheConfig config)
+    : dfs_(dfs), sim_(sim), obs_(obs), config_(config) {}
+
+std::uint64_t ResultCache::fingerprint(std::uint64_t prev,
+                                       std::uint64_t dataset_id,
+                                       std::uint64_t udf_id,
+                                       std::uint64_t partition_salt,
+                                       std::uint32_t num_reducers,
+                                       std::uint32_t position) {
+  // Chain the structural identity: the upstream fingerprint anchors the
+  // whole prefix, the dataset id anchors position 0, and the reducer
+  // granularity makes a different split a *different key* rather than
+  // an entry that must be legality-rejected at hit time.
+  std::uint64_t fp = hash_combine(0x5EC0DE5EC0DE5ECULL, prev);
+  fp = hash_combine(fp, dataset_id);
+  fp = hash_combine(fp, udf_id);
+  fp = hash_combine(fp, partition_salt);
+  fp = hash_combine(fp, num_reducers);
+  fp = hash_combine(fp, position);
+  return fp;
+}
+
+bool ResultCache::publish(std::uint64_t fp, dfs::FileId file,
+                          std::uint32_t owner_chain, std::uint32_t position,
+                          bool is_final, std::uint16_t trace_chain) {
+  if (!dfs_.file_exists(file) || !dfs_.file_available(file)) return false;
+  auto it = entries_.find(fp);
+  if (it != entries_.end()) {
+    CacheInvalidation reason = CacheInvalidation::kFileLost;
+    if (check(it->second, &reason) != Validity::kDead) {
+      // First writer wins: the existing entry stays authoritative.
+      if (obs_ != nullptr) obs_->metrics.add("cache.duplicate_publishes");
+      return false;
+    }
+    drop(it, reason, trace_chain);
+  }
+  Entry e;
+  e.fingerprint = fp;
+  e.file = file;
+  e.owner_chain = owner_chain;
+  e.position = position;
+  e.is_final = is_final;
+  e.seq = next_seq_++;
+  const std::uint32_t parts = dfs_.num_partitions(file);
+  e.layout_versions.reserve(parts);
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    e.layout_versions.push_back(dfs_.layout_version(file, p));
+  }
+  entries_.emplace(fp, std::move(e));
+  if (obs_ != nullptr) obs_->metrics.add("cache.publishes");
+  update_gauge();
+  return true;
+}
+
+ResultCache::Validity ResultCache::check(const Entry& e,
+                                         CacheInvalidation* reason) const {
+  if (!dfs_.file_exists(e.file)) {
+    *reason = CacheInvalidation::kFileLost;
+    return Validity::kDead;
+  }
+  const std::uint32_t parts = dfs_.num_partitions(e.file);
+  if (parts != e.layout_versions.size()) {
+    *reason = CacheInvalidation::kFileLost;  // recreated under the same id
+    return Validity::kDead;
+  }
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    const dfs::PartitionInfo& info = dfs_.partition(e.file, p);
+    if (info.layout_version != e.layout_versions[p]) {
+      // Fig. 5: the partition was rewritten — possibly at a different
+      // reducer granularity — after publication. Never reusable.
+      *reason = CacheInvalidation::kLayoutChanged;
+      return Validity::kDead;
+    }
+    if (!info.written || !dfs_.partition_available(e.file, p)) {
+      // Bytes (temporarily) gone, metadata intact: a reconcile may
+      // bring the replicas back, so this is a miss, not a funeral.
+      return Validity::kMiss;
+    }
+  }
+  if (!config_.allow_volatile_hits) {
+    // Volatility is a property of where the bytes live *now*: a block
+    // still on the memory tier is gone on the owner's compute failure,
+    // so it must not satisfy a hit as durable. A spill demotes the
+    // bytes to disk and the same entry becomes durable.
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      for (std::uint64_t b : dfs_.partition(e.file, p).blocks) {
+        if (dfs_.block(b).tier == cluster::StorageTier::kMemory) {
+          return Validity::kMiss;
+        }
+      }
+    }
+  }
+  return Validity::kUsable;
+}
+
+const ResultCache::Entry* ResultCache::lookup(std::uint64_t fp,
+                                              std::uint16_t trace_chain) {
+  auto it = entries_.find(fp);
+  if (it != entries_.end()) {
+    CacheInvalidation reason = CacheInvalidation::kFileLost;
+    switch (check(it->second, &reason)) {
+      case Validity::kUsable:
+        ++hits_;
+        if (obs_ != nullptr) obs_->metrics.add("cache.hits");
+        return &it->second;
+      case Validity::kDead:
+        drop(it, reason, trace_chain);
+        break;
+      case Validity::kMiss:
+        break;
+    }
+  }
+  ++misses_;
+  if (obs_ != nullptr) obs_->metrics.add("cache.misses");
+  return nullptr;
+}
+
+bool ResultCache::validate(std::uint64_t fp, dfs::FileId file) {
+  auto it = entries_.find(fp);
+  if (it == entries_.end() || it->second.file != file) return false;
+  CacheInvalidation reason = CacheInvalidation::kFileLost;
+  switch (check(it->second, &reason)) {
+    case Validity::kUsable:
+      return true;
+    case Validity::kDead:
+      drop(it, reason, /*trace_chain=*/0);
+      return false;
+    case Validity::kMiss:
+      return false;
+  }
+  return false;
+}
+
+const ResultCache::Entry* ResultCache::find(std::uint64_t fp) const {
+  auto it = entries_.find(fp);
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+void ResultCache::detach(std::uint64_t fp) {
+  auto it = entries_.find(fp);
+  if (it != entries_.end()) it->second.owner_done = true;
+}
+
+void ResultCache::lease(std::uint64_t fp) {
+  auto it = entries_.find(fp);
+  if (it != entries_.end()) ++it->second.leases;
+}
+
+void ResultCache::release(std::uint64_t fp) {
+  auto it = entries_.find(fp);
+  if (it != entries_.end() && it->second.leases > 0) --it->second.leases;
+}
+
+void ResultCache::invalidate_file(dfs::FileId file, CacheInvalidation reason,
+                                  std::uint16_t trace_chain) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.file == file) {
+      it = [&] {
+        auto next = std::next(it);
+        drop(it, reason, trace_chain);
+        return next;
+      }();
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ResultCache::owner_finished(std::uint32_t owner_chain) {
+  for (auto& [fp, e] : entries_) {
+    if (e.owner_chain == owner_chain) e.owner_done = true;
+  }
+}
+
+Bytes ResultCache::evict_one() {
+  Entry* victim = nullptr;
+  std::uint64_t victim_fp = 0;
+  for (auto& [fp, e] : entries_) {
+    if (!e.owner_done || e.leases > 0 || e.is_final) continue;
+    if (!dfs_.file_exists(e.file)) continue;
+    if (victim == nullptr || e.seq < victim->seq) {
+      victim = &e;
+      victim_fp = fp;
+    }
+  }
+  if (victim == nullptr) return 0;
+  const Bytes freed = dfs_.file_size(victim->file);
+  const dfs::FileId file = victim->file;
+  dfs_.delete_file(file);
+  if (obs_ != nullptr) obs_->metrics.add("cache.evictions");
+  invalidate_file(file, CacheInvalidation::kEvicted, /*trace_chain=*/0);
+  entries_.erase(victim_fp);  // already gone via invalidate_file; no-op
+  update_gauge();
+  return freed;
+}
+
+void ResultCache::drop(std::map<std::uint64_t, Entry>::iterator it,
+                       CacheInvalidation reason, std::uint16_t trace_chain) {
+  ++invalidations_;
+  if (obs_ != nullptr) {
+    obs_->metrics.add("cache.invalidations");
+    obs_->tracer.emit(sim_.now(), obs::EventType::kCacheInvalidate,
+                      static_cast<std::uint8_t>(reason), obs::kNoField,
+                      it->second.position, obs::kNoField,
+                      static_cast<double>(it->second.file), trace_chain);
+  }
+  entries_.erase(it);
+  update_gauge();
+}
+
+void ResultCache::update_gauge() {
+  if (obs_ != nullptr) {
+    obs_->metrics.set_gauge("cache.entries",
+                            static_cast<double>(entries_.size()));
+  }
+}
+
+}  // namespace rcmp::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "core/result_cache.hpp"
 
 namespace rcmp::core {
 
@@ -334,7 +335,14 @@ void ChainScheduler::enforce_storage() {
         worst_excess = excess;
       }
     }
-    if (victim == obs::kNoField) return;  // nothing evictable
+    if (victim == obs::kNoField) {
+      // No chain has evictable map outputs left: fall through to the
+      // result cache (finished tenants' unleased entries, oldest
+      // first), then concede.
+      if (result_cache_ == nullptr || result_cache_->evict_one() == 0)
+        return;
+      continue;
+    }
     ChainState& cs = chains_[victim];
     const Bytes need = storage_total() - cfg_.storage_budget;
     Bytes freed = 0;
@@ -349,7 +357,13 @@ void ChainScheduler::enforce_storage() {
       freed = cs.store->evict_upto(j, need);
       job = j;
     }
-    if (freed == 0) return;  // ledger empty despite total_used — bail
+    if (freed == 0) {
+      // Victim's ledger was all pinned or empty: the result cache is
+      // the remaining lever before conceding.
+      if (result_cache_ == nullptr || result_cache_->evict_one() == 0)
+        return;
+      continue;
+    }
     ++cs.evictions;
     evicted_bytes_ += freed;
     if (obs_ != nullptr) {

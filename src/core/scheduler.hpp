@@ -61,6 +61,8 @@
 
 namespace rcmp::core {
 
+class ResultCache;
+
 class ChainScheduler {
  public:
   struct Config {
@@ -122,6 +124,11 @@ class ChainScheduler {
   /// Cross-chain eviction down to the shared budget (no-op when
   /// disabled or within budget).
   void enforce_storage();
+
+  /// Attach the shared result cache: when map-output eviction cannot
+  /// reach the budget, enforce_storage falls through to evicting the
+  /// backing files of finished tenants' unleased cache entries.
+  void set_result_cache(ResultCache* cache) { result_cache_ = cache; }
 
   // --- introspection for tests and benches ---------------------------
   std::uint32_t num_chains() const;
@@ -223,6 +230,7 @@ class ChainScheduler {
   obs::Observability* obs_;
   Config cfg_;
   const cluster::FailureDetector* detector_ = nullptr;
+  ResultCache* result_cache_ = nullptr;
 
   std::vector<ChainState> chains_;
   /// Shared free-slot inventory, per node: [map, reduce].

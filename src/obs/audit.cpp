@@ -1,6 +1,10 @@
 #include "obs/audit.hpp"
 
+#include <algorithm>
+#include <map>
 #include <sstream>
+
+#include "mapred/record.hpp"
 
 namespace rcmp::obs {
 
@@ -31,6 +35,9 @@ Auditor::Auditor(const Refs& refs, Observability& obs)
   };
   obs_.eviction_check_hook = [this](bool pinned, std::uint32_t job) {
     check_eviction(pinned, job);
+  };
+  obs_.cache_hit_hook = [this](const CacheHitCheck& chc) {
+    check_cache_hit(chc);
   };
   obs_.reuse_hook = [this](const ReuseCheck& rc) {
     ++reuse_checks_;
@@ -226,6 +233,55 @@ void Auditor::check_eviction(bool pinned, std::uint32_t logical_job) {
           "replan counts on";
     fail(AuditPoint::kJobBoundary, {os.str()});
   }
+}
+
+void Auditor::check_cache_hit(const CacheHitCheck& chc) {
+  if (refs_.payloads == nullptr || refs_.dfs == nullptr) return;
+  const mapred::PayloadStore& payloads = *refs_.payloads;
+  if (!payloads.file_has_payload(chc.input_file)) return;  // virtual mode
+  // Eager differential oracle, entirely outside the simulator: run the
+  // borrower's own UDF prefix over its source input — global group-by
+  // with sorted values, the canonical MapReduce semantics — and demand
+  // that the cached bytes carry exactly that record multiset.
+  std::vector<mapred::Record> records;
+  for (std::uint32_t p = 0; p < refs_.dfs->num_partitions(chc.input_file);
+       ++p) {
+    const auto span = payloads.partition_records(chc.input_file, p);
+    records.insert(records.end(), span.begin(), span.end());
+  }
+  for (std::size_t j = 0; j < chc.mappers.size(); ++j) {
+    mapred::Emitter mapped;
+    for (const mapred::Record& r : records) {
+      chc.mappers[j]->map(r, chc.udf_salts[j], mapped);
+    }
+    std::map<std::uint64_t, std::vector<std::uint64_t>> groups;
+    for (const mapred::Record& r : mapped.records()) {
+      groups[r.key].push_back(r.value);
+    }
+    mapred::Emitter reduced;
+    for (auto& [key, values] : groups) {
+      std::sort(values.begin(), values.end());
+      chc.reducers[j]->reduce(key, values, chc.udf_salts[j], reduced);
+    }
+    records = std::move(reduced.records());
+  }
+  const mapred::Checksum expected = mapred::checksum_of(records);
+  const mapred::Checksum cached = payloads.file_checksum(
+      chc.cached_file, refs_.dfs->num_partitions(chc.cached_file));
+  if (!(expected == cached)) {
+    std::ostringstream os;
+    os << "result-cache hit served wrong bytes: chain "
+       << static_cast<int>(chc.chain) << " borrowed file "
+       << chc.cached_file << " for position " << chc.position
+       << " but the eagerly recomputed prefix disagrees (expected {md5="
+       << expected.md5_acc << ", sum=" << expected.sum_acc
+       << ", keys=" << expected.key_acc << ", n=" << expected.count
+       << "} got {md5=" << cached.md5_acc << ", sum=" << cached.sum_acc
+       << ", keys=" << cached.key_acc << ", n=" << cached.count << "})";
+    fail(AuditPoint::kJobStart, {os.str()});
+  }
+  ++cache_hit_checks_;
+  obs_.metrics.add("audit.cache_hit_checks");
 }
 
 void Auditor::check_policy_replication(Bytes used, Bytes budget) {

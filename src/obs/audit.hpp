@@ -30,6 +30,7 @@
 #include "common/units.hpp"
 #include "dfs/namenode.hpp"
 #include "mapred/map_output_store.hpp"
+#include "mapred/payload_store.hpp"
 #include "obs/obs.hpp"
 #include "resources/flow_network.hpp"
 #include "sim/simulation.hpp"
@@ -48,6 +49,9 @@ class Auditor {
     /// Each ledger is recounted, and the storage-gauge cross-check sums
     /// them all (plus `map_outputs` when also set).
     std::vector<mapred::MapOutputStore*> tenant_stores;
+    /// Payload store (payload-backed runs): enables the result-cache
+    /// differential cross-check. Null = virtual mode, hit checks skip.
+    mapred::PayloadStore* payloads = nullptr;
   };
 
   /// Installs itself into `obs`'s audit/reuse/violation hooks. The
@@ -106,6 +110,19 @@ class Auditor {
   /// Eviction victim-legality checks that passed.
   std::uint64_t eviction_checks() const { return eviction_checks_; }
 
+  /// Differential cross-check of one result-cache hit: eagerly replay
+  /// the satisfied prefix (jobs 0..position over the borrower's source
+  /// input, with the borrower's own UDFs) and compare the
+  /// order-independent checksum against the cached bytes. A mismatch
+  /// means the cache served data that is not what the borrower would
+  /// have computed — a fingerprint collision or invalidation bug —
+  /// and throws AuditError. Skipped in virtual (no-payload) mode.
+  /// Normally invoked through Observability::check_cache_hit.
+  void check_cache_hit(const CacheHitCheck& chc);
+
+  /// Cache-hit differential checks that passed.
+  std::uint64_t cache_hit_checks() const { return cache_hit_checks_; }
+
  private:
   void check_event_queue(std::vector<std::string>* violations);
   void check_storage(std::vector<std::string>* violations);
@@ -119,6 +136,7 @@ class Auditor {
   std::uint64_t reconcile_checks_ = 0;
   std::uint64_t policy_replication_checks_ = 0;
   std::uint64_t eviction_checks_ = 0;
+  std::uint64_t cache_hit_checks_ = 0;
   SimTime last_audit_now_ = 0.0;
   /// Ledger digests captured at suspicion time, by suspected node.
   std::unordered_map<cluster::NodeId, std::string> suspicion_digests_;

@@ -22,9 +22,16 @@
 #include <functional>
 #include <string>
 
+#include <vector>
+
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+
+namespace rcmp::mapred {
+class MapUdf;
+class ReduceUdf;
+}  // namespace rcmp::mapred
 
 namespace rcmp::obs {
 
@@ -54,6 +61,24 @@ struct ReuseCheck {
   bool fig5_enforced;  // directive asked for the Fig. 5 legality rule
 };
 
+/// Evidence for one result-cache hit: the borrowing chain satisfied its
+/// prefix [0, position] from `cached_file`, which some other chain
+/// computed from the same source dataset. The auditor eagerly replays
+/// the whole prefix with the borrower's own UDFs and compares the
+/// order-independent checksum of `cached_file` against the replay
+/// (payload mode only — virtual-size runs have no records to compare).
+struct CacheHitCheck {
+  std::uint32_t input_file = 0;   // dfs::FileId of the source dataset
+  std::uint32_t cached_file = 0;  // dfs::FileId of the borrowed output
+  std::uint32_t position = 0;     // chain position the entry satisfies
+  /// Per-position UDFs and salts for jobs 0..position (linear chains;
+  /// non-linear dependency graphs skip the eager cross-check).
+  std::vector<const mapred::MapUdf*> mappers;
+  std::vector<const mapred::ReduceUdf*> reducers;
+  std::vector<std::uint64_t> udf_salts;
+  std::uint16_t chain = 0;  // 1-based borrower tag; 0 = single-tenant
+};
+
 struct Observability {
   Tracer tracer;
   MetricsRegistry metrics;
@@ -76,6 +101,9 @@ struct Observability {
   /// delete the sole surviving copy the replan counts on — a violation).
   std::function<void(bool pinned, std::uint32_t logical_job)>
       eviction_check_hook;
+  /// Installed by the auditor: differentially verify one result-cache
+  /// hit (eager prefix recompute vs. the cached bytes).
+  std::function<void(const CacheHitCheck&)> cache_hit_hook;
 
   // Null-safe dispatch used by the emitting layers.
   void audit(AuditPoint p) {
@@ -95,6 +123,9 @@ struct Observability {
   }
   void check_eviction(bool pinned, std::uint32_t logical_job) {
     if (eviction_check_hook) eviction_check_hook(pinned, logical_job);
+  }
+  void check_cache_hit(const CacheHitCheck& chc) {
+    if (cache_hit_hook) cache_hit_hook(chc);
   }
 };
 

@@ -59,6 +59,8 @@ const char* event_type_name(EventType t) {
     case EventType::kPolicyDecision: return "policy_decision";
     case EventType::kSpill: return "spill";
     case EventType::kPromote: return "promote";
+    case EventType::kCacheHit: return "cache_hit";
+    case EventType::kCacheInvalidate: return "cache_invalidate";
   }
   return "unknown";
 }

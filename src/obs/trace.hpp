@@ -52,6 +52,10 @@ enum class EventType : std::uint8_t {
                          // (kind: the PolicyHook that fired)
   kSpill = 20,    // memory-tier bytes demoted to disk (value: bytes)
   kPromote = 21,  // a job output was steered to the memory tier
+  kCacheHit = 22,  // a chain prefix job was satisfied from the shared
+                   // result cache (value: bytes served)
+  kCacheInvalidate = 23,  // a cache entry became unusable (kind: the
+                          // CacheInvalidation reason)
 };
 
 /// Interpretation of TraceEvent::kind per event type.

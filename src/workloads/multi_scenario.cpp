@@ -17,6 +17,9 @@ MultiScenario::MultiScenario(MultiScenarioConfig cfg)
   RCMP_CHECK_MSG(
       cfg_.submit_at.empty() || cfg_.submit_at.size() == cfg_.chains,
       "submit_at must be empty or one per chain");
+  RCMP_CHECK_MSG(
+      cfg_.dataset_ids.empty() || cfg_.dataset_ids.size() == cfg_.chains,
+      "dataset_ids must be empty or one per chain");
 
   if (cfg_.base.trace_capacity > 0) {
     obs_.tracer.enable(cfg_.base.trace_capacity);
@@ -37,6 +40,7 @@ MultiScenario::MultiScenario(MultiScenarioConfig cfg)
     refs.cluster = &cluster_;
     refs.dfs = &dfs_;
     for (auto& s : stores_) refs.tenant_stores.push_back(s.get());
+    refs.payloads = &payloads_;
     auditor_ = std::make_unique<obs::Auditor>(refs, obs_);
   }
 
@@ -77,6 +81,7 @@ MultiScenario::MultiScenario(MultiScenarioConfig cfg)
       t.num_reducers = cfg_.base.reducers_per_job;
       t.map_output_ratio = 1.0;
       t.reduce_output_ratio = 1.0;
+      t.udf_id = kChainUdfId;
       if (cfg_.base.payload) {
         t.mapper = &mapper_;
         t.reducer = &reducer_;
@@ -93,6 +98,10 @@ double MultiScenario::weight_of(std::uint32_t chain) const {
 
 SimTime MultiScenario::submit_time(std::uint32_t chain) const {
   return cfg_.submit_at.empty() ? 0.0 : cfg_.submit_at[chain];
+}
+
+std::uint64_t MultiScenario::dataset_id_of(std::uint32_t chain) const {
+  return cfg_.dataset_ids.empty() ? 0 : cfg_.dataset_ids[chain];
 }
 
 mapred::Env MultiScenario::env(std::uint32_t chain) {
@@ -121,8 +130,22 @@ void MultiScenario::generate_input(std::uint32_t chain) {
           cfg_.base.per_node_input / cfg_.base.engine.record_bytes;
       std::vector<mapred::Record> records;
       records.reserve(count);
-      for (std::uint64_t r = 0; r < count; ++r) {
-        records.push_back(mapred::Record{rng_(), rng_()});
+      if (cfg_.dataset_ids.empty()) {
+        for (std::uint64_t r = 0; r < count; ++r) {
+          records.push_back(mapred::Record{rng_(), rng_()});
+        }
+      } else {
+        // Dataset-keyed content: chains with equal non-zero ids must
+        // read byte-identical records (the cache's correctness
+        // precondition), so the stream is a function of (seed, id,
+        // partition) alone. Id 0 = "unknown content" — keep it distinct
+        // per chain so no accidental sharing can look like a dataset.
+        const std::uint64_t id = dataset_id_of(chain);
+        Rng ds_rng(hash_combine(hash_combine(cfg_.base.seed, id),
+                                hash_combine(id == 0 ? chain + 1 : 0, p)));
+        for (std::uint64_t r = 0; r < count; ++r) {
+          records.push_back(mapred::Record{ds_rng(), ds_rng()});
+        }
       }
       payloads_.append(input, p, std::move(records),
                        static_cast<std::uint32_t>(plan.size()));
@@ -139,8 +162,14 @@ void MultiScenario::start(core::StrategyConfig strategy) {
   chains_remaining_ = cfg_.chains;
   if (detector_ != nullptr) detector_->start();
 
+  if (strategy.result_cache) {
+    result_cache_ =
+        std::make_unique<core::ResultCache>(dfs_, sim_, &obs_, cfg_.cache);
+    scheduler_->set_result_cache(result_cache_.get());
+  }
   for (std::uint32_t c = 0; c < cfg_.chains; ++c) {
-    core::TenantContext tenant{scheduler_.get(), c};
+    core::TenantContext tenant{scheduler_.get(), c, result_cache_.get(),
+                               dataset_id_of(c)};
     middlewares_.push_back(std::make_unique<core::Middleware>(
         env(c), chains_[c], inputs_[c], strategy, cfg_.base.engine,
         rng_.fork_seed(), tenant));

@@ -21,6 +21,7 @@
 
 #include "cluster/chaos.hpp"
 #include "core/middleware.hpp"
+#include "core/result_cache.hpp"
 #include "core/scheduler.hpp"
 #include "obs/audit.hpp"
 #include "workloads/presets.hpp"
@@ -42,6 +43,16 @@ struct MultiScenarioConfig {
   /// Shared storage budget across DFS + all chains' persisted map
   /// outputs; 0 disables cross-chain eviction.
   Bytes shared_storage_budget = 0;
+  /// Result-cache dataset identity per chain; empty = every chain gets
+  /// a distinct input and dataset_id 0 (caching inert, pre-cache
+  /// behavior byte-identical). When set (one id per chain), chains with
+  /// equal non-zero ids receive *byte-identical* input records — the
+  /// precondition for cross-tenant cache hits — and the id flows into
+  /// TenantContext::dataset_id. Id 0 keeps that chain's input distinct
+  /// and its caching disabled.
+  std::vector<std::uint64_t> dataset_ids;
+  /// Cache knobs applied when the strategy arms the result cache.
+  core::ResultCacheConfig cache;
 };
 
 class MultiScenario {
@@ -70,6 +81,8 @@ class MultiScenario {
   /// Null when base.detector.enabled is false.
   cluster::FailureDetector* detector() { return detector_.get(); }
   core::ChainScheduler& scheduler() { return *scheduler_; }
+  /// Null unless started with StrategyConfig::result_cache set.
+  core::ResultCache* result_cache() { return result_cache_.get(); }
   cluster::ChaosEngine* chaos() { return chaos_.get(); }
   const MultiScenarioConfig& config() const { return cfg_; }
   std::uint32_t num_chains() const { return cfg_.chains; }
@@ -98,6 +111,7 @@ class MultiScenario {
   bool corrupt_random_partition(Rng& rng);
   double weight_of(std::uint32_t chain) const;
   SimTime submit_time(std::uint32_t chain) const;
+  std::uint64_t dataset_id_of(std::uint32_t chain) const;
 
   MultiScenarioConfig cfg_;
   sim::Simulation sim_;
@@ -124,6 +138,9 @@ class MultiScenario {
   // Constructed before any Middleware so its cluster failure handlers
   // run first (slot forfeiture precedes engine reactions).
   std::unique_ptr<core::ChainScheduler> scheduler_;
+  /// Constructed in start() when the strategy enables the result cache;
+  /// declared before the middlewares that borrow through it.
+  std::unique_ptr<core::ResultCache> result_cache_;
   std::vector<std::unique_ptr<core::Middleware>> middlewares_;
   std::unique_ptr<cluster::ChaosEngine> chaos_;
   std::uint32_t global_ordinal_ = 0;

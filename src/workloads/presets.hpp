@@ -38,6 +38,11 @@ struct ScenarioConfig {
   /// use the payload presets, not STIC/DCO, when enabling).
   bool payload = false;
 
+  /// Content identity of the source input for the result cache
+  /// (TenantContext::dataset_id). 0 = unknown: the chain neither
+  /// publishes to nor reads from an attached cache.
+  std::uint64_t dataset_id = 0;
+
   /// Heartbeat failure detection (cluster/detector.hpp). Disabled by
   /// default: the scenario keeps the paper's oracle model and every
   /// pre-detector run stays bit-identical. A negative

@@ -17,9 +17,14 @@ Scenario::Scenario(ScenarioConfig cfg)
   // cluster's physical RAM ledger in namespace 1 (0 is the DFS).
   if (cluster_.ram_enabled()) map_outputs_.attach_ram(&cluster_, 1);
   if (cfg_.audit) {
-    auditor_ = std::make_unique<obs::Auditor>(
-        obs::Auditor::Refs{&sim_, &net_, &cluster_, &dfs_, &map_outputs_},
-        obs_);
+    obs::Auditor::Refs refs;
+    refs.sim = &sim_;
+    refs.net = &net_;
+    refs.cluster = &cluster_;
+    refs.dfs = &dfs_;
+    refs.map_outputs = &map_outputs_;
+    refs.payloads = &payloads_;
+    auditor_ = std::make_unique<obs::Auditor>(refs, obs_);
   }
   if (cfg_.detector.enabled) {
     detector_ = std::make_unique<cluster::FailureDetector>(
@@ -49,6 +54,7 @@ Scenario::Scenario(ScenarioConfig cfg)
     t.num_reducers = cfg_.reducers_per_job;  // 0 = auto (one wave)
     t.map_output_ratio = 1.0;                // the paper's 1/1/1 ratio
     t.reduce_output_ratio = 1.0;
+    t.udf_id = kChainUdfId;
     if (cfg_.payload) {
       t.mapper = &mapper_;
       t.reducer = &reducer_;
@@ -83,13 +89,25 @@ void Scenario::generate_input() {
   }
 }
 
+core::TenantContext Scenario::make_tenant(
+    const core::StrategyConfig& strategy) {
+  core::TenantContext tenant;
+  if (strategy.result_cache) {
+    result_cache_ = std::make_unique<core::ResultCache>(dfs_, sim_, &obs_);
+    tenant.result_cache = result_cache_.get();
+    tenant.dataset_id = cfg_.dataset_id;
+  }
+  return tenant;
+}
+
 core::ChainResult Scenario::run(core::StrategyConfig strategy,
                                 cluster::FailurePlan failures) {
   RCMP_CHECK_MSG(!ran_, "Scenario is one-shot; construct a fresh one");
   ran_ = true;
 
   middleware_ = std::make_unique<core::Middleware>(
-      env(), chain_, input_, strategy, cfg_.engine, rng_.fork_seed());
+      env(), chain_, input_, strategy, cfg_.engine, rng_.fork_seed(),
+      make_tenant(strategy));
 
   if (!failures.at_job_ordinals.empty()) {
     injector_ = std::make_unique<cluster::FailureInjector>(
@@ -107,7 +125,8 @@ core::ChainResult Scenario::run_chaos(core::StrategyConfig strategy,
   ran_ = true;
 
   middleware_ = std::make_unique<core::Middleware>(
-      env(), chain_, input_, strategy, cfg_.engine, rng_.fork_seed());
+      env(), chain_, input_, strategy, cfg_.engine, rng_.fork_seed(),
+      make_tenant(strategy));
 
   chaos_ = std::make_unique<cluster::ChaosEngine>(
       cluster_, std::move(schedule), rng_.fork_seed());

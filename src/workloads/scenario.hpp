@@ -13,6 +13,7 @@
 #include "cluster/chaos.hpp"
 #include "cluster/failure_injector.hpp"
 #include "core/middleware.hpp"
+#include "core/result_cache.hpp"
 #include "obs/audit.hpp"
 #include "workloads/presets.hpp"
 #include "workloads/udfs.hpp"
@@ -60,6 +61,8 @@ class Scenario {
   obs::Auditor* auditor() { return auditor_.get(); }
   /// Null when ScenarioConfig::detector.enabled is false.
   cluster::FailureDetector* detector() { return detector_.get(); }
+  /// Null unless run with StrategyConfig::result_cache set.
+  core::ResultCache* result_cache() { return result_cache_.get(); }
 
   /// Payload mode: checksum of the final job's output records.
   mapred::Checksum final_output_checksum();
@@ -72,6 +75,7 @@ class Scenario {
 
  private:
   void generate_input();
+  core::TenantContext make_tenant(const core::StrategyConfig& strategy);
   core::ChainResult drive_to_completion();
   bool corrupt_random_partition(Rng& rng);
 
@@ -96,6 +100,10 @@ class Scenario {
   core::ChainSpec chain_;
   dfs::FileId input_ = dfs::kInvalidFile;
 
+  /// Constructed lazily in run()/run_chaos() when the strategy enables
+  /// the result cache; declared before the middleware that borrows
+  /// through it.
+  std::unique_ptr<core::ResultCache> result_cache_;
   std::unique_ptr<core::Middleware> middleware_;
   std::unique_ptr<cluster::FailureInjector> injector_;
   std::unique_ptr<cluster::ChaosEngine> chaos_;

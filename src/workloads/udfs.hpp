@@ -19,6 +19,12 @@
 
 namespace rcmp::workloads {
 
+/// Stable identity of the ChainMapper/ChainReducer pair for the result
+/// cache's structural fingerprint (core/result_cache.hpp). Any workload
+/// with a different transform must use a different id; 0 means "opaque
+/// UDF", which disables caching for the job.
+inline constexpr std::uint64_t kChainUdfId = 0xC0DE'0001ULL;
+
 class ChainMapper final : public mapred::MapUdf {
  public:
   void map(const mapred::Record& in, std::uint64_t job_salt,

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -198,6 +199,58 @@ inline workloads::MultiScenarioConfig multi_config(
                                        records_per_node);
   cfg.chains = chains;
   return cfg;
+}
+
+/// kRcmpSplit with the shared result cache armed.
+inline core::StrategyConfig cache_strategy() {
+  auto s = strat(core::Strategy::kRcmpSplit);
+  s.result_cache = true;
+  return s;
+}
+
+/// Multi-tenant config where every chain reads the *same* dataset —
+/// the 100%-overlap result-cache scene. Chains are admitted one at a
+/// time so later tenants arrive after earlier ones published.
+inline workloads::MultiScenarioConfig cache_multi_config(
+    std::uint32_t chains, std::uint32_t nodes = 6,
+    std::uint32_t chain_length = 3,
+    std::uint32_t records_per_node = 128) {
+  auto cfg = multi_config(chains, nodes, chain_length, records_per_node);
+  cfg.dataset_ids.assign(chains, 0xDA7AULL);
+  cfg.max_concurrent = 1;
+  return cfg;
+}
+
+/// The forced-spill pressure scene (bench_memtier's second scene,
+/// downsized): RAM sized far below the per-node working set, so
+/// mid-chain writes must demote older memory blocks to disk. Pair with
+/// a memory_tier strategy and assert storage.tier.spills > 0.
+inline workloads::ScenarioConfig spill_pressure_config(
+    std::uint32_t nodes = 8, std::uint32_t chain = 4) {
+  auto cfg = chaos_config(nodes, chain);
+  cfg.cluster.ram_bytes = 16 * 1024;  // vs a ~64 KiB working set
+  return cfg;
+}
+
+/// Shared storage budget tight enough to force cross-chain eviction:
+/// a quarter off the peak an unconstrained run of the same config
+/// reached (test_scheduler's original recipe, shared by the
+/// differential and cache suites).
+inline Bytes tight_budget(const std::vector<core::ChainResult>& results) {
+  Bytes peak = 0;
+  for (const auto& res : results) {
+    EXPECT_TRUE(res.completed);
+    peak = std::max(peak, res.peak_storage);
+  }
+  EXPECT_GT(peak, 0u);
+  return peak - peak / 4;
+}
+
+/// tight_budget for call sites without their own unconstrained run.
+inline Bytes tight_shared_budget(workloads::MultiScenarioConfig cfg,
+                                 const core::StrategyConfig& strategy) {
+  workloads::MultiScenario free_run(cfg);
+  return tight_budget(free_run.run(strategy));
 }
 
 /// Seed count for randomized sweeps: RCMP_FUZZ_SEEDS overrides the

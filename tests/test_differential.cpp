@@ -261,7 +261,11 @@ TEST(Differential, SurvivedMultiTenantChaosMatchesOracle) {
 // to the pre-tier code path.
 
 TEST(MemoryTierDifferential, ChaosWithSpillPressureMatchesOracle) {
-  auto cfg = testfx::chaos_config(/*nodes=*/8, /*chain=*/4);
+  // Forced-spill pressure scene (testfx::spill_pressure_config):
+  // mid-shuffle spills are guaranteed, so the checksum exercises reads
+  // that cross the memory/disk boundary while chaos replans around
+  // them.
+  auto cfg = testfx::spill_pressure_config(/*nodes=*/8, /*chain=*/4);
   mapred::Checksum oracle;
   {
     Scenario probe(cfg);
@@ -270,10 +274,6 @@ TEST(MemoryTierDifferential, ChaosWithSpillPressureMatchesOracle) {
         cfg.chain_length);
   }
 
-  // 16 KiB of RAM against a 64 KiB per-node working set: mid-shuffle
-  // spills are guaranteed, so the checksum exercises reads that cross
-  // the memory/disk boundary while chaos replans around them.
-  cfg.cluster.ram_bytes = 16 * 1024;
   auto strategy = strat(Strategy::kRcmpSplit);
   strategy.memory_tier = true;
 
@@ -329,18 +329,15 @@ TEST(MemoryTierDifferential, CrossChainDedupEvictionStaysCorrect) {
   auto strategy = strat(Strategy::kRcmpSplit);
   strategy.memory_tier = true;
 
-  Bytes peak = 0;
   std::vector<mapred::Checksum> ref;
   {
     MultiScenario free_run(cfg);
     const auto r = free_run.run(strategy);
     ASSERT_TRUE(r[0].completed && r[1].completed);
-    peak = std::max(r[0].peak_storage, r[1].peak_storage);
     ref.push_back(free_run.final_output_checksum(0));
     ref.push_back(free_run.final_output_checksum(1));
+    cfg.shared_storage_budget = testfx::tight_budget(r);
   }
-
-  cfg.shared_storage_budget = peak - peak / 4;
   MultiScenario ms(cfg);
   const auto r = ms.run(strategy);
   ASSERT_TRUE(r[0].completed && r[1].completed);
@@ -376,6 +373,115 @@ TEST(MemoryTierDifferential, DisabledTierIsByteIdenticalToSeedPath) {
     EXPECT_FALSE(off.second.empty());
     EXPECT_EQ(on.second, off.second) << "chaos " << chaos;
   }
+}
+
+// --- result-cache differential ---------------------------------------
+//
+// The fingerprint-keyed result cache (DESIGN.md §14) lets one tenant's
+// outputs satisfy another tenant's jobs without running them. That is
+// the most dangerous optimization in the repo — a wrong hit silently
+// replaces a computation — so the cache gets the full differential
+// treatment: overlapping chains, forced evictions, memory-tier spills
+// and node kills mid-hit, with every surviving chain checksum-equal to
+// the eager oracle and every hit cross-checked by the auditor's eager
+// replay.
+
+TEST(ResultCacheDifferential, OverlappingTenantsCleanRunMatchesOracle) {
+  // Three tenants over one dataset, serialized admission: chains 1 and
+  // 2 borrow chain 0's outputs. All three final checksums must equal
+  // the eager oracle of the shared input — the borrowed bytes *are*
+  // the computation's bytes.
+  const auto cfg = testfx::cache_multi_config(/*chains=*/3);
+  MultiScenario ms(cfg);
+  const auto input =
+      gather_records(ms.payloads(), ms.dfs(), ms.input_file(0));
+  // The shared dataset id really does mean shared bytes.
+  ASSERT_EQ(mapred::checksum_of(input),
+            mapred::checksum_of(
+                gather_records(ms.payloads(), ms.dfs(), ms.input_file(2))));
+
+  const auto r = ms.run(testfx::cache_strategy());
+  const auto oracle = oracle_checksum(input, cfg.base.chain_length);
+  std::uint32_t hits = 0;
+  for (std::uint32_t c = 0; c < cfg.chains; ++c) {
+    ASSERT_TRUE(r[c].completed) << "chain " << c;
+    EXPECT_EQ(ms.final_output_checksum(c), oracle) << "chain " << c;
+    hits += r[c].cache_hits;
+  }
+  EXPECT_GT(hits, 0u);
+  EXPECT_GT(ms.obs().metrics.counter("audit.cache_hit_checks"), 0u);
+  EXPECT_EQ(ms.obs().metrics.counter("audit.violations"), 0u);
+}
+
+TEST(ResultCacheDifferential, CacheUnderEvictionPressureStaysCorrect) {
+  // Tight shared budget on top of the cache: the scheduler's eviction
+  // fall-through deletes cached backing files under pressure, and the
+  // borrowers must revert to recomputation rather than consume a
+  // dangling entry.
+  auto cfg = testfx::cache_multi_config(/*chains=*/2);
+  const auto strategy = testfx::cache_strategy();
+  mapred::Checksum oracle;
+  {
+    MultiScenario probe(cfg);
+    oracle = oracle_checksum(
+        gather_records(probe.payloads(), probe.dfs(), probe.input_file(0)),
+        cfg.base.chain_length);
+  }
+  cfg.shared_storage_budget = testfx::tight_shared_budget(cfg, strategy);
+
+  MultiScenario ms(cfg);
+  const auto r = ms.run(strategy);
+  for (std::uint32_t c = 0; c < cfg.chains; ++c) {
+    ASSERT_TRUE(r[c].completed) << "chain " << c;
+    EXPECT_EQ(ms.final_output_checksum(c), oracle) << "chain " << c;
+  }
+  EXPECT_EQ(ms.obs().metrics.counter("audit.violations"), 0u);
+}
+
+TEST(ResultCacheDifferential, ChaosWithCacheSpillsAndKillsMatchesOracle) {
+  // The full composition: 100%-overlap tenants, cache armed, memory
+  // tier under spill pressure, tight shared budget, and seed-sampled
+  // kill/corrupt schedules landing mid-chain (including mid-hit, where
+  // a borrowed file's replicas die under the borrower). Every chain
+  // that survives must equal the eager oracle; the auditor replays
+  // every hit eagerly and must find zero violations.
+  auto cfg = testfx::cache_multi_config(/*chains=*/3, /*nodes=*/8);
+  cfg.base.input_replication = 4;       // keep sources survivable
+  cfg.base.cluster.ram_bytes = 8 * 1024;  // memory tier under pressure
+  auto strategy = testfx::cache_strategy();
+  strategy.memory_tier = true;
+
+  mapred::Checksum oracle;
+  {
+    MultiScenario probe(cfg);
+    oracle = oracle_checksum(
+        gather_records(probe.payloads(), probe.dfs(), probe.input_file(0)),
+        cfg.base.chain_length);
+  }
+  cfg.shared_storage_budget = testfx::tight_shared_budget(cfg, strategy);
+
+  cluster::RandomScheduleOptions opt;
+  opt.events = 3;
+  opt.max_ordinal = 8;  // ordinals count job starts across all chains
+  const std::uint32_t seeds = testfx::fuzz_seed_count(6);
+  std::uint32_t survived = 0;
+  std::uint64_t hits = 0;
+  for (std::uint32_t seed = 0; seed < seeds; ++seed) {
+    MultiScenario ms(cfg);
+    const auto r = ms.run_chaos(strategy,
+                                cluster::random_schedule(opt, 4000 + seed));
+    EXPECT_EQ(ms.obs().metrics.counter("audit.violations"), 0u)
+        << "seed " << seed;
+    hits += ms.obs().metrics.counter("cache.hits");
+    for (std::uint32_t c = 0; c < cfg.chains; ++c) {
+      if (!r[c].completed) continue;  // e.g. source input lost — legal
+      ++survived;
+      EXPECT_EQ(ms.final_output_checksum(c), oracle)
+          << "seed " << seed << " chain " << c;
+    }
+  }
+  EXPECT_GT(survived, 0u);
+  EXPECT_GT(hits, 0u);  // the cache actually engaged under chaos
 }
 
 }  // namespace

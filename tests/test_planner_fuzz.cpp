@@ -209,5 +209,136 @@ TEST(PlannerFuzz, ChaosCampaignsReuseLegallyAndReproduceReference) {
   EXPECT_GT(reuse_checks, 0u);
 }
 
+// --- result-cache-aware planning -------------------------------------
+
+TEST(PlannerFuzz, CacheAwarePlansCutExactlyAtTheDeepestHit) {
+  // Fuzz plan_chain_with_cache over random chain states and random
+  // cache conditions. Stale, partially evicted, or volatile-tier
+  // entries all surface as probe misses (the probe *is* the legality
+  // check — ResultCache::lookup only answers true for durable, legal
+  // entries), so the planner's whole contract is positional: consume a
+  // hit only where the probe said so, cut everything at or below the
+  // deepest hit, leave everything above byte-identical to the base
+  // plan.
+  const std::uint32_t seeds = testfx::fuzz_seed_count(50);
+  for (std::uint32_t seed = 0; seed < seeds; ++seed) {
+    Rng rng(seed ^ 0xCAC4Eu);
+    const auto jobs = random_state(rng);
+    const auto base = core::plan_chain(jobs);
+
+    // A null probe — and one that always misses — reproduces
+    // plan_chain exactly, with no borrow reported.
+    for (int variant = 0; variant < 2; ++variant) {
+      const auto plan = core::plan_chain_with_cache(
+          jobs, variant == 0
+                    ? std::function<bool(std::uint32_t)>(nullptr)
+                    : std::function<bool(std::uint32_t)>(
+                          [](std::uint32_t) { return false; }));
+      EXPECT_EQ(plan.satisfied, core::kNoCacheHit) << "seed " << seed;
+      ASSERT_EQ(plan.submissions.size(), base.size()) << "seed " << seed;
+      for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_EQ(plan.submissions[i].logical_id, base[i].logical_id);
+        EXPECT_EQ(plan.submissions[i].recompute, base[i].recompute);
+        EXPECT_EQ(plan.submissions[i].damaged_partitions,
+                  base[i].damaged_partitions);
+      }
+    }
+
+    // Random cache state: a usable entry for a random subset of
+    // positions, a miss everywhere else.
+    std::vector<bool> usable(jobs.size(), false);
+    for (std::uint32_t j = 0; j < jobs.size(); ++j) {
+      usable[j] = rng.below(3) == 0;
+    }
+    std::vector<std::uint32_t> probed;
+    const auto plan = core::plan_chain_with_cache(
+        jobs, [&](std::uint32_t j) {
+          probed.push_back(j);
+          return usable[j];
+        });
+
+    // Probing is deepest-first over the base plan's positions and stops
+    // at the first hit — a whole-prefix hit costs O(1) probes.
+    std::vector<std::uint32_t> expect_probed;
+    std::uint32_t expect_satisfied = core::kNoCacheHit;
+    for (auto it = base.rbegin(); it != base.rend(); ++it) {
+      expect_probed.push_back(it->logical_id);
+      if (usable[it->logical_id]) {
+        expect_satisfied = it->logical_id;
+        break;
+      }
+    }
+    EXPECT_EQ(probed, expect_probed) << "seed " << seed;
+    EXPECT_EQ(plan.satisfied, expect_satisfied) << "seed " << seed;
+
+    // The borrow eliminates exactly the submissions at or below the
+    // cut; everything above survives byte-identical.
+    std::vector<const PlannedSubmission*> expect;
+    for (const auto& sub : base) {
+      if (expect_satisfied == core::kNoCacheHit ||
+          sub.logical_id > expect_satisfied) {
+        expect.push_back(&sub);
+      }
+    }
+    ASSERT_EQ(plan.submissions.size(), expect.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(plan.submissions[i].logical_id, expect[i]->logical_id);
+      EXPECT_EQ(plan.submissions[i].recompute, expect[i]->recompute);
+      EXPECT_EQ(plan.submissions[i].damaged_partitions,
+                expect[i]->damaged_partitions);
+    }
+  }
+}
+
+TEST(PlannerFuzz, CacheChaosCampaignsVerifyEveryHit) {
+  // End-to-end cross-check of cache-aware planning against the
+  // auditor: overlapping tenants under kill/corrupt schedules keep
+  // borrowing through admission- and replan-time probes, and every hit
+  // that survives to a plan is differentially replayed by the auditor
+  // (audit.cache_hit_checks) with zero violations. Survivors must
+  // reproduce the clean run's output bytes.
+  auto cfg = testfx::cache_multi_config(/*chains=*/2, /*nodes=*/8);
+  cfg.base.input_replication = 4;  // keep sources survivable
+  const auto strategy = testfx::cache_strategy();
+
+  mapred::Checksum reference;
+  {
+    workloads::MultiScenario probe(cfg);
+    const auto r = probe.run(strategy);
+    ASSERT_TRUE(r[0].completed && r[1].completed);
+    reference = probe.final_output_checksum(0);
+  }
+
+  cluster::RandomScheduleOptions opt;
+  opt.events = 3;
+  opt.p_kill = 0.35;
+  opt.p_transient = 0.35;
+  opt.p_disk = 0.15;
+  opt.p_compute = 0.0;
+  opt.p_rack = 0.0;
+  opt.p_corrupt_partition = 0.10;
+  opt.max_ordinal = 6;  // ordinals count job starts across both chains
+
+  const std::uint32_t seeds = testfx::fuzz_seed_count(8);
+  std::uint32_t survived = 0;
+  std::uint64_t hit_checks = 0;
+  for (std::uint32_t seed = 0; seed < seeds; ++seed) {
+    workloads::MultiScenario ms(cfg);
+    const auto r = ms.run_chaos(strategy,
+                                cluster::random_schedule(opt, 5000 + seed));
+    EXPECT_EQ(ms.obs().metrics.counter("audit.violations"), 0u)
+        << "seed " << seed;
+    hit_checks += ms.obs().metrics.counter("audit.cache_hit_checks");
+    for (std::uint32_t c = 0; c < cfg.chains; ++c) {
+      if (!r[c].completed) continue;
+      ++survived;
+      EXPECT_EQ(ms.final_output_checksum(c), reference)
+          << "seed " << seed << " chain " << c;
+    }
+  }
+  EXPECT_GT(survived, 0u);
+  EXPECT_GT(hit_checks, 0u);  // hits actually flowed through the auditor
+}
+
 }  // namespace
 }  // namespace rcmp

@@ -191,18 +191,15 @@ TEST(Scheduler, SharedStorageBudgetEvictsAcrossChains) {
   auto cfg = multi_config(/*chains=*/2, /*nodes=*/6, /*chain_length=*/4,
                           /*records_per_node=*/128);
   mapred::Checksum ref0, ref1;
-  Bytes peak = 0;
   {
     MultiScenario free_run(cfg);
     const auto r = free_run.run(strat(Strategy::kRcmpSplit));
     ASSERT_TRUE(r[0].completed && r[1].completed);
-    peak = std::max(r[0].peak_storage, r[1].peak_storage);
     ref0 = free_run.final_output_checksum(0);
     ref1 = free_run.final_output_checksum(1);
     EXPECT_EQ(free_run.scheduler().evicted_bytes(), 0u);
+    cfg.shared_storage_budget = testfx::tight_budget(r);
   }
-
-  cfg.shared_storage_budget = peak - peak / 4;
   MultiScenario ms(cfg);
   const auto r = ms.run(strat(Strategy::kRcmpSplit));
   ASSERT_TRUE(r[0].completed && r[1].completed);
