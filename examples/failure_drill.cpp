@@ -78,6 +78,8 @@ const char* outcome_label(const core::ChainResult& result, bool checksum_ok) {
         return "FAILED(floor)";
       case core::ChainResult::FailReason::kRetryBudgetExhausted:
         return "FAILED(budget)";
+      case core::ChainResult::FailReason::kRecoveryBudgetExhausted:
+        return "FAILED(recovery)";
       case core::ChainResult::FailReason::kNone:
         return "FAILED";
     }
@@ -105,6 +107,13 @@ int main(int argc, char** argv) {
   // the detector.
   cluster::DetectorConfig detcfg;
   bool use_detector = false;
+  // Coordinator-recovery knobs: --journal attaches the write-ahead
+  // decision journal to every chaos drill (pure bookkeeping — outputs
+  // must stay byte-identical); the master-crash drills always journal.
+  bool journal_all = false;
+  std::string journal_path;
+  long master_crash_at = -1;
+  std::uint32_t recovery_budget = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -132,6 +141,14 @@ int main(int argc, char** argv) {
       g_policy_params.atlas.decay = std::atof(argv[++i]);
     } else if (arg == "--spec-cost-ratio" && has_value) {
       g_policy_params.binocular.cost_ratio = std::atof(argv[++i]);
+    } else if (arg == "--journal") {
+      journal_all = true;
+    } else if (arg == "--journal-log" && has_value) {
+      journal_path = argv[++i];
+    } else if (arg == "--master-crash-at" && has_value) {
+      master_crash_at = std::atol(argv[++i]);
+    } else if (arg == "--recovery-budget" && has_value) {
+      recovery_budget = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else {
       std::fprintf(stderr,
                    "usage: failure_drill [--trace PATH] [--metrics PATH]\n"
@@ -143,9 +160,19 @@ int main(int argc, char** argv) {
                    "static|oracle|atlas|binocular]\n"
                    "                     [--atlas-risk-threshold X]\n"
                    "                     [--atlas-decay X]\n"
-                   "                     [--spec-cost-ratio X]\n");
+                   "                     [--spec-cost-ratio X]\n"
+                   "                     [--journal] [--journal-log PATH]\n"
+                   "                     [--master-crash-at RECORD]\n"
+                   "                     [--recovery-budget N]\n");
       return 2;
     }
+  }
+  if (master_crash_at >= 0 && !journal_all) {
+    std::fprintf(stderr,
+                 "failure_drill: --master-crash-at needs --journal (a "
+                 "crashed coordinator cannot recover without a "
+                 "write-ahead journal)\n");
+    return 2;
   }
   // Validate the policy knobs up front (ConfigError, like any other bad
   // flag) instead of dying mid-drill.
@@ -222,6 +249,7 @@ int main(int argc, char** argv) {
   // with replication 4, any three storage-loss events provably cannot
   // destroy a source partition.
   chaos_config.input_replication = 4;
+  chaos_config.journal = journal_all;
   double chaos_clean = 0.0;
   const mapred::Checksum chaos_ref =
       reference_for(chaos_config, &chaos_clean);
@@ -269,6 +297,9 @@ int main(int argc, char** argv) {
       drill_config.trace_capacity = 1 << 20;
     }
     workloads::Scenario scenario(drill_config);
+    if (exported && master_crash_at >= 0) {
+      scenario.arm_master_crash(static_cast<std::uint64_t>(master_crash_at));
+    }
     const core::StrategyConfig strategy =
         drill_strategy(schedule_ordinals(d.schedule));
     const auto result = scenario.run_chaos(strategy, d.schedule);
@@ -293,6 +324,58 @@ int main(int argc, char** argv) {
     }
   }
   std::fputs(ct.to_string().c_str(), stdout);
+
+  // -- part 2b: master-crash drills (write-ahead journal replay) ------
+  // The one component every drill above leaves untouched is the
+  // coordinator itself. These drills kill it mid-chain — volatile
+  // scheduling state, cache registry and detector bookkeeping are wiped
+  // — and a fresh coordinator must replay the decision journal against
+  // the surviving cluster ledger and still produce byte-identical
+  // output.
+  auto mc_config = chaos_config;
+  mc_config.journal = true;
+  struct MasterDrill {
+    const char* name;
+    cluster::FaultSchedule schedule;
+  };
+  const MasterDrill mc_drills[] = {
+      {"master crash, early (job 2)",
+       {{FaultEvent{FaultMode::kMasterCrash, 2, 15.0}}}},
+      {"master crash, late (job 6)",
+       {{FaultEvent{FaultMode::kMasterCrash, 6, 15.0}}}},
+      {"double master crash",
+       {{FaultEvent{FaultMode::kMasterCrash, 2, 15.0},
+         FaultEvent{FaultMode::kMasterCrash, 5, 12.0}}}},
+      {"master crash during node-kill recovery",
+       {{FaultEvent{FaultMode::kKill, 3, 15.0},
+         FaultEvent{FaultMode::kMasterCrash, 4, 10.0}}}},
+  };
+
+  std::printf("\nmaster-crash drills (coordinator killed, journal "
+              "replay):\n");
+  Table mct({"drill", "crashes", "journaled", "replans", "slowdown",
+             "output"});
+  for (std::size_t mi = 0; mi < std::size(mc_drills); ++mi) {
+    const MasterDrill& d = mc_drills[mi];
+    workloads::Scenario scenario(mc_config);
+    core::StrategyConfig strategy =
+        drill_strategy(schedule_ordinals(d.schedule));
+    strategy.max_master_recoveries = recovery_budget;
+    const auto result = scenario.run_chaos(strategy, d.schedule);
+    const bool ok =
+        result.completed && scenario.final_output_checksum() == chaos_ref;
+    all_ok &= ok;
+    mct.add_row({d.name, std::to_string(result.master_crashes),
+                 std::to_string(scenario.journal()->size()),
+                 std::to_string(result.replans),
+                 Table::num(result.total_time / chaos_clean) + "x",
+                 outcome_label(result, ok)});
+    // The last (richest) drill's journal is the --journal-log artifact.
+    if (mi + 1 == std::size(mc_drills) && !journal_path.empty()) {
+      write_file(journal_path, scenario.journal()->export_jsonl());
+    }
+  }
+  std::fputs(mct.to_string().c_str(), stdout);
 
   // -- part 3: trace-driven campaign ----------------------------------
   // Compress a multi-year availability trace into a chaos schedule.

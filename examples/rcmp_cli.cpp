@@ -78,6 +78,17 @@ void usage() {
       "  --fail N                     inject a failure at job ordinal N\n"
       "                               (repeatable)\n"
       "  --seed N                     RNG seed\n"
+      "coordinator recovery (DESIGN.md §15):\n"
+      "  --journal                    attach the write-ahead decision\n"
+      "                               journal (pure bookkeeping until a\n"
+      "                               master crash)\n"
+      "  --master-crash-at N          crash the coordinator at the append\n"
+      "                               of journal record N and recover it\n"
+      "                               by replay (needs --journal)\n"
+      "  --recovery-budget N          master recoveries allowed before\n"
+      "                               the chain aborts (0 = unlimited)\n"
+      "  --journal-log PATH           write the journal as JSONL to PATH\n"
+      "                               (needs --journal)\n"
       "detection (default: oracle model, i.e. the paper's fixed timer):\n"
       "  --detector                   heartbeat failure detector\n"
       "  --heartbeat-interval X       seconds between heartbeats\n"
@@ -120,6 +131,8 @@ int main(int argc, char** argv) {
   bool nodes_set = false;
   std::string trace_path;
   std::string metrics_path;
+  std::string journal_path;
+  std::optional<std::uint64_t> master_crash_at;
   std::string policy_name;
   core::PolicyParams policy_params;
   bool policy_knob_set = false;
@@ -233,6 +246,16 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(std::atoi(next_value(i))));
     } else if (arg == "--seed") {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(next_value(i)));
+    } else if (arg == "--journal") {
+      cfg.journal = true;
+    } else if (arg == "--master-crash-at") {
+      master_crash_at =
+          static_cast<std::uint64_t>(std::atoll(next_value(i)));
+    } else if (arg == "--recovery-budget") {
+      strategy.max_master_recoveries = static_cast<std::uint32_t>(
+          std::atoi(next_value(i)));
+    } else if (arg == "--journal-log") {
+      journal_path = next_value(i);
     } else if (arg == "--detector") {
       cfg.detector.enabled = true;
     } else if (arg == "--heartbeat-interval") {
@@ -267,6 +290,13 @@ int main(int argc, char** argv) {
   if (strategy.result_cache && cfg.dataset_id == 0) {
     die("--result-cache needs a dataset identity (--dataset-id)");
   }
+  if (master_crash_at.has_value() && !cfg.journal) {
+    die("--master-crash-at needs --journal (a crashed coordinator "
+        "cannot recover without a write-ahead journal)");
+  }
+  if (!journal_path.empty() && !cfg.journal) {
+    die("--journal-log needs --journal");
+  }
   if (cfg.detector.enabled && cfg.detector.suspicion_timeout < 0.0) {
     // The negative default inherits EngineConfig::detect_timeout — a
     // deprecation shim (cluster/detector.hpp). Warn so scripted runs
@@ -293,6 +323,9 @@ int main(int argc, char** argv) {
           policy_name.empty() ? "static" : policy_name, policy_params);
     }
     scenario.emplace(cfg);
+    if (master_crash_at.has_value()) {
+      scenario->arm_master_crash(*master_crash_at);
+    }
     result = scenario->run(strategy, failures);
   } catch (const ConfigError& e) {
     die(e.what());
@@ -305,6 +338,9 @@ int main(int argc, char** argv) {
   }
   if (!metrics_path.empty()) {
     write_file(metrics_path, scenario->obs().metrics.dump_json());
+  }
+  if (!journal_path.empty()) {
+    write_file(journal_path, scenario->journal()->export_jsonl());
   }
 
   Table t({"#", "job", "kind", "status", "duration (s)", "mappers",
@@ -347,6 +383,12 @@ int main(int argc, char** argv) {
   if (strategy.result_cache) {
     std::printf("\nresult cache: %u hit(s), %u publication(s)\n",
                 result.cache_hits, result.cache_published);
+  }
+  if (result.master_crashes > 0) {
+    std::printf(
+        "\nmaster: %u crash(es) recovered by journal replay "
+        "(%zu records durable)\n",
+        result.master_crashes, scenario->journal()->size());
   }
   std::printf(
       "\nchain %s in %.1f simulated seconds — %u jobs started, "

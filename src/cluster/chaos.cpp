@@ -18,8 +18,22 @@ const char* fault_mode_name(FaultMode mode) {
     case FaultMode::kCorruptMapOutput: return "corrupt-map-output";
     case FaultMode::kNetworkPartition: return "network-partition";
     case FaultMode::kHeartbeatLoss: return "heartbeat-loss";
+    case FaultMode::kMasterCrash: return "master-crash";
   }
   return "?";
+}
+
+void validate_fault_schedule(const FaultSchedule& schedule,
+                             bool journaling_enabled) {
+  if (journaling_enabled) return;
+  for (const FaultEvent& ev : schedule.events) {
+    if (ev.mode != FaultMode::kMasterCrash) continue;
+    throw ConfigError(
+        "fault schedule contains a master-crash event but the decision "
+        "journal is disabled: a crashed coordinator cannot recover "
+        "without a write-ahead journal. Enable journaling "
+        "(ScenarioConfig::journal / --journal) or drop the event.");
+  }
 }
 
 namespace {
@@ -276,6 +290,18 @@ void ChaosEngine::fire(const FaultEvent& ev) {
       ++counts_.heartbeat_losses;
       detector_->drop_heartbeats(v, ev.downtime);
       return;
+    }
+    case FaultMode::kMasterCrash: {
+      // The engine cannot see the coordinator; the scenario layer wires
+      // the hook. False means no master had in-flight state to lose
+      // (every chain already finished) — a counted no-op.
+      if (master_crasher_ && master_crasher_()) {
+        RCMP_INFO() << "t=" << now
+                    << " chaos: master crash (coordinator state wiped)";
+        ++counts_.master_crashes;
+        return;
+      }
+      break;
     }
   }
   ++counts_.noops;

@@ -43,6 +43,9 @@ enum class FaultMode : std::uint8_t {
   kCorruptMapOutput,  // silently corrupt a persisted map output bucket
   kNetworkPartition,  // node alive but unreachable for `downtime` seconds
   kHeartbeatLoss,     // node healthy; only its heartbeats are dropped
+  kMasterCrash,       // coordinator loses all in-flight state; workers,
+                      // DFS and map-output ledgers survive. Requires a
+                      // decision journal (core/journal.hpp) to recover.
 };
 
 const char* fault_mode_name(FaultMode mode);
@@ -110,6 +113,13 @@ struct RandomScheduleOptions {
 FaultSchedule random_schedule(const RandomScheduleOptions& opt,
                               std::uint64_t seed);
 
+/// Reject schedules that cannot run as configured. Today's single rule:
+/// kMasterCrash events require journaling (a crashed coordinator with no
+/// write-ahead journal can never recover, so the run would wedge or
+/// silently no-op). Throws ConfigError naming the enabling flag.
+void validate_fault_schedule(const FaultSchedule& schedule,
+                             bool journaling_enabled);
+
 class ChaosEngine {
  public:
   ChaosEngine(Cluster& cluster, FaultSchedule schedule, std::uint64_t seed);
@@ -133,6 +143,16 @@ class ChaosEngine {
   /// flips reachability; kHeartbeatLoss becomes a counted no-op.
   void set_detector(FailureDetector* detector) { detector_ = detector; }
 
+  /// kMasterCrash fires through this hook: the scenario layer wires it
+  /// to the coordinator's crash-and-recover orchestration (the chaos
+  /// engine cannot see the middleware). The hook returns whether a
+  /// master actually crashed — false (or no hook) counts a no-op, e.g.
+  /// when every chain already finished.
+  using MasterCrashHook = std::function<bool()>;
+  void set_master_crasher(MasterCrashHook h) {
+    master_crasher_ = std::move(h);
+  }
+
   /// Middleware reports every job start; ordinal is the job's 1-based
   /// global start index. Arms every not-yet-fired event at that ordinal.
   void notify_job_start(std::uint32_t ordinal);
@@ -148,11 +168,12 @@ class ChaosEngine {
     std::uint32_t corrupt_map_outputs = 0;
     std::uint32_t partitions = 0;        // network partitions injected
     std::uint32_t heartbeat_losses = 0;  // heartbeat-suppression windows
+    std::uint32_t master_crashes = 0;    // coordinator crashes injected
     std::uint32_t noops = 0;  // events with no eligible victim/target
     std::uint32_t injected() const {
       return kills + transients + disk_failures + compute_failures +
              corrupt_partitions + corrupt_map_outputs + partitions +
-             heartbeat_losses;
+             heartbeat_losses + master_crashes;
     }
   };
   const Counts& counts() const { return counts_; }
@@ -173,6 +194,7 @@ class ChaosEngine {
   std::vector<bool> fired_;
   CorruptionHook corrupt_partition_;
   CorruptionHook corrupt_map_output_;
+  MasterCrashHook master_crasher_;
   Counts counts_;
   std::vector<NodeId> killed_;
 };

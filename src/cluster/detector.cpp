@@ -235,6 +235,38 @@ void FailureDetector::handle_cluster_recovery(NodeId n) {
   arm_deadline(n);
 }
 
+void FailureDetector::master_crash_reset() {
+  if (!started_ || stopped_) return;
+  max_task_failures_ = 0;
+  for (NodeId n = 0; n < cluster_.size(); ++n) {
+    suspected_[n] = false;
+    pending_loss_[n] = false;
+    suspect_time_[n] = -1.0;
+    quarantined_[n] = false;
+    task_failures_[n] = 0;
+    if (!cluster_.compute_alive(n)) {
+      // Leave any pre-crash deadline or delayed re-detection event in
+      // place: it fires, finds the node compute-dead and delivers a
+      // real detection — the new master re-learns the death through the
+      // ordinary suspicion machinery. (Recovery itself replans from the
+      // ledger ground truth, so nothing blocks on that delivery.)
+      continue;
+    }
+    if (hb_ev_[n] == sim::kInvalidEvent) {
+      hb_ev_[n] = sim_.schedule_after(cfg_.heartbeat_interval,
+                                      [this, n] { emit_heartbeat(n); });
+    }
+    arm_deadline(n);
+  }
+  RCMP_INFO() << "t=" << sim_.now()
+              << " detector: master crash — suspicion state reset";
+}
+
+void FailureDetector::restore_quarantine(NodeId n) {
+  RCMP_CHECK(n < cluster_.size());
+  quarantined_[n] = true;
+}
+
 void FailureDetector::drop_heartbeats(NodeId n, SimTime duration) {
   RCMP_CHECK(n < cluster_.size());
   hb_blocked_until_[n] =

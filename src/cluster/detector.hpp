@@ -138,6 +138,21 @@ class FailureDetector {
   /// could never finish).
   void record_task_failure(NodeId n);
 
+  /// Master-crash recovery: a freshly restarted coordinator has no
+  /// suspicion memory. Clears every belief (suspicions, pending loss
+  /// reports, quarantines, per-node attempt statistics) and re-arms the
+  /// heartbeat deadline of every compute-alive node from "now". Nodes
+  /// that are really dead re-announce themselves through the ordinary
+  /// deadline machinery within one suspicion timeout; journaled
+  /// quarantines are re-applied by replay via restore_quarantine().
+  void master_crash_reset();
+
+  /// Journal replay re-blacklists a node that was quarantined before
+  /// the crash (the kQuarantine record is the durable decision; the
+  /// attempt statistics behind it are not reconstructed). Silent and
+  /// idempotent — no handlers, no counters, no trace.
+  void restore_quarantine(NodeId n);
+
   using DetectionHandler = std::function<void(NodeId, DetectionKind)>;
   /// The master must act on `n` now (the detector-mode analogue of the
   /// oracle's detect_timeout expiry). Handlers run in registration

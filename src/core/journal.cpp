@@ -1,0 +1,88 @@
+#include "core/journal.hpp"
+
+#include <cstdio>
+
+namespace rcmp::core {
+
+const char* journal_record_type_name(JournalRecordType t) {
+  switch (t) {
+    case JournalRecordType::kChainAdmit: return "chain_admit";
+    case JournalRecordType::kJobCommit: return "job_commit";
+    case JournalRecordType::kReplicationPoint: return "replication_point";
+    case JournalRecordType::kEviction: return "eviction";
+    case JournalRecordType::kCachePublish: return "cache_publish";
+    case JournalRecordType::kCacheLease: return "cache_lease";
+    case JournalRecordType::kCacheRelease: return "cache_release";
+    case JournalRecordType::kQuarantine: return "quarantine";
+    case JournalRecordType::kReplanCut: return "replan_cut";
+    case JournalRecordType::kRestart: return "restart";
+    case JournalRecordType::kReclaim: return "reclaim";
+  }
+  return "unknown";
+}
+
+bool DecisionJournal::append(JournalRecordType type, std::uint16_t chain,
+                             std::uint32_t a, std::uint32_t b, std::uint64_t c,
+                             double time) {
+  if (sealed_) {
+    ++dropped_;
+    return false;
+  }
+  if (armed_ && records_.size() >= crash_at_) {
+    // This write never becomes durable: the journal seals with the
+    // current prefix and the crash callback (typically a deferred
+    // master crash) fires exactly once. Sealing before the callback
+    // guarantees any append attempted from inside it is dropped too.
+    sealed_ = true;
+    armed_ = false;
+    ++dropped_;
+    if (on_crash_) {
+      std::function<void()> cb = std::move(on_crash_);
+      on_crash_ = nullptr;
+      cb();
+    }
+    return false;
+  }
+  JournalRecord r;
+  r.time = time;
+  r.lsn = next_lsn_++;
+  r.c = c;
+  r.a = a;
+  r.b = b;
+  r.chain = chain;
+  r.type = type;
+  records_.push_back(r);
+  return true;
+}
+
+void DecisionJournal::arm_crash(std::uint64_t at_record,
+                                std::function<void()> on_crash) {
+  armed_ = true;
+  crash_at_ = at_record;
+  on_crash_ = std::move(on_crash);
+}
+
+std::string DecisionJournal::export_jsonl() const {
+  std::string out;
+  out.reserve(records_.size() * 96);
+  char buf[224];
+  for (const JournalRecord& r : records_) {
+    int n = std::snprintf(buf, sizeof(buf),
+                          "{\"lsn\":%llu,\"t\":%.17g,\"type\":\"%s\"",
+                          static_cast<unsigned long long>(r.lsn), r.time,
+                          journal_record_type_name(r.type));
+    out.append(buf, static_cast<std::size_t>(n));
+    if (r.chain != 0) {
+      n = std::snprintf(buf, sizeof(buf), ",\"chain\":%u",
+                        static_cast<unsigned>(r.chain));
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    n = std::snprintf(buf, sizeof(buf), ",\"a\":%u,\"b\":%u,\"c\":%llu}\n",
+                      static_cast<unsigned>(r.a), static_cast<unsigned>(r.b),
+                      static_cast<unsigned long long>(r.c));
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+}  // namespace rcmp::core

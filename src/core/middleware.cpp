@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "core/journal.hpp"
 #include "core/result_cache.hpp"
 #include "core/scheduler.hpp"
 
@@ -35,6 +36,7 @@ Middleware::Middleware(mapred::Env env, ChainSpec chain,
       chain_(std::move(chain)),
       source_input_(source_input),
       strategy_(strategy),
+      strategy_boot_(strategy),
       engine_cfg_(engine_cfg),
       rng_(seed),
       tenant_(tenant) {
@@ -150,6 +152,16 @@ Middleware::Middleware(mapred::Env env, ChainSpec chain,
     });
   }
 
+  if (tenant_.journal != nullptr && env_.detector != nullptr) {
+    // Quarantine is a durable coordinator decision (the attempt
+    // statistics behind it are not): journal it so replay re-blacklists
+    // the node after a master crash.
+    env_.detector->on_quarantine([this](cluster::NodeId n) {
+      if (chain_done_) return;
+      journal_append(JournalRecordType::kQuarantine, n, 0, 0);
+    });
+  }
+
   // Let lower layers (the engine at shuffle completion) trigger a
   // storage sample without depending on core. Under multi-tenancy every
   // middleware samples the same shared total, so the first one to
@@ -186,6 +198,12 @@ bool Middleware::cache_enabled() const {
   return tenant_.result_cache != nullptr && strategy_.result_cache;
 }
 
+void Middleware::journal_append(JournalRecordType type, std::uint32_t a,
+                                std::uint32_t b, std::uint64_t c) {
+  if (tenant_.journal == nullptr) return;
+  tenant_.journal->append(type, chain_tag(), a, b, c, env_.sim.now());
+}
+
 void Middleware::compute_fingerprints() {
   fps_.assign(chain_.jobs.size(), 0);
   if (!cache_enabled() || tenant_.dataset_id == 0) return;
@@ -220,6 +238,8 @@ bool Middleware::probe_and_borrow(std::uint32_t logical) {
   files_[logical] = e->file;
   completed_once_[logical] = true;
   ++result_.cache_hits;
+  journal_append(JournalRecordType::kCacheLease, logical, e->file,
+                 fps_[logical]);
   const Bytes bytes = env_.dfs.file_size(e->file);
   RCMP_INFO() << "t=" << env_.sim.now() << " middleware: " << tag_
               << "job " << logical
@@ -259,6 +279,8 @@ bool Middleware::probe_and_borrow(std::uint32_t logical) {
 
 void Middleware::revert_borrow(std::uint32_t logical) {
   if (!borrowed_[logical]) return;
+  journal_append(JournalRecordType::kCacheRelease, logical, files_[logical],
+                 fps_[logical]);
   tenant_.result_cache->release(fps_[logical]);
   borrowed_[logical] = false;
   files_[logical] = own_files_[logical];
@@ -298,6 +320,8 @@ void Middleware::maybe_publish(std::uint32_t logical) {
                                     chain_tag())) {
     published_[logical] = true;
     ++result_.cache_published;
+    journal_append(JournalRecordType::kCachePublish, logical,
+                   files_[logical], fps_[logical]);
   }
 }
 
@@ -424,6 +448,8 @@ void Middleware::apply_policy_replication(const PlannedSubmission& sub) {
   env_.dfs.set_replication(files_[sub.logical_id], policy_replication_);
   ++result_.replication_points;
   ++result_.policy_pre_replications;
+  journal_append(JournalRecordType::kReplicationPoint, sub.logical_id,
+                 policy_replication_, 0);
   if (env_.obs != nullptr) {
     // The auditor cross-checks budget legality (and throws on an
     // over-budget decision) before the point is traced.
@@ -441,6 +467,7 @@ void Middleware::apply_policy_replication(const PlannedSubmission& sub) {
 
 void Middleware::run(std::function<void(const ChainResult&)> on_complete) {
   on_complete_ = std::move(on_complete);
+  journal_append(JournalRecordType::kChainAdmit, 0, 0, chain_.jobs.size());
   if (policy_ != nullptr) {
     // Chain admission: in tenant mode run() is invoked by the shared
     // scheduler's admission callback, so the hook fires at true
@@ -536,6 +563,8 @@ void Middleware::submit_next() {
     env_.dfs.set_replication(files_[sub.logical_id],
                              strategy_.hybrid_replication);
     ++result_.replication_points;
+    journal_append(JournalRecordType::kReplicationPoint, sub.logical_id,
+                   strategy_.hybrid_replication, 0);
     if (env_.obs != nullptr) {
       env_.obs->tracer.emit(env_.sim.now(),
                             obs::EventType::kReplicationPoint, 0,
@@ -647,6 +676,10 @@ void Middleware::on_run_done(mapred::JobRun& run) {
 
   if (res.status == mapred::JobResult::Status::kCompleted) {
     completed_once_[res.logical_id] = true;
+    // Commit before publish: a prefix-truncated journal must never hold
+    // a cache publication whose job-boundary commit it lacks.
+    journal_append(JournalRecordType::kJobCommit, res.logical_id,
+                   files_[res.logical_id], res.ordinal);
     if (!res.was_recompute) {
       job_time_sum_ += res.duration();
       ++job_time_count_;
@@ -850,6 +883,7 @@ void Middleware::replan() {
                std::move(detail));
     return;
   }
+  journal_append(JournalRecordType::kReplanCut, result_.replans, 0, 0);
 
   if (!strategy_.is_rcmp()) {
     // OPTIMISTIC discards everything and restarts from the beginning;
@@ -919,6 +953,9 @@ void Middleware::replan() {
 
 void Middleware::wipe_and_restart() {
   ++result_.restarts;
+  // A restart voids every earlier journaled commit/publication: replay
+  // honors the latest kRestart as a truncation point for adoption.
+  journal_append(JournalRecordType::kRestart, result_.restarts, 0, 0);
   if (tenant_.scheduler != nullptr) {
     tenant_.scheduler->note_restart(tenant_.chain_id);
   }
@@ -995,6 +1032,8 @@ void Middleware::reclaim_storage(std::uint32_t replication_point) {
     if (borrowed_[l]) {
       // Borrowed input no longer needed: hand the entry back untouched
       // (the file belongs to its owner, not to this chain's reclaim).
+      journal_append(JournalRecordType::kCacheRelease, l, files_[l],
+                     fps_[l]);
       tenant_.result_cache->release(fps_[l]);
       borrowed_[l] = false;
       files_[l] = own_files_[l];
@@ -1022,6 +1061,7 @@ void Middleware::reclaim_storage(std::uint32_t replication_point) {
   }
   env_.map_outputs.drop_job(replication_point);
   reclaimed_below_ = std::max(reclaimed_below_, replication_point);
+  journal_append(JournalRecordType::kReclaim, replication_point, 0, 0);
   RCMP_INFO() << "middleware: reclaimed storage below job "
               << replication_point;
 }
@@ -1110,6 +1150,7 @@ void Middleware::enforce_storage_budget() {
         l, used - strategy_.storage_budget);
     if (freed > 0) {
       ++result_.evicted_jobs;
+      journal_append(JournalRecordType::kEviction, l, 0, freed);
       if (env_.obs != nullptr) {
         env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kEviction, 0,
                               obs::kNoField, l, obs::kNoField,
@@ -1128,7 +1169,10 @@ void Middleware::enforce_storage_budget() {
   if (cache_enabled()) {
     while (env_.dfs.total_used() + env_.map_outputs.total_used() >
            strategy_.storage_budget) {
-      if (tenant_.result_cache->evict_one() == 0) break;
+      const Bytes freed = tenant_.result_cache->evict_one();
+      if (freed == 0) break;
+      // a = sentinel: the victim was a cache entry, not this chain's job.
+      journal_append(JournalRecordType::kEviction, 0xffffffffu, 0, freed);
     }
   }
 }
@@ -1263,6 +1307,300 @@ void Middleware::finish_chain() {
     tenant_.scheduler->chain_done(tenant_.chain_id);
   }
   if (on_complete_) on_complete_(result_);
+}
+
+bool Middleware::crash_master() {
+  if (tenant_.journal == nullptr || chain_done_) return false;
+  if (!on_complete_) return false;  // never admitted: nothing in flight
+  ++result_.master_crashes;
+  RCMP_WARN() << "t=" << env_.sim.now() << " middleware: " << tag_
+              << "MASTER CRASH — coordinator state destroyed ("
+              << tenant_.journal->size() << " journal records durable)";
+  if (env_.obs != nullptr) {
+    env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kMasterCrash, 0,
+                          obs::kNoField, obs::kNoField, obs::kNoField,
+                          static_cast<double>(tenant_.journal->size()),
+                          chain_tag());
+    env_.obs->metrics.add(tag_ + "master.recovery.crashes");
+  }
+  // The running job dies with the master (its slots return through the
+  // engine's cancellation path; the graveyard keeps its result).
+  if (current_ != nullptr && current_->running()) current_->cancel();
+  current_ = nullptr;
+  current_logical_ = 0;
+  current_recompute_ = false;
+  queue_.clear();
+  update_pinned_jobs();
+  // Every belief is volatile: completion, borrows (the shared-registry
+  // lease dies when the scenario resets the cache), publications,
+  // dynamic-hybrid timers, reclamation watermark, cost estimates.
+  for (std::uint32_t l = 0; l < chain_.jobs.size(); ++l) {
+    completed_once_[l] = false;
+    if (borrowed_[l]) {
+      borrowed_[l] = false;
+      files_[l] = own_files_[l];
+    }
+    published_[l] = false;
+  }
+  reclaimed_below_ = 0;
+  time_since_repl_point_ = 0.0;
+  time_since_disk_point_ = 0.0;
+  job_time_sum_ = 0.0;
+  job_time_count_ = 0;
+  // A restarted master reloads its configuration: policy mutations to
+  // the strategy (mode flips, learned overrides) do not survive.
+  strategy_ = strategy_boot_;
+  policy_split_override_ = 0;
+  policy_replicate_next_ = false;
+  policy_replication_ = 2;
+  policy_tier_ = -1;
+  policy_speculate_ = -1;
+  policy_max_attempts_ = kPolicyKeep;
+  policy_backoff_base_ = -1.0;
+  policy_cache_admit_ = -1;
+  if (policy_ != nullptr) policy_ = strategy_.policy->clone();
+  // Survivors: the journal itself, the physical ledgers (DFS, map
+  // outputs, payloads), next_ordinal_ (fault-schedule ordinals stay
+  // meaningful), attempt_count_ (split salts stay fresh), rng_, and the
+  // accumulated result_/runs_ statistics — a real master derives the
+  // first two from its journal on restart.
+  return true;
+}
+
+void Middleware::recover_from_journal() {
+  if (tenant_.journal == nullptr || chain_done_) return;
+  DecisionJournal& journal = *tenant_.journal;
+  journal.unseal();
+
+  if (strategy_.max_master_recoveries > 0 &&
+      result_.master_crashes > strategy_.max_master_recoveries) {
+    std::string detail =
+        "master crash " + std::to_string(result_.master_crashes) +
+        " exceeds recovery budget of " +
+        std::to_string(strategy_.max_master_recoveries);
+    RCMP_WARN() << "t=" << env_.sim.now()
+                << " middleware: recovery budget exhausted — " << detail;
+    fail_chain(ChainResult::FailReason::kRecoveryBudgetExhausted,
+               std::move(detail));
+    return;
+  }
+
+  // Sequential replay of this chain's records. Later records supersede
+  // earlier ones; a kRestart voids everything journaled before it (the
+  // restart wiped those outputs), mirroring what the live coordinator
+  // believed at its last append.
+  const std::size_t n_jobs = chain_.jobs.size();
+  std::vector<bool> commit_seen(n_jobs, false);
+  std::vector<dfs::FileId> commit_file(n_jobs, 0);
+  std::vector<bool> publish_seen(n_jobs, false);
+  std::vector<dfs::FileId> publish_file(n_jobs, 0);
+  std::vector<bool> borrow_live(n_jobs, false);
+  std::vector<dfs::FileId> borrow_file(n_jobs, 0);
+  std::uint64_t replayed = 0;
+  for (const JournalRecord& r : journal.records()) {
+    if (r.chain != chain_tag()) continue;  // shared journal, other tenant
+    ++replayed;
+    switch (r.type) {
+      case JournalRecordType::kJobCommit:
+        if (r.a < n_jobs) {
+          commit_seen[r.a] = true;
+          commit_file[r.a] = r.b;
+        }
+        break;
+      case JournalRecordType::kCachePublish:
+        if (r.a < n_jobs) {
+          publish_seen[r.a] = true;
+          publish_file[r.a] = r.b;
+        }
+        break;
+      case JournalRecordType::kCacheLease:
+        if (r.a < n_jobs) {
+          borrow_live[r.a] = true;
+          borrow_file[r.a] = r.b;
+        }
+        break;
+      case JournalRecordType::kCacheRelease:
+        if (r.a < n_jobs) borrow_live[r.a] = false;
+        break;
+      case JournalRecordType::kRestart:
+        std::fill(commit_seen.begin(), commit_seen.end(), false);
+        std::fill(publish_seen.begin(), publish_seen.end(), false);
+        std::fill(borrow_live.begin(), borrow_live.end(), false);
+        reclaimed_below_ = 0;
+        break;
+      case JournalRecordType::kReclaim:
+        reclaimed_below_ = std::max(reclaimed_below_, r.a);
+        break;
+      case JournalRecordType::kQuarantine:
+        // The blacklisting decision is durable even though the attempt
+        // statistics behind it are not.
+        if (env_.detector != nullptr) {
+          env_.detector->restore_quarantine(r.a);
+        }
+        break;
+      default:
+        break;  // admission / eviction / replication / replan cuts:
+                // informational — ground truth supersedes them.
+    }
+  }
+
+  // Adopt a journaled commit only when the surviving ledger fully backs
+  // it: the chain's own file with every partition written (damage is
+  // fine — the ordinary replan scan below schedules the recompute), or
+  // a commit legitimately reclaimed below a replication point. A commit
+  // into a file that is no longer this chain's own (pre-restart id the
+  // replay failed to void) is never adopted.
+  obs::JournalReplayCheck jrc;
+  jrc.chain = chain_tag();
+  jrc.replayed_records = replayed;
+  for (std::uint32_t l = 0; l < n_jobs; ++l) {
+    if (!commit_seen[l] || commit_file[l] != own_files_[l]) continue;
+    if (env_.dfs.file_exists(files_[l])) {
+      bool fully_written = true;
+      for (std::uint32_t p = 0; p < env_.dfs.num_partitions(files_[l]);
+           ++p) {
+        if (!env_.dfs.partition(files_[l], p).written) {
+          fully_written = false;
+          break;
+        }
+      }
+      if (!fully_written) continue;
+      completed_once_[l] = true;
+      jrc.positions.push_back(l);
+      jrc.files.push_back(files_[l]);
+    } else if (l < reclaimed_below_) {
+      completed_once_[l] = true;  // reclaimed by design, not lost
+    }
+  }
+
+  // Write-ahead discipline: bytes without a durable commit are garbage.
+  // The dropped journal suffix may hide a run that completed (or partly
+  // wrote) just before the crash; re-running such a job into a file
+  // that still holds those partitions would append duplicate blocks.
+  // Clear every non-adopted job's own output (and its persisted map
+  // outputs) before the planner scan — wasted work, never wrong bytes.
+  for (std::uint32_t l = 0; l < n_jobs; ++l) {
+    if (completed_once_[l]) continue;
+    if (env_.dfs.file_exists(own_files_[l])) {
+      for (std::uint32_t p = 0;
+           p < env_.dfs.num_partitions(own_files_[l]); ++p) {
+        env_.dfs.clear_partition(own_files_[l], p);
+        env_.payloads.clear(own_files_[l], p);
+      }
+    } else if (l >= reclaimed_below_) {
+      // Recreate a reclaimed file so the resumed plan can write it.
+      files_[l] = env_.dfs.create_file("out/" + chain_.jobs[l].name,
+                                       chain_.jobs[l].num_reducers,
+                                       file_replication(l));
+      own_files_[l] = files_[l];
+    }
+    env_.map_outputs.drop_job(l);
+  }
+
+  if (cache_enabled()) {
+    // Re-register journaled publications the DFS still backs (the
+    // scenario reset the shared registry before recovery). The
+    // journaled file id is authoritative — it may name a file this
+    // chain donated to its borrowers before the crash.
+    for (std::uint32_t l = 0; l < n_jobs; ++l) {
+      if (!publish_seen[l] || fps_[l] == 0) continue;
+      if (!env_.dfs.file_exists(publish_file[l]) ||
+          !env_.dfs.file_available(publish_file[l])) {
+        continue;
+      }
+      const bool is_final = l + 1 == n_jobs;
+      if (tenant_.result_cache->publish(fps_[l], publish_file[l],
+                                        tenant_.chain_id, l, is_final,
+                                        chain_tag()) &&
+          publish_file[l] == files_[l]) {
+        published_[l] = true;
+      }
+    }
+    // Re-prove journaled leases against the rebuilt registry. A lease
+    // whose entry did not come back (its owner recovers later, or its
+    // bytes died) is simply not re-adopted: the position recomputes.
+    for (std::uint32_t l = 0; l < n_jobs; ++l) {
+      if (!borrow_live[l] || fps_[l] == 0 || borrowed_[l]) continue;
+      const ResultCache::Entry* e = tenant_.result_cache->find(fps_[l]);
+      if (e == nullptr || e->file != borrow_file[l] ||
+          e->file == own_files_[l] ||
+          !tenant_.result_cache->validate(fps_[l], e->file)) {
+        continue;
+      }
+      tenant_.result_cache->lease(fps_[l]);
+      borrowed_[l] = true;
+      files_[l] = e->file;
+      completed_once_[l] = true;
+    }
+  }
+
+  if (env_.obs != nullptr) {
+    env_.obs->tracer.emit(env_.sim.now(), obs::EventType::kJournalReplay,
+                          0, obs::kNoField, obs::kNoField, obs::kNoField,
+                          static_cast<double>(replayed), chain_tag());
+    env_.obs->metrics.add(tag_ + "master.recovery.replays");
+    env_.obs->metrics.add(tag_ + "master.recovery.replayed_records",
+                          replayed);
+    // The auditor holds the replayed ledger view to a live
+    // coordinator's standard (throws AuditError on an unbacked claim).
+    env_.obs->check_journal_replay(jrc);
+  }
+  RCMP_INFO() << "t=" << env_.sim.now() << " middleware: " << tag_
+              << "recovered from journal (" << replayed
+              << " records replayed, " << jrc.positions.size()
+              << " commits adopted)";
+
+  // Resume from the deepest verified prefix through the ordinary
+  // planner. This is deliberately NOT a replan: no replan is spent and
+  // no kReplanCut is journaled — the crash was the master's fault, not
+  // data loss (any real damage is picked up by the scan below exactly
+  // as a replan would).
+  std::vector<PlannerJobState> states(n_jobs);
+  for (std::uint32_t l = 0; l < n_jobs; ++l) {
+    states[l].completed_once = completed_once_[l];
+    if (!completed_once_[l]) continue;
+    if (!env_.dfs.file_exists(files_[l])) continue;  // reclaimed
+    for (std::uint32_t p = 0; p < env_.dfs.num_partitions(files_[l]);
+         ++p) {
+      if (!env_.dfs.partition_available(files_[l], p)) {
+        states[l].damaged_partitions.push_back(p);
+      }
+    }
+  }
+  std::vector<PlannedSubmission> plan;
+  if (cache_enabled()) {
+    auto cached = plan_chain_with_cache(states, [this](std::uint32_t j) {
+      return probe_and_borrow(j);
+    });
+    plan = std::move(cached.submissions);
+  } else {
+    plan = plan_chain(states);
+  }
+  for (const auto& s : plan) {
+    for (std::uint32_t d : deps_of(s.logical_id)) {
+      if (d == kSourceInput) {
+        if (!env_.dfs.file_available(source_input_)) {
+          RCMP_WARN() << "middleware: source input lost — cannot recover";
+          wipe_and_restart();
+          return;
+        }
+        continue;
+      }
+      if (!env_.dfs.file_exists(files_[d]) || d < reclaimed_below_) {
+        RCMP_WARN() << "middleware: input of job " << s.logical_id
+                    << " was reclaimed — full restart";
+        wipe_and_restart();
+        return;
+      }
+    }
+  }
+  queue_.clear();
+  for (const auto& s : plan) queue_.push_back(s);
+  update_pinned_jobs();
+  RCMP_INFO() << "t=" << env_.sim.now() << " middleware: " << tag_
+              << "resuming after master crash, " << queue_.size()
+              << " submission(s) queued";
+  submit_next();
 }
 
 }  // namespace rcmp::core

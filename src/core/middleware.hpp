@@ -15,6 +15,7 @@
 // unrecoverable loss) and OPTIMISTIC (restart the chain on any loss).
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -29,6 +30,8 @@
 namespace rcmp::core {
 
 class ChainScheduler;
+class DecisionJournal;
+enum class JournalRecordType : std::uint8_t;
 class ResultCache;
 
 /// Sentinel dependency: read the externally generated source input.
@@ -49,6 +52,11 @@ struct TenantContext {
   /// disables caching for the chain (a fingerprint built on an unknown
   /// dataset could collide across different inputs).
   std::uint64_t dataset_id = 0;
+  /// Write-ahead decision journal (core/journal.hpp). Null (the
+  /// default) disables journaling and keeps runs byte-identical to
+  /// journal-free builds; non-null makes the coordinator recoverable
+  /// from kMasterCrash via crash_master()/recover_from_journal().
+  DecisionJournal* journal = nullptr;
 };
 
 /// One job (DAG node). Dependencies name the upstream jobs whose
@@ -94,6 +102,9 @@ struct ChainResult {
     kCapacityFloor,
     /// StrategyConfig::max_replans recomputation replans were spent.
     kRetryBudgetExhausted,
+    /// StrategyConfig::max_master_recoveries coordinator crash
+    /// recoveries were spent.
+    kRecoveryBudgetExhausted,
   };
 
   bool completed = false;
@@ -134,6 +145,8 @@ struct ChainResult {
   /// completed outputs this chain published for other tenants.
   std::uint32_t cache_hits = 0;
   std::uint32_t cache_published = 0;
+  /// Coordinator crashes this chain survived via journal replay.
+  std::uint32_t master_crashes = 0;
 };
 
 class Middleware {
@@ -168,6 +181,33 @@ class Middleware {
   /// Public so multi-tenant tests can snapshot per-chain damage at the
   /// instant a failure lands (the blast-radius assertion).
   bool has_unresolved_damage() const;
+
+  /// Master crash: destroy every piece of in-flight coordinator state —
+  /// the running job is cancelled (its slots return to the scheduler),
+  /// the submission queue, completion/borrow/publication beliefs,
+  /// policy overrides and the dynamic-hybrid timers are wiped. The
+  /// surviving cluster ledger (DFS, map-output stores, payloads) and
+  /// the journal itself are untouched; the global start-ordinal counter
+  /// and the per-job attempt counters survive too (fault-schedule
+  /// ordinals stay meaningful and split salts stay fresh — a real
+  /// master derives both from its journal). Returns false when there is
+  /// nothing to crash: no journal attached, the chain already finished,
+  /// or it was never admitted. Call recover_from_journal() afterwards —
+  /// a Scenario orchestrates crash -> shared-registry reset ->
+  /// recovery for all tenants.
+  bool crash_master();
+
+  /// Rebuild coordinator state by replaying the journal against the
+  /// surviving cluster ledger: journaled commits are adopted only when
+  /// the DFS still fully backs them (verified by the auditor's
+  /// journal-replay check), journaled cache publications are
+  /// re-registered when their file survives, journaled leases are
+  /// re-proven against the rebuilt registry, journaled quarantines are
+  /// re-applied to the reset detector — then the chain resumes from the
+  /// deepest verified prefix through the ordinary planner (without
+  /// spending a replan). No-op when the chain finished or no journal is
+  /// attached.
+  void recover_from_journal();
 
  private:
   void on_failure(const cluster::FailureEvent& ev);
@@ -242,6 +282,10 @@ class Middleware {
   void finish_chain();
   /// Unrecoverable situation: record the structured reason and stop.
   void fail_chain(ChainResult::FailReason reason, std::string detail);
+  /// Append one decision record (no-op without a journal; a sealed
+  /// journal drops the append — the crash-point model's lost write).
+  void journal_append(JournalRecordType type, std::uint32_t a,
+                      std::uint32_t b, std::uint64_t c);
 
   /// The 1-based chain tag carried on every trace event this middleware
   /// (and its engine) emits; 0 single-tenant.
@@ -251,6 +295,10 @@ class Middleware {
   ChainSpec chain_;
   dfs::FileId source_input_;
   StrategyConfig strategy_;
+  /// Pristine copy of the strategy as configured: a recovered master
+  /// reloads its config, so crash_master() resets strategy_ (which
+  /// policy decisions may have mutated) from this.
+  StrategyConfig strategy_boot_;
   mapred::EngineConfig engine_cfg_;
   Rng rng_;
   TenantContext tenant_;

@@ -215,6 +215,16 @@ void ResultCache::drop(std::map<std::uint64_t, Entry>::iterator it,
   update_gauge();
 }
 
+void ResultCache::master_crash_reset() {
+  const std::size_t lost = entries_.size();
+  entries_.clear();
+  if (obs_ != nullptr && lost > 0) {
+    obs_->metrics.add("master.recovery.cache_entries_lost",
+                      static_cast<std::uint64_t>(lost));
+  }
+  update_gauge();
+}
+
 void ResultCache::update_gauge() {
   if (obs_ != nullptr) {
     obs_->metrics.set_gauge("cache.entries",

@@ -142,6 +142,15 @@ class ResultCache {
   /// Returns the bytes freed, 0 when nothing is evictable.
   Bytes evict_one();
 
+  /// Master crash: the registry is coordinator state, so every entry
+  /// and every lease dies with the master. The backing DFS files are
+  /// untouched (they belong to the surviving cluster ledger); journal
+  /// replay re-publishes the entries whose files still exist, and
+  /// borrowers must re-prove their leases — never assume them. The
+  /// publish-order clock keeps ticking so recovered entries age after
+  /// pre-crash ones.
+  void master_crash_reset();
+
   std::size_t size() const { return entries_.size(); }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }

@@ -1622,7 +1622,16 @@ bool JobRun::charge_attempt(std::uint32_t& attempts, SimTime& not_before) {
   const double growth = std::pow(
       cfg_.retry_backoff_factor,
       static_cast<double>(std::min(attempts, 8u) - 1));
-  not_before = env_.sim.now() + cfg_.retry_backoff_base * growth;
+  double delay = cfg_.retry_backoff_base * growth;
+  if (cfg_.retry_backoff_jitter > 0.0) {
+    // Decorrelated jitter: draw from [base, 3 * delay] and blend by the
+    // jitter factor. Guarded so jitter-off runs draw no RNG at all
+    // (byte-identical to pre-jitter builds).
+    const double hi = std::max(cfg_.retry_backoff_base, 3.0 * delay);
+    const double draw = rng_.uniform(cfg_.retry_backoff_base, hi);
+    delay += cfg_.retry_backoff_jitter * (draw - delay);
+  }
+  not_before = env_.sim.now() + delay;
   const std::uint32_t budget = env_.retry_budget
                                    ? env_.retry_budget(attempts)
                                    : cfg_.max_task_attempts;

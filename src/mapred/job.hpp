@@ -171,6 +171,15 @@ struct EngineConfig {
   std::uint32_t max_task_attempts = 4;
   SimTime retry_backoff_base = 2.0;
   double retry_backoff_factor = 2.0;
+  /// Decorrelated jitter on the retry backoff (AWS-style): each delay
+  /// blends toward a uniform draw from [base, 3 * deterministic_delay],
+  /// breaking the retry synchronization that makes every task stranded
+  /// by one failure hammer the scheduler in lockstep. 0 (default) keeps
+  /// the pure exponential schedule — no RNG is drawn, so default runs
+  /// stay byte-identical; 1 is the fully decorrelated schedule. The
+  /// draws come from the JobRun's own seeded stream (deterministic
+  /// per seed).
+  double retry_backoff_jitter = 0.0;
 
   /// Payload-mode record footprint used to convert records <-> bytes.
   Bytes record_bytes = 256;

@@ -39,6 +39,9 @@ Auditor::Auditor(const Refs& refs, Observability& obs)
   obs_.cache_hit_hook = [this](const CacheHitCheck& chc) {
     check_cache_hit(chc);
   };
+  obs_.journal_replay_hook = [this](const JournalReplayCheck& jrc) {
+    check_journal_replay(jrc);
+  };
   obs_.reuse_hook = [this](const ReuseCheck& rc) {
     ++reuse_checks_;
     obs_.metrics.add("audit.reuse_checks");
@@ -282,6 +285,37 @@ void Auditor::check_cache_hit(const CacheHitCheck& chc) {
   }
   ++cache_hit_checks_;
   obs_.metrics.add("audit.cache_hit_checks");
+}
+
+void Auditor::check_journal_replay(const JournalReplayCheck& jrc) {
+  if (refs_.dfs == nullptr) return;
+  const dfs::NameNode& dfs = *refs_.dfs;
+  std::vector<std::string> violations;
+  for (std::size_t i = 0; i < jrc.positions.size(); ++i) {
+    const std::uint32_t pos = jrc.positions[i];
+    const dfs::FileId file = jrc.files[i];
+    if (!dfs.file_exists(file)) {
+      std::ostringstream os;
+      os << "journal replay (chain tag " << jrc.chain << ") adopted position "
+         << pos << " as completed, but its journaled file " << file
+         << " no longer exists in the DFS ledger";
+      violations.push_back(os.str());
+      continue;
+    }
+    for (std::uint32_t p = 0; p < dfs.num_partitions(file); ++p) {
+      if (dfs.partition(file, p).written) continue;
+      std::ostringstream os;
+      os << "journal replay (chain tag " << jrc.chain << ") adopted position "
+         << pos << " as completed, but partition " << p
+         << " of its journaled file " << file
+         << " was never written — the replayed commit is not backed by the "
+            "surviving ledger";
+      violations.push_back(os.str());
+    }
+  }
+  if (!violations.empty()) fail(AuditPoint::kFailure, violations);
+  ++journal_replay_checks_;
+  obs_.metrics.add("audit.journal_replay_checks");
 }
 
 void Auditor::check_policy_replication(Bytes used, Bytes budget) {

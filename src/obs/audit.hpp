@@ -123,6 +123,22 @@ class Auditor {
   /// Cache-hit differential checks that passed.
   std::uint64_t cache_hit_checks() const { return cache_hit_checks_; }
 
+  /// Validate one journal replay: a recovered coordinator may only
+  /// adopt a position as completed when the surviving cluster ledger
+  /// fully backs the claim — the journaled DFS file exists and every
+  /// partition was written (damaged-but-written is fine: the ordinary
+  /// replan machinery handles damage; a never-written partition means
+  /// the replay resurrected a commit the ledger cannot support). A
+  /// replayed coordinator's ledger view must match a live one's
+  /// exactly; throws AuditError otherwise. Normally invoked through
+  /// Observability::check_journal_replay.
+  void check_journal_replay(const JournalReplayCheck& jrc);
+
+  /// Journal-replay ledger checks that passed.
+  std::uint64_t journal_replay_checks() const {
+    return journal_replay_checks_;
+  }
+
  private:
   void check_event_queue(std::vector<std::string>* violations);
   void check_storage(std::vector<std::string>* violations);
@@ -137,6 +153,7 @@ class Auditor {
   std::uint64_t policy_replication_checks_ = 0;
   std::uint64_t eviction_checks_ = 0;
   std::uint64_t cache_hit_checks_ = 0;
+  std::uint64_t journal_replay_checks_ = 0;
   SimTime last_audit_now_ = 0.0;
   /// Ledger digests captured at suspicion time, by suspected node.
   std::unordered_map<cluster::NodeId, std::string> suspicion_digests_;

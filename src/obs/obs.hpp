@@ -79,6 +79,19 @@ struct CacheHitCheck {
   std::uint16_t chain = 0;  // 1-based borrower tag; 0 = single-tenant
 };
 
+/// Evidence for one journal replay: the positions a recovered
+/// coordinator adopted as completed (with the DFS file backing each
+/// claim) after replaying `replayed_records` journal records. The
+/// auditor holds the replayed ledger view to the same standard as a
+/// live coordinator's: every adopted claim must be fully backed by the
+/// surviving cluster ledger.
+struct JournalReplayCheck {
+  std::uint16_t chain = 0;  // 1-based tag; 0 = single-tenant
+  std::uint64_t replayed_records = 0;
+  std::vector<std::uint32_t> positions;  // adopted as completed
+  std::vector<std::uint32_t> files;      // dfs::FileId per position
+};
+
 struct Observability {
   Tracer tracer;
   MetricsRegistry metrics;
@@ -104,6 +117,9 @@ struct Observability {
   /// Installed by the auditor: differentially verify one result-cache
   /// hit (eager prefix recompute vs. the cached bytes).
   std::function<void(const CacheHitCheck&)> cache_hit_hook;
+  /// Installed by the auditor: verify a recovered coordinator's
+  /// replayed ledger view exactly matches the surviving cluster ledger.
+  std::function<void(const JournalReplayCheck&)> journal_replay_hook;
 
   // Null-safe dispatch used by the emitting layers.
   void audit(AuditPoint p) {
@@ -126,6 +142,9 @@ struct Observability {
   }
   void check_cache_hit(const CacheHitCheck& chc) {
     if (cache_hit_hook) cache_hit_hook(chc);
+  }
+  void check_journal_replay(const JournalReplayCheck& jrc) {
+    if (journal_replay_hook) journal_replay_hook(jrc);
   }
 };
 

@@ -61,6 +61,8 @@ const char* event_type_name(EventType t) {
     case EventType::kPromote: return "promote";
     case EventType::kCacheHit: return "cache_hit";
     case EventType::kCacheInvalidate: return "cache_invalidate";
+    case EventType::kMasterCrash: return "master_crash";
+    case EventType::kJournalReplay: return "journal_replay";
   }
   return "unknown";
 }

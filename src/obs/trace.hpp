@@ -56,6 +56,10 @@ enum class EventType : std::uint8_t {
                    // result cache (value: bytes served)
   kCacheInvalidate = 23,  // a cache entry became unusable (kind: the
                           // CacheInvalidation reason)
+  kMasterCrash = 24,    // coordinator lost all in-flight state (value:
+                        // journal records durable at the crash)
+  kJournalReplay = 25,  // a recovered coordinator replayed its journal
+                        // (value: records replayed for this chain)
 };
 
 /// Interpretation of TraceEvent::kind per event type.

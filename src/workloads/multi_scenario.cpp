@@ -25,6 +25,9 @@ MultiScenario::MultiScenario(MultiScenarioConfig cfg)
     obs_.tracer.enable(cfg_.base.trace_capacity);
   }
   cluster_.set_tracer(&obs_.tracer);
+  if (cfg_.base.journal) {
+    journal_ = std::make_unique<core::DecisionJournal>();
+  }
 
   for (std::uint32_t c = 0; c < cfg_.chains; ++c) {
     stores_.push_back(std::make_unique<mapred::MapOutputStore>());
@@ -170,6 +173,7 @@ void MultiScenario::start(core::StrategyConfig strategy) {
   for (std::uint32_t c = 0; c < cfg_.chains; ++c) {
     core::TenantContext tenant{scheduler_.get(), c, result_cache_.get(),
                                dataset_id_of(c)};
+    tenant.journal = journal_.get();
     middlewares_.push_back(std::make_unique<core::Middleware>(
         env(c), chains_[c], inputs_[c], strategy, cfg_.base.engine,
         rng_.fork_seed(), tenant));
@@ -213,9 +217,11 @@ std::vector<core::ChainResult> MultiScenario::run(
 
 std::vector<core::ChainResult> MultiScenario::run_chaos(
     core::StrategyConfig strategy, cluster::FaultSchedule schedule) {
+  cluster::validate_fault_schedule(schedule, journal_ != nullptr);
   chaos_ = std::make_unique<cluster::ChaosEngine>(
       cluster_, std::move(schedule), rng_.fork_seed());
   chaos_->set_detector(detector_.get());
+  chaos_->set_master_crasher([this] { return crash_master(); });
   chaos_->set_partition_corrupter(
       [this](Rng& rng) { return corrupt_random_partition(rng); });
   chaos_->set_map_output_corrupter([this](Rng& rng) {
@@ -229,6 +235,28 @@ std::vector<core::ChainResult> MultiScenario::run_chaos(
     return false;
   });
   return run(strategy);
+}
+
+bool MultiScenario::crash_master() {
+  if (journal_ == nullptr || middlewares_.empty()) return false;
+  // Every tenant's volatile state dies together (one coordinator
+  // process hosts them all), the shared registries reset exactly once,
+  // then each tenant replays in chain order. A borrower whose lease
+  // targets an entry owned by a later-recovering chain simply fails
+  // re-adoption and recomputes — wasted work, never wrong bytes.
+  std::vector<bool> crashed(middlewares_.size(), false);
+  bool any = false;
+  for (std::size_t c = 0; c < middlewares_.size(); ++c) {
+    crashed[c] = middlewares_[c]->crash_master();
+    any = any || crashed[c];
+  }
+  if (!any) return false;
+  if (result_cache_ != nullptr) result_cache_->master_crash_reset();
+  if (detector_ != nullptr) detector_->master_crash_reset();
+  for (std::size_t c = 0; c < middlewares_.size(); ++c) {
+    if (crashed[c]) middlewares_[c]->recover_from_journal();
+  }
+  return true;
 }
 
 bool MultiScenario::corrupt_random_partition(Rng& rng) {

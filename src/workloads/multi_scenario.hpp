@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cluster/chaos.hpp"
+#include "core/journal.hpp"
 #include "core/middleware.hpp"
 #include "core/result_cache.hpp"
 #include "core/scheduler.hpp"
@@ -83,7 +84,18 @@ class MultiScenario {
   core::ChainScheduler& scheduler() { return *scheduler_; }
   /// Null unless started with StrategyConfig::result_cache set.
   core::ResultCache* result_cache() { return result_cache_.get(); }
+  /// Null unless base.journal is set (one shared journal, records
+  /// carry each tenant's chain tag).
+  core::DecisionJournal* journal() { return journal_.get(); }
   cluster::ChaosEngine* chaos() { return chaos_.get(); }
+
+  /// Crash and recover the coordinator (scheduler + all unfinished
+  /// middlewares) now. All tenants crash first, the shared registries
+  /// reset once, then every tenant replays in chain order — a lease on
+  /// an entry whose owner recovers later is simply not re-adopted (the
+  /// borrower recomputes; wasted work, never wrong bytes). False when
+  /// no journal is attached or no chain is still running.
+  bool crash_master();
   const MultiScenarioConfig& config() const { return cfg_; }
   std::uint32_t num_chains() const { return cfg_.chains; }
 
@@ -141,6 +153,9 @@ class MultiScenario {
   /// Constructed in start() when the strategy enables the result cache;
   /// declared before the middlewares that borrow through it.
   std::unique_ptr<core::ResultCache> result_cache_;
+  /// One shared decision journal (base.journal); declared before the
+  /// middlewares that append to it.
+  std::unique_ptr<core::DecisionJournal> journal_;
   std::vector<std::unique_ptr<core::Middleware>> middlewares_;
   std::unique_ptr<cluster::ChaosEngine> chaos_;
   std::uint32_t global_ordinal_ = 0;

@@ -58,6 +58,12 @@ struct ScenarioConfig {
   /// Tracer ring capacity in events; 0 (default) disables tracing.
   std::size_t trace_capacity = 0;
 
+  /// Attach a write-ahead decision journal (core/journal.hpp) and make
+  /// the coordinator recoverable from cluster::FaultMode::kMasterCrash.
+  /// Off by default: journal-free runs stay byte-identical to pre-journal
+  /// builds (appends draw no randomness and emit no events).
+  bool journal = false;
+
   std::uint64_t seed = 42;
 };
 

@@ -13,6 +13,7 @@ Scenario::Scenario(ScenarioConfig cfg)
       rng_(cfg_.seed) {
   if (cfg_.trace_capacity > 0) obs_.tracer.enable(cfg_.trace_capacity);
   cluster_.set_tracer(&obs_.tracer);
+  if (cfg_.journal) journal_ = std::make_unique<core::DecisionJournal>();
   // RAM tier (ClusterSpec::ram_bytes > 0): the store charges the
   // cluster's physical RAM ledger in namespace 1 (0 is the DFS).
   if (cluster_.ram_enabled()) map_outputs_.attach_ram(&cluster_, 1);
@@ -97,6 +98,7 @@ core::TenantContext Scenario::make_tenant(
     tenant.result_cache = result_cache_.get();
     tenant.dataset_id = cfg_.dataset_id;
   }
+  tenant.journal = journal_.get();
   return tenant;
 }
 
@@ -124,6 +126,10 @@ core::ChainResult Scenario::run_chaos(core::StrategyConfig strategy,
   RCMP_CHECK_MSG(!ran_, "Scenario is one-shot; construct a fresh one");
   ran_ = true;
 
+  // Reject master-crash events up front when no journal is attached: a
+  // crashed coordinator without a write-ahead journal cannot recover.
+  cluster::validate_fault_schedule(schedule, journal_ != nullptr);
+
   middleware_ = std::make_unique<core::Middleware>(
       env(), chain_, input_, strategy, cfg_.engine, rng_.fork_seed(),
       make_tenant(strategy));
@@ -131,6 +137,7 @@ core::ChainResult Scenario::run_chaos(core::StrategyConfig strategy,
   chaos_ = std::make_unique<cluster::ChaosEngine>(
       cluster_, std::move(schedule), rng_.fork_seed());
   chaos_->set_detector(detector_.get());
+  chaos_->set_master_crasher([this] { return crash_master(); });
   chaos_->set_partition_corrupter(
       [this](Rng& rng) { return corrupt_random_partition(rng); });
   chaos_->set_map_output_corrupter(
@@ -155,6 +162,31 @@ core::ChainResult Scenario::drive_to_completion() {
                  "simulation drained before the chain completed "
                  "(engine deadlock)");
   return result;
+}
+
+bool Scenario::crash_master() {
+  if (journal_ == nullptr || middleware_ == nullptr) return false;
+  // Order matters: destroy the middleware's volatile state first, then
+  // wipe the shared registries it believed in (the cache's in-memory
+  // index, the detector's suspicion/quarantine beliefs), then replay —
+  // the reset detector must be clean BEFORE replay restores journaled
+  // quarantines.
+  if (!middleware_->crash_master()) return false;
+  if (result_cache_ != nullptr) result_cache_->master_crash_reset();
+  if (detector_ != nullptr) detector_->master_crash_reset();
+  middleware_->recover_from_journal();
+  return true;
+}
+
+void Scenario::arm_master_crash(std::uint64_t at_record) {
+  RCMP_CHECK_MSG(journal_ != nullptr,
+                 "arm_master_crash needs ScenarioConfig::journal");
+  journal_->arm_crash(at_record, [this] {
+    // Defer through the queue: the sealing append sits somewhere inside
+    // the coordinator's own call stack, and destroying that state
+    // re-entrantly would be use-after-free by design.
+    sim_.schedule_after(0.0, [this] { crash_master(); });
+  });
 }
 
 bool Scenario::corrupt_random_partition(Rng& rng) {

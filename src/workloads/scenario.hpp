@@ -12,6 +12,7 @@
 
 #include "cluster/chaos.hpp"
 #include "cluster/failure_injector.hpp"
+#include "core/journal.hpp"
 #include "core/middleware.hpp"
 #include "core/result_cache.hpp"
 #include "obs/audit.hpp"
@@ -63,6 +64,22 @@ class Scenario {
   cluster::FailureDetector* detector() { return detector_.get(); }
   /// Null unless run with StrategyConfig::result_cache set.
   core::ResultCache* result_cache() { return result_cache_.get(); }
+  /// Null unless ScenarioConfig::journal is set.
+  core::DecisionJournal* journal() { return journal_.get(); }
+
+  /// Crash and recover the coordinator now: middleware state is
+  /// destroyed, the shared registries (result cache, detector beliefs)
+  /// are reset, and the chain resumes by replaying the journal against
+  /// the surviving cluster ledger. False when there is nothing to crash
+  /// (no journal, chain finished / not yet started). ChaosEngine's
+  /// kMasterCrash events land here.
+  bool crash_master();
+
+  /// Crash-point fuzzing: seal the journal at record `at_record`
+  /// (0-based; that append and everything after it is lost) and crash
+  /// the master. The crash itself is deferred through the event queue so
+  /// destruction never happens re-entrantly inside the appending call.
+  void arm_master_crash(std::uint64_t at_record);
 
   /// Payload mode: checksum of the final job's output records.
   mapred::Checksum final_output_checksum();
@@ -104,6 +121,9 @@ class Scenario {
   /// the result cache; declared before the middleware that borrows
   /// through it.
   std::unique_ptr<core::ResultCache> result_cache_;
+  /// Constructed when ScenarioConfig::journal is set; declared before
+  /// the middleware that appends to it.
+  std::unique_ptr<core::DecisionJournal> journal_;
   std::unique_ptr<core::Middleware> middleware_;
   std::unique_ptr<cluster::FailureInjector> injector_;
   std::unique_ptr<cluster::ChaosEngine> chaos_;

@@ -396,5 +396,60 @@ TEST(DetectorScenario, SameSeedDetectorChaosRunsAreByteIdentical) {
   EXPECT_DOUBLE_EQ(time_a, time_b);
 }
 
+// --- retry-backoff jitter (EngineConfig::retry_backoff_jitter) -------
+
+namespace jitterfx {
+
+struct JitterRun {
+  std::string trace;
+  double makespan = 0.0;
+  mapred::Checksum checksum;
+};
+
+inline JitterRun jitter_run(double jitter, FaultSchedule schedule) {
+  auto cfg = chaos_config();
+  cfg.detector.enabled = true;
+  cfg.trace_capacity = 1 << 16;
+  cfg.engine.retry_backoff_jitter = jitter;
+  Scenario s(cfg);
+  const auto r = s.run_chaos(strat(Strategy::kRcmpSplit),
+                             std::move(schedule));
+  EXPECT_TRUE(r.completed);
+  return {s.obs().tracer.export_jsonl(), r.total_time,
+          s.final_output_checksum()};
+}
+
+inline FaultSchedule kill_at(std::uint32_t ordinal) {
+  FaultSchedule schedule;
+  schedule.events.push_back(FaultEvent{FaultMode::kKill, ordinal, 15.0});
+  return schedule;
+}
+
+}  // namespace jitterfx
+
+TEST(RetryJitter, ArmedJitterDrawsNothingWithoutRetries) {
+  // The decorrelated draw happens per *failed* attempt; a failure-free
+  // detector run with jitter armed must stay byte-identical to the
+  // jitter-off default.
+  const auto off = jitterfx::jitter_run(0.0, {});
+  const auto on = jitterfx::jitter_run(1.0, {});
+  EXPECT_FALSE(off.trace.empty());
+  EXPECT_EQ(on.trace, off.trace);
+  EXPECT_DOUBLE_EQ(on.makespan, off.makespan);
+}
+
+TEST(RetryJitter, JitteredRetriesAreSeedDeterministicAndCorrect) {
+  // Same seed, same jitter, real retries (a kill under the detector):
+  // two runs are byte-identical, and the jittered schedule changes
+  // timing only — the output bytes match the unjittered run.
+  const auto a = jitterfx::jitter_run(0.7, jitterfx::kill_at(2));
+  const auto b = jitterfx::jitter_run(0.7, jitterfx::kill_at(2));
+  EXPECT_FALSE(a.trace.empty());
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  const auto plain = jitterfx::jitter_run(0.0, jitterfx::kill_at(2));
+  EXPECT_EQ(a.checksum, plain.checksum);
+}
+
 }  // namespace
 }  // namespace rcmp

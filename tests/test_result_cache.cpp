@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/journal.hpp"
 #include "core/policy.hpp"
 #include "core/result_cache.hpp"
 #include "fixtures.hpp"
@@ -453,6 +454,94 @@ TEST(ResultCacheParity, UnarmedMultiTenantIgnoresDatasetOverlap) {
   EXPECT_GT(r[1].jobs_started, 0u);  // everything actually computed
   EXPECT_EQ(ms.input_checksum(0), ms.input_checksum(1));
   EXPECT_EQ(ms.final_output_checksum(0), ms.final_output_checksum(1));
+}
+
+// --- coordinator crash–recovery composition --------------------------
+// A master crash wipes the registry (it is coordinator state); journal
+// replay re-publishes and borrowers must re-prove leases. The hazard
+// pair: a crash landing between a publication and the borrower's lease
+// pin must neither leak the lease nor double-publish the fingerprint.
+
+TEST(ResultCacheRecovery, CrashBetweenPublishAndLeaseLeaksNothing) {
+  CacheFixture fx;
+  const auto f = fx.write_file("out", 4);
+  const std::uint64_t fp = ResultCache::fingerprint(0, 1, 2, 3, 4, 0);
+  ASSERT_TRUE(fx.cache.publish(fp, f, 0, 0, false, 0));
+  // The master dies after publication, before any borrower pinned a
+  // lease: the entry vanishes with the registry.
+  fx.cache.master_crash_reset();
+  EXPECT_EQ(fx.cache.size(), 0u);
+  EXPECT_EQ(fx.cache.find(fp), nullptr);
+  // Replay re-publishes exactly once; the duplicate is refused and the
+  // surviving entry carries no phantom lease.
+  EXPECT_TRUE(fx.cache.publish(fp, f, 0, 0, false, 0));
+  EXPECT_FALSE(fx.cache.publish(fp, f, 0, 0, false, 0));
+  ASSERT_NE(fx.cache.find(fp), nullptr);
+  EXPECT_EQ(fx.cache.find(fp)->leases, 0u);
+  EXPECT_EQ(fx.cache.size(), 1u);
+}
+
+TEST(ResultCacheRecovery, LiveLeaseDiesWithTheMasterAndMustBeReProven) {
+  CacheFixture fx;
+  const auto f = fx.write_file("out", 4);
+  const std::uint64_t fp = ResultCache::fingerprint(0, 1, 2, 3, 4, 0);
+  ASSERT_TRUE(fx.cache.publish(fp, f, 0, 0, false, 0));
+  fx.cache.lease(fp);
+  ASSERT_EQ(fx.cache.find(fp)->leases, 1u);
+  fx.cache.master_crash_reset();
+  // Re-published entry starts lease-free: a borrower that assumed its
+  // pre-crash lease would double-release on finish.
+  EXPECT_TRUE(fx.cache.publish(fp, f, 0, 0, false, 0));
+  EXPECT_EQ(fx.cache.find(fp)->leases, 0u);
+  // Publish-order clock keeps ticking: the recovered entry ages after
+  // any pre-crash survivor would have.
+  EXPECT_GE(fx.cache.find(fp)->seq, 1u);
+}
+
+TEST(ResultCacheRecovery, CrashAtPublishBoundaryKeepsTenantsByteIdentical) {
+  // End-to-end: crash the coordinator exactly at the cache-publication
+  // journal boundary (publication un-durable) and one boundary later
+  // (publication durable, any lease not), in the 100%-overlap
+  // two-tenant scene. Both tenants must still finish byte-identical to
+  // the crash-free run.
+  auto cfg = cache_multi_config(/*chains=*/2);
+  cfg.base.journal = true;
+  std::vector<mapred::Checksum> ref;
+  std::size_t publish_at = 0;
+  std::size_t n_records = 0;
+  {
+    MultiScenario ms(cfg);
+    const auto results = ms.run(cache_strategy());
+    for (std::size_t c = 0; c < results.size(); ++c) {
+      ASSERT_TRUE(results[c].completed);
+      ref.push_back(ms.final_output_checksum(
+          static_cast<std::uint32_t>(c)));
+    }
+    const auto& recs = ms.journal()->records();
+    n_records = recs.size();
+    while (publish_at < n_records &&
+           recs[publish_at].type !=
+               core::JournalRecordType::kCachePublish) {
+      ++publish_at;
+    }
+    ASSERT_LT(publish_at, n_records) << "scene never published";
+  }
+  for (const std::size_t k : {publish_at, publish_at + 1}) {
+    ASSERT_LT(k, n_records);
+    MultiScenario ms(cfg);
+    ms.journal()->arm_crash(k, [&ms] {
+      ms.sim().schedule_after(0.0, [&ms] { ms.crash_master(); });
+    });
+    const auto results = ms.run(cache_strategy());
+    for (std::size_t c = 0; c < results.size(); ++c) {
+      EXPECT_TRUE(results[c].completed)
+          << "chain " << c << " crash point " << k;
+      EXPECT_EQ(ms.final_output_checksum(static_cast<std::uint32_t>(c)),
+                ref[c])
+          << "chain " << c << " crash point " << k;
+    }
+    EXPECT_EQ(ms.obs().metrics.counter("audit.violations"), 0u);
+  }
 }
 
 }  // namespace
